@@ -1,0 +1,43 @@
+# Convenience targets for the hetsched reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench cover fuzz reproduce sweep clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Regenerate every paper table/figure plus the ablations and extensions.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# Short fuzz pass over the three untrusted-input parsers.
+fuzz:
+	$(GO) test ./internal/cache -fuzz FuzzParseConfig -fuzztime 20s
+	$(GO) test ./internal/isa -fuzz FuzzAssemble -fuzztime 20s
+	$(GO) test ./internal/vm -fuzz FuzzLoadTrace -fuzztime 20s
+
+# The paper's full evaluation (Figures 6 & 7 at 5000 arrivals).
+reproduce:
+	$(GO) run ./cmd/hmsim -arrivals 5000
+
+sweep:
+	$(GO) run ./cmd/hmsweep -arrivals 1500 > sweep.csv
+	@echo wrote sweep.csv
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,147 @@
+// Command anntrain trains the paper's bagged ANN predictor (Figure 3:
+// {10, 18, 5, 1}, 30 members, 70/15/15 split) on the augmented
+// characterization pool, reports its held-out accuracy and the canonical
+// suite's energy degradation versus the oracle best cache size (the paper's
+// < 2% claim), and optionally writes the trained model as JSON.
+//
+// Usage:
+//
+//	anntrain [-members 30] [-seed 42] [-o predictor.json] [-compare]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hetsched/internal/ann"
+	"hetsched/internal/characterize"
+	"hetsched/internal/mlbase"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("anntrain: ")
+
+	members := flag.Int("members", 30, "ensemble size (paper: 30)")
+	seed := flag.Int64("seed", 42, "training seed")
+	out := flag.String("o", "", "write the trained predictor JSON to this file")
+	compare := flag.Bool("compare", false, "also train and score the non-ANN baselines")
+	cv := flag.Int("cv", 0, "additionally run k-fold cross-validation (0 = off)")
+	flag.Parse()
+
+	fmt.Fprintln(os.Stderr, "characterizing training pool (16 kernels x scales x seeds)...")
+	train, err := characterize.Augmented()
+	if err != nil {
+		log.Fatal(err)
+	}
+	eval, err := characterize.Default()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "training %d bagged networks...\n", *members)
+	pred, rep, err := ann.TrainSizePredictor(train, ann.PredictorConfig{
+		Seed:     *seed,
+		Ensemble: ann.EnsembleConfig{Members: *members},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("training pool: %d samples (%d train / %d test)\n",
+		rep.Samples, rep.TrainSamples, rep.TestSamples)
+	fmt.Printf("ensemble:      %d members, topology {10, 18, 5, 1}\n", rep.Members)
+	fmt.Printf("train accuracy %.2f   held-out accuracy %.2f   held-out MSE %.4f\n",
+		rep.TrainAccuracy, rep.TestAccuracy, rep.TestMSE)
+
+	// The paper's metric: energy degradation on the benchmark suite when
+	// the predicted best size replaces the oracle best size.
+	var degraded, optimal float64
+	hits := 0
+	for i := range eval.Records {
+		r := &eval.Records[i]
+		size, err := pred.PredictSizeKB(r.Features)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if size == r.BestSizeKB() {
+			hits++
+		}
+		chosen, err := r.BestConfigForSize(size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		degraded += chosen.Energy.Total
+		optimal += r.BestConfig().Energy.Total
+	}
+	fmt.Printf("canonical suite: accuracy %.2f, energy degradation %.2f%% (paper: <2%%)\n",
+		float64(hits)/float64(len(eval.Records)), 100*(degraded/optimal-1))
+
+	if *compare {
+		fmt.Println("\nbaseline comparison (canonical-suite accuracy):")
+		lin, err := mlbase.TrainLinear(train, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		knn, err := mlbase.TrainKNN(train, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stump, err := mlbase.TrainStump(train)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree, err := mlbase.TrainTree(train, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		linAcc, err := mlbase.Accuracy(lin, eval)
+		if err != nil {
+			log.Fatal(err)
+		}
+		knnAcc, err := mlbase.Accuracy(knn, eval)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stumpAcc, err := mlbase.Accuracy(stump, eval)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  linear regression  %.2f\n", linAcc)
+		fmt.Printf("  3-NN               %.2f\n", knnAcc)
+		fmt.Printf("  decision stump     %.2f\n", stumpAcc)
+		treeAcc, err := mlbase.Accuracy(tree, eval)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  CART tree (d=4)    %.2f\n", treeAcc)
+	}
+
+	if *cv > 0 {
+		fmt.Fprintf(os.Stderr, "running %d-fold cross-validation...\n", *cv)
+		res, err := ann.CrossValidate(train, *cv, ann.PredictorConfig{
+			Seed:     *seed,
+			Ensemble: ann.EnsembleConfig{Members: *members},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%d-fold cross-validation: mean accuracy %.2f, mean MSE %.4f\n",
+			res.Folds, res.MeanAccuracy, res.MeanMSE)
+		fmt.Printf("per-fold accuracy: %v\n", res.FoldAccuracy)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pred.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote predictor to %s\n", *out)
+	}
+}

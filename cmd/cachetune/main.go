@@ -1,0 +1,142 @@
+// Command cachetune explores the cache design space for one benchmark: it
+// records the kernel's memory trace, replays it through every Table 1
+// configuration under the Figure 4 energy model, prints the full sweep, and
+// then walks the Figure 5 tuning heuristic on each core size to show how
+// few configurations the heuristic needs.
+//
+// Usage:
+//
+//	cachetune [-kernel tblook] [-scale 1] [-seed 1] [-space]
+//	cachetune -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"hetsched"
+	"hetsched/internal/cache"
+	"hetsched/internal/characterize"
+	"hetsched/internal/eembc"
+	"hetsched/internal/energy"
+	"hetsched/internal/tuner"
+	"hetsched/internal/vm"
+)
+
+// sweepTrace replays a saved trace through the full design space.
+func sweepTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := vm.LoadTrace(f)
+	if err != nil {
+		return err
+	}
+	em := energy.NewDefault()
+	fmt.Printf("trace %s: %d accesses, footprint %.1f KB\n\n",
+		path, tr.Len(), float64(tr.Footprint(64)*64)/1024)
+	fmt.Printf("%-12s %10s %10s %14s\n", "config", "misses", "missrate", "total energy")
+	for _, cfg := range cache.DesignSpace() {
+		l1, err := cache.NewL1(cfg)
+		if err != nil {
+			return err
+		}
+		for _, a := range tr.Accesses {
+			l1.Access(a.Addr, a.Write)
+		}
+		s := l1.Stats()
+		// Cycle baseline is unknown for a bare trace; charge one cycle per
+		// access plus miss stalls, which preserves the ranking.
+		cycles := em.ExecCycles(uint64(tr.Len()), cfg, s.Misses)
+		e := em.Total(cfg, s.Hits, s.Misses, cycles)
+		fmt.Printf("%-12s %10d %9.2f%% %12.0f nJ\n",
+			cfg, s.Misses, 100*s.MissRate(), e.Total)
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cachetune: ")
+
+	kernel := flag.String("kernel", "tblook", "benchmark to explore")
+	scale := flag.Int("scale", 1, "dataset scale")
+	seed := flag.Int64("seed", 1, "data seed")
+	list := flag.Bool("list", false, "list available kernels and exit")
+	space := flag.Bool("space", false, "print the Table 1 design space and exit")
+	fromTrace := flag.String("fromtrace", "", "sweep a saved trace file (see tracegen) instead of a kernel")
+	flag.Parse()
+
+	if *space {
+		fmt.Print(hetsched.FormatDesignSpace())
+		return
+	}
+	if *list {
+		for _, k := range eembc.AllKernels() {
+			fmt.Printf("%-8s %s\n", k.Name, k.Description)
+		}
+		return
+	}
+	if *fromTrace != "" {
+		if err := sweepTrace(*fromTrace); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	params := eembc.Params{Scale: *scale, Iterations: 4, Seed: *seed}
+	db, err := characterize.Characterize(
+		[]characterize.Variant{{Kernel: *kernel, Params: params}},
+		energy.NewDefault(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := &db.Records[0]
+
+	fmt.Printf("kernel %s (scale %d, seed %d): %d accesses, %d base cycles\n\n",
+		rec.Kernel, params.Scale, params.Seed, rec.Accesses, rec.BaseCycles)
+
+	// Full design-space sweep, sorted by total energy.
+	rows := append([]characterize.ConfigResult(nil), rec.Configs...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Energy.Total < rows[j].Energy.Total })
+	fmt.Printf("%-12s %10s %10s %12s %14s\n", "config", "misses", "missrate", "cycles", "total energy")
+	for _, cr := range rows {
+		fmt.Printf("%-12s %10d %9.2f%% %12d %12.0f nJ\n",
+			cr.Config, cr.Misses,
+			100*float64(cr.Misses)/float64(rec.Accesses),
+			cr.Cycles, cr.Energy.Total)
+	}
+	best := rec.BestConfig()
+	fmt.Printf("\noracle best configuration: %s (%.0f nJ)\n\n", best.Config, best.Energy.Total)
+
+	// Figure 5 heuristic on each core size.
+	fmt.Println("tuning heuristic (Figure 5), one execution per step:")
+	for _, size := range cache.Sizes() {
+		tn := tuner.MustNew(size)
+		for !tn.Done() {
+			cfg, _ := tn.Next()
+			cr, err := rec.Result(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tn.Observe(cfg, cr.Energy.Total); err != nil {
+				log.Fatal(err)
+			}
+		}
+		bestCfg, bestE, _ := tn.Best()
+		oracle, err := rec.BestConfigForSize(size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gap := 100 * (bestE/oracle.Energy.Total - 1)
+		fmt.Printf("  %dKB core: explored %d of %d configs -> %s (%.0f nJ, %.1f%% above per-size oracle %s)\n",
+			size, len(tn.Explored()), len(cache.ConfigsForSize(size)),
+			bestCfg, bestE, gap, oracle.Config)
+	}
+}

@@ -1,0 +1,93 @@
+// Command hmsim runs the paper's full evaluation: the four systems of
+// Section V (base, optimal, energy-centric, proposed) over a uniform
+// 5000-arrival workload on the Figure 1 quad-core machine, printing the
+// Figure 6 and Figure 7 rows and the headline energy reduction.
+//
+// Usage:
+//
+//	hmsim [-arrivals 5000] [-util 0.9] [-seed 1] [-predictor ann|oracle|linear|knn|stump]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hetsched"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmsim: ")
+
+	arrivals := flag.Int("arrivals", 5000, "number of benchmark arrivals (paper: 5000)")
+	util := flag.Float64("util", 0.90, "offered load on the quad-core machine")
+	seed := flag.Int64("seed", 1, "workload seed")
+	predictor := flag.String("predictor", "ann", "best-core predictor: ann|oracle|linear|knn|stump|tree")
+	perApp := flag.Bool("perapp", false, "also print the proposed system's per-benchmark energy table")
+	timeline := flag.Int("timeline", 0, "also print the first N proposed-system schedule events")
+	flag.Parse()
+
+	kind, err := parsePredictor(*predictor)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "characterizing suite and training %s predictor...\n", kind)
+	sys, err := hetsched.New(hetsched.Options{Predictor: kind})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := hetsched.DefaultExperimentConfig()
+	cfg.Arrivals = *arrivals
+	cfg.Utilization = *util
+	cfg.Seed = *seed
+
+	fmt.Fprintf(os.Stderr, "simulating 4 systems x %d arrivals at utilization %.2f...\n",
+		cfg.Arrivals, cfg.Utilization)
+	res, err := sys.Experiment(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(hetsched.FormatFigures(res))
+
+	if *perApp || *timeline > 0 {
+		jobs, err := sys.Workload(cfg.Arrivals, cfg.Utilization, cfg.Seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := sys.RunSystem("proposed", jobs,
+			hetsched.SimConfig{RecordSchedule: *timeline > 0})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *perApp {
+			fmt.Println()
+			fmt.Print(hetsched.FormatPerApp(sys, m))
+		}
+		if *timeline > 0 {
+			fmt.Println()
+			fmt.Print(hetsched.FormatSchedule(sys, m, *timeline))
+		}
+	}
+}
+
+func parsePredictor(s string) (hetsched.PredictorKind, error) {
+	switch s {
+	case "ann":
+		return hetsched.PredictANN, nil
+	case "oracle":
+		return hetsched.PredictOracle, nil
+	case "linear":
+		return hetsched.PredictLinear, nil
+	case "knn":
+		return hetsched.PredictKNN, nil
+	case "stump":
+		return hetsched.PredictStump, nil
+	case "tree":
+		return hetsched.PredictTree, nil
+	}
+	return 0, fmt.Errorf("unknown predictor %q (want ann|oracle|linear|knn|stump|tree)", s)
+}

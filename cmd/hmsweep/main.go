@@ -1,0 +1,116 @@
+// Command hmsweep sweeps the scheduling experiment across offered load,
+// arrival models and systems, emitting one CSV row per grid cell — the data
+// behind load-sensitivity plots.
+//
+// Usage:
+//
+//	hmsweep [-arrivals 1500] [-utils 0.5,0.75,0.9] [-models uniform,poisson,bursty]
+//	        [-systems base,optimal,sat,energy-centric,proposed]
+//	        [-predictor ann] [-seed 1] > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"hetsched"
+	"hetsched/internal/core"
+	"hetsched/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmsweep: ")
+
+	arrivals := flag.Int("arrivals", 1500, "arrivals per experiment")
+	utilsFlag := flag.String("utils", "0.5,0.75,0.9", "comma-separated utilizations")
+	modelsFlag := flag.String("models", "uniform", "comma-separated arrival models (uniform|poisson|bursty)")
+	systemsFlag := flag.String("systems", "base,optimal,energy-centric,proposed", "comma-separated systems")
+	predictor := flag.String("predictor", "ann", "predictor: ann|oracle|linear|knn|stump|tree")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	utils, err := parseFloats(*utilsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	models, err := parseModels(*modelsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind, err := parsePredictor(*predictor)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "setting up (%s predictor)...\n", kind)
+	sys, err := hetsched.New(hetsched.Options{Predictor: kind})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	points, err := sweep.Run(sys.Eval, sys.Energy, sys.Pred, sweep.Config{
+		Arrivals:     *arrivals,
+		Utilizations: utils,
+		Models:       models,
+		Systems:      strings.Split(*systemsFlag, ","),
+		Seed:         *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sweep.WriteCSV(os.Stdout, points); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad utilization %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseModels(s string) ([]core.ArrivalModel, error) {
+	var out []core.ArrivalModel
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "uniform":
+			out = append(out, core.ArrivalUniform)
+		case "poisson":
+			out = append(out, core.ArrivalPoisson)
+		case "bursty":
+			out = append(out, core.ArrivalBursty)
+		default:
+			return nil, fmt.Errorf("unknown arrival model %q", part)
+		}
+	}
+	return out, nil
+}
+
+func parsePredictor(s string) (hetsched.PredictorKind, error) {
+	switch s {
+	case "ann":
+		return hetsched.PredictANN, nil
+	case "oracle":
+		return hetsched.PredictOracle, nil
+	case "linear":
+		return hetsched.PredictLinear, nil
+	case "knn":
+		return hetsched.PredictKNN, nil
+	case "stump":
+		return hetsched.PredictStump, nil
+	case "tree":
+		return hetsched.PredictTree, nil
+	}
+	return 0, fmt.Errorf("unknown predictor %q", s)
+}

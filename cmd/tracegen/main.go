@@ -1,0 +1,76 @@
+// Command tracegen executes one benchmark on the VM and writes its full
+// data-memory access trace in the compact binary format, along with the
+// hardware-counter summary the profiler would record. Saved traces replay
+// through cachetune -fromtrace without re-executing the program — the
+// record-once/replay-everywhere flow the paper uses with SimpleScalar.
+//
+// Usage:
+//
+//	tracegen -kernel matrix -o matrix.trc [-scale 1] [-seed 1] [-iters 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hetsched/internal/eembc"
+	"hetsched/internal/isa"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	kernel := flag.String("kernel", "", "benchmark to trace (required; see cachetune -list)")
+	out := flag.String("o", "", "output trace file (required)")
+	scale := flag.Int("scale", 1, "dataset scale")
+	seed := flag.Int64("seed", 1, "data seed")
+	iters := flag.Int("iters", 4, "outer iterations")
+	flag.Parse()
+
+	if *kernel == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	k, err := eembc.ByName(*kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := eembc.Params{Scale: *scale, Iterations: *iters, Seed: *seed}
+	ctr, tr, err := eembc.Record(k, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prog, err := k.Program(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix := prog.Mix()
+	fmt.Printf("kernel        %s (scale %d, seed %d, iters %d)\n", k.Name, *scale, *seed, *iters)
+	fmt.Printf("static mix    %d instrs: %d int, %d mul/div, %d fp, %d load, %d store, %d branch\n",
+		prog.Len(), mix[isa.ClassIntALU], mix[isa.ClassMulDiv], mix[isa.ClassFP],
+		mix[isa.ClassLoad], mix[isa.ClassStore], mix[isa.ClassBranch])
+	fmt.Printf("instructions  %d\n", ctr.Instructions)
+	fmt.Printf("base cycles   %d\n", ctr.Cycles)
+	fmt.Printf("accesses      %d (%d loads, %d stores)\n", tr.Len(), tr.Reads(), tr.Writes())
+	fmt.Printf("footprint     %d x 64B blocks (%.1f KB)\n",
+		tr.Footprint(64), float64(tr.Footprint(64)*64)/1024)
+	fmt.Printf("trace file    %s: %d bytes (%.2f bytes/access)\n",
+		*out, info.Size(), float64(info.Size())/float64(tr.Len()))
+}

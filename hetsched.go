@@ -1,0 +1,468 @@
+// Package hetsched reproduces "Dynamic Scheduling on Heterogeneous
+// Multicores" (Edun, Vazquez, Gordon-Ross, Stitt; DATE 2019): an
+// energy-aware dynamic scheduler for a heterogeneous quad-core embedded
+// system with runtime-configurable L1 caches, driven by a bagged ANN that
+// predicts each application's best cache size from profiled hardware
+// counters, a resumable cache-tuning heuristic for non-best cores, and an
+// energy-advantageous stall-or-migrate decision.
+//
+// The package is a facade over the full reproduction stack:
+//
+//   - internal/isa, internal/vm     — embedded CPU substrate (SimpleScalar stand-in)
+//   - internal/eembc                — 20 synthetic EEMBC-like kernels (16 automotive + 4 telecom)
+//   - internal/cache                — configurable L1/L2 cache models (Table 1)
+//   - internal/cacti, internal/energy — 0.18 µm energy models (Figure 4)
+//   - internal/characterize         — per-configuration ground truth
+//   - internal/stats, internal/ann  — execution statistics + bagged ANN (Figure 3)
+//   - internal/tuner                — cache tuning heuristic (Figure 5)
+//   - internal/core                 — the scheduler and the four compared systems
+//   - internal/mlbase               — future-work predictor baselines
+//
+// Typical use:
+//
+//	sys, err := hetsched.New(hetsched.Options{Predictor: hetsched.PredictANN})
+//	...
+//	res, err := sys.Experiment(hetsched.DefaultExperimentConfig())
+//	fmt.Print(hetsched.FormatFigures(res))
+package hetsched
+
+import (
+	"fmt"
+
+	"hetsched/internal/ann"
+	"hetsched/internal/cache"
+	"hetsched/internal/characterize"
+	"hetsched/internal/core"
+	"hetsched/internal/eembc"
+	"hetsched/internal/energy"
+	"hetsched/internal/mlbase"
+	"hetsched/internal/tuner"
+)
+
+// Re-exported types: the public API speaks these names; the internal
+// packages carry the implementations.
+type (
+	// CacheConfig is one L1 configuration (size, ways, line size).
+	CacheConfig = cache.Config
+	// Metrics aggregates one simulated system run.
+	Metrics = core.Metrics
+	// ExperimentResult holds the four systems' metrics over one workload.
+	ExperimentResult = core.ExperimentResult
+	// ExperimentConfig shapes a four-system comparison.
+	ExperimentConfig = core.ExperimentConfig
+	// SimConfig shapes the simulated machine.
+	SimConfig = core.SimConfig
+	// NormRow is one normalized figure row.
+	NormRow = core.NormRow
+	// Job is one benchmark arrival.
+	Job = core.Job
+	// Predictor predicts an application's best cache size.
+	Predictor = core.Predictor
+	// DB is the offline characterization database.
+	DB = characterize.DB
+	// Record is one benchmark variant's characterization.
+	Record = characterize.Record
+	// Kernel is one synthetic benchmark.
+	Kernel = eembc.Kernel
+	// KernelParams scales a kernel.
+	KernelParams = eembc.Params
+)
+
+// DefaultExperimentConfig mirrors the paper's setup: 5000 uniformly
+// distributed arrivals on the Figure 1 quad-core machine.
+func DefaultExperimentConfig() ExperimentConfig { return core.DefaultExperimentConfig() }
+
+// DesignSpace returns the 18 cache configurations of Table 1.
+func DesignSpace() []CacheConfig { return cache.DesignSpace() }
+
+// BaseConfig is the profiling/base configuration 8KB_4W_64B.
+func BaseConfig() CacheConfig { return cache.BaseConfig }
+
+// ParseCacheConfig parses the paper's notation, e.g. "8KB_4W_64B".
+func ParseCacheConfig(s string) (CacheConfig, error) { return cache.ParseConfig(s) }
+
+// Kernels returns the sixteen automotive benchmarks of the canonical
+// suite.
+func Kernels() []Kernel { return eembc.Suite() }
+
+// TelecomKernels returns the four telecom-domain benchmarks (scheduled
+// only when Options.IncludeTelecom was set).
+func TelecomKernels() []Kernel { return eembc.TelecomSuite() }
+
+// KernelByName returns one benchmark by its EEMBC-style name.
+func KernelByName(name string) (Kernel, error) { return eembc.ByName(name) }
+
+// PredictorKind selects the best-core predictor a System schedules with.
+type PredictorKind int
+
+// Predictor kinds.
+const (
+	// PredictANN is the paper's predictor: 30 bagged {10,18,5,1} networks.
+	PredictANN PredictorKind = iota
+	// PredictOracle uses ground-truth best sizes (upper bound).
+	PredictOracle
+	// PredictLinear is the ridge-regression baseline.
+	PredictLinear
+	// PredictKNN is the k-nearest-neighbours baseline (k=3).
+	PredictKNN
+	// PredictStump is the decision-stump baseline.
+	PredictStump
+	// PredictTree is the depth-4 CART decision-tree baseline.
+	PredictTree
+)
+
+// String names the predictor kind.
+func (k PredictorKind) String() string {
+	switch k {
+	case PredictANN:
+		return "ann"
+	case PredictOracle:
+		return "oracle"
+	case PredictLinear:
+		return "linear"
+	case PredictKNN:
+		return "knn"
+	case PredictStump:
+		return "stump"
+	case PredictTree:
+		return "tree"
+	}
+	return fmt.Sprintf("predictor(%d)", int(k))
+}
+
+// Options configures New.
+type Options struct {
+	// Predictor selects the best-core predictor (default PredictANN).
+	Predictor PredictorKind
+	// Seed drives ANN training and splits (default 42).
+	Seed int64
+	// EnergyParams overrides the energy-model constants (nil = defaults).
+	EnergyParams *energy.Params
+	// WithL2 characterizes under the two-level hierarchy (future-work
+	// extension): L1 misses that hit the private L2 cost far less than
+	// off-chip accesses, shifting best sizes toward smaller caches.
+	WithL2 bool
+	// IncludeTelecom adds the second application domain (the four EEMBC
+	// telecom-like kernels) to both the evaluation and training pools —
+	// the multi-domain setting of Section IV.D. Requires recharacterizing,
+	// so setup is slower than the cached automotive-only default.
+	IncludeTelecom bool
+	// MultiDomainANN (requires IncludeTelecom and PredictANN) trains one
+	// specialized ensemble per application domain with a nearest-sample
+	// router, instead of a single ANN over the mixed population —
+	// Section IV.D's "multiple ANNs each ... specialized for a different
+	// domain".
+	MultiDomainANN bool
+}
+
+// System bundles everything needed to run the paper's experiments: the
+// characterization ground truth, the energy model and a trained predictor.
+type System struct {
+	// Eval is the characterization the experiments draw workloads from:
+	// the canonical 16 automotive kernels, or 20 with IncludeTelecom.
+	Eval *DB
+	// Train is the augmented pool the predictor was fitted on.
+	Train *DB
+	// Energy is the Figure 4 model.
+	Energy *energy.Model
+	// Pred is the trained best-size predictor.
+	Pred Predictor
+
+	kind PredictorKind
+}
+
+// New characterizes the benchmark suite (cached per process) and trains the
+// requested predictor.
+func New(opts Options) (*System, error) {
+	em := energy.NewDefault()
+	if opts.EnergyParams != nil {
+		var err error
+		em, err = energy.New(*opts.EnergyParams, em.Cacti())
+		if err != nil {
+			return nil, err
+		}
+	}
+	evalVariants := characterize.CanonicalVariants()
+	trainVariants := characterize.AugmentedVariants()
+	if opts.IncludeTelecom {
+		evalVariants = characterize.ExtendedVariants()
+		trainVariants = characterize.AugmentedExtendedVariants()
+	}
+	var (
+		eval, train *DB
+		err         error
+	)
+	switch {
+	case opts.WithL2:
+		// The L2 extension changes every per-configuration outcome;
+		// characterize under the two-level model.
+		l2, err2 := energy.NewL2(em, energy.DefaultL2Params())
+		if err2 != nil {
+			return nil, err2
+		}
+		copts := characterize.Options{L2: l2}
+		eval, err = characterize.CharacterizeWithOptions(evalVariants, em, copts)
+		if err != nil {
+			return nil, err
+		}
+		train, err = characterize.CharacterizeWithOptions(trainVariants, em, copts)
+	case opts.EnergyParams != nil || opts.IncludeTelecom:
+		// A changed ground truth (custom energy constants or an extended
+		// kernel population) requires recharacterizing.
+		eval, err = characterize.Characterize(evalVariants, em)
+		if err != nil {
+			return nil, err
+		}
+		train, err = characterize.Characterize(trainVariants, em)
+	default:
+		eval, err = characterize.Default()
+		if err != nil {
+			return nil, err
+		}
+		train, err = characterize.Augmented()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	sys := &System{Eval: eval, Train: train, Energy: em, kind: opts.Predictor}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	if opts.MultiDomainANN {
+		if !opts.IncludeTelecom || opts.Predictor != PredictANN {
+			return nil, fmt.Errorf("hetsched: MultiDomainANN requires IncludeTelecom and PredictANN")
+		}
+		md, err := trainMultiDomain(em, opts, seed)
+		if err != nil {
+			return nil, err
+		}
+		sys.Pred = md
+		return sys, nil
+	}
+	switch opts.Predictor {
+	case PredictANN:
+		if opts.EnergyParams == nil && !opts.WithL2 && !opts.IncludeTelecom && seed == 42 {
+			// Canonical setup: share the process-wide trained predictor.
+			p, _, err := ann.DefaultPredictor()
+			if err != nil {
+				return nil, err
+			}
+			sys.Pred = p
+		} else {
+			p, _, err := ann.TrainSizePredictor(train, ann.PredictorConfig{Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			sys.Pred = p
+		}
+	case PredictOracle:
+		sys.Pred = core.OraclePredictor{DB: eval}
+	case PredictLinear:
+		p, err := mlbase.TrainLinear(train, 0)
+		if err != nil {
+			return nil, err
+		}
+		sys.Pred = p
+	case PredictKNN:
+		p, err := mlbase.TrainKNN(train, 3)
+		if err != nil {
+			return nil, err
+		}
+		sys.Pred = p
+	case PredictStump:
+		p, err := mlbase.TrainStump(train)
+		if err != nil {
+			return nil, err
+		}
+		sys.Pred = p
+	case PredictTree:
+		p, err := mlbase.TrainTree(train, 4)
+		if err != nil {
+			return nil, err
+		}
+		sys.Pred = p
+	default:
+		return nil, fmt.Errorf("hetsched: unknown predictor kind %d", opts.Predictor)
+	}
+	return sys, nil
+}
+
+// PredictorName reports which predictor the system schedules with.
+func (s *System) PredictorName() string { return s.kind.String() }
+
+// Experiment runs the paper's four-system comparison (Section V) on one
+// workload: base, optimal, energy-centric and proposed.
+func (s *System) Experiment(cfg ExperimentConfig) (*ExperimentResult, error) {
+	return core.RunExperiment(s.Eval, s.Energy, s.Pred, cfg)
+}
+
+// RunSystem simulates a single named system over an explicit workload.
+// Valid names: "base", "optimal", "energy-centric", "proposed",
+// "proposed-noEadv".
+func (s *System) RunSystem(name string, jobs []Job, sim SimConfig) (Metrics, error) {
+	// Fill machine defaults field-wise so caller-set scheduling flags
+	// (PriorityScheduling, Preemptive, SingleProfilingCore) survive.
+	def := core.DefaultSimConfig()
+	if len(sim.CoreSizesKB) == 0 {
+		sim.CoreSizesKB = def.CoreSizesKB
+	}
+	if sim.ReconfigCycles == 0 {
+		sim.ReconfigCycles = def.ReconfigCycles
+	}
+	if sim.ProfilingCycles == 0 {
+		sim.ProfilingCycles = def.ProfilingCycles
+	}
+	pol, needsPred, err := core.NewPolicy(name)
+	if err != nil {
+		return Metrics{}, err
+	}
+	var pred Predictor
+	if needsPred {
+		pred = s.Pred
+	}
+	sim.CoreSizesKB = core.CoreSizesFor(name, sim.CoreSizesKB)
+	simulator, err := core.NewSimulator(s.Eval, s.Energy, pol, pred, sim)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return simulator.Run(jobs)
+}
+
+// Workload generates the paper-style uniform arrival stream over the whole
+// suite at the given utilization.
+func (s *System) Workload(arrivals int, utilization float64, seed int64) ([]Job, error) {
+	ids := core.AllAppIDs(s.Eval)
+	cores := len(core.DefaultSimConfig().CoreSizesKB)
+	horizon, err := core.HorizonForUtilization(s.Eval, ids, arrivals, cores, utilization)
+	if err != nil {
+		return nil, err
+	}
+	return core.GenerateWorkload(core.WorkloadConfig{
+		Arrivals:      arrivals,
+		AppIDs:        ids,
+		HorizonCycles: horizon,
+		Seed:          seed,
+	})
+}
+
+// WeightedWorkload generates an arrival stream whose application mix is
+// given by kernel name (repeat a name to weight it), spread uniformly at
+// the requested utilization — the knob domain examples use to model, e.g.,
+// an engine-management-heavy automotive mix.
+func (s *System) WeightedWorkload(kernels []string, arrivals int, utilization float64, seed int64) ([]Job, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("hetsched: empty kernel mix")
+	}
+	ids := make([]int, 0, len(kernels))
+	for _, name := range kernels {
+		rec, err := s.Eval.Find(name, eembc.DefaultParams())
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, rec.ID)
+	}
+	cores := len(core.DefaultSimConfig().CoreSizesKB)
+	horizon, err := core.HorizonForUtilization(s.Eval, ids, arrivals, cores, utilization)
+	if err != nil {
+		return nil, err
+	}
+	return core.GenerateWorkload(core.WorkloadConfig{
+		Arrivals:      arrivals,
+		AppIDs:        ids,
+		HorizonCycles: horizon,
+		Seed:          seed,
+	})
+}
+
+// AssignPriorities gives jobs uniform random priorities in [0, levels) —
+// the future-work real-time extension. Enable SimConfig.PriorityScheduling
+// (and optionally Preemptive) to act on them.
+func (s *System) AssignPriorities(jobs []Job, levels int, seed int64) {
+	core.AssignPriorities(jobs, levels, seed)
+}
+
+// AssignDeadlines sets each job's deadline to arrival + slack × its
+// best-configuration execution time. Misses are reported in
+// Metrics.DeadlineMisses.
+func (s *System) AssignDeadlines(jobs []Job, slack float64) error {
+	return core.AssignDeadlines(jobs, s.Eval, slack)
+}
+
+// TuneKernel walks the Figure 5 tuning heuristic for one benchmark on a
+// core of the given cache size, returning the configurations explored (in
+// order) and the heuristic's final best configuration.
+func (s *System) TuneKernel(kernel string, sizeKB int) (explored []CacheConfig, best CacheConfig, err error) {
+	rec, err := s.Eval.Find(kernel, eembc.DefaultParams())
+	if err != nil {
+		return nil, CacheConfig{}, err
+	}
+	tn, err := tuner.New(sizeKB)
+	if err != nil {
+		return nil, CacheConfig{}, err
+	}
+	for !tn.Done() {
+		cfg, ok := tn.Next()
+		if !ok {
+			break
+		}
+		cr, err := rec.Result(cfg)
+		if err != nil {
+			return nil, CacheConfig{}, err
+		}
+		if err := tn.Observe(cfg, cr.Energy.Total); err != nil {
+			return nil, CacheConfig{}, err
+		}
+	}
+	best, _, _ = tn.Best()
+	return tn.Explored(), best, nil
+}
+
+// PredictBestSize profiles nothing: it evaluates the trained predictor on a
+// characterized benchmark's recorded features and returns the predicted and
+// oracle best cache sizes.
+func (s *System) PredictBestSize(kernel string) (predicted, oracle int, err error) {
+	rec, err := s.Eval.Find(kernel, eembc.DefaultParams())
+	if err != nil {
+		return 0, 0, err
+	}
+	predicted, err = s.Pred.PredictSizeKB(rec.Features)
+	if err != nil {
+		return 0, 0, err
+	}
+	return predicted, rec.BestSizeKB(), nil
+}
+
+// trainMultiDomain builds the Section IV.D per-domain predictor: one
+// bagged ensemble per application domain over its own augmented pool.
+func trainMultiDomain(em *energy.Model, opts Options, seed int64) (Predictor, error) {
+	var copts characterize.Options
+	if opts.WithL2 {
+		l2, err := energy.NewL2(em, energy.DefaultL2Params())
+		if err != nil {
+			return nil, err
+		}
+		copts.L2 = l2
+	}
+	autoPool, err := characterize.CharacterizeWithOptions(characterize.AugmentedVariants(), em, copts)
+	if err != nil {
+		return nil, err
+	}
+	var teleVariants []characterize.Variant
+	for _, v := range characterize.AugmentedExtendedVariants() {
+		switch v.Kernel {
+		case "autcor", "conven", "fbital", "viterb":
+			teleVariants = append(teleVariants, v)
+		}
+	}
+	telePool, err := characterize.CharacterizeWithOptions(teleVariants, em, copts)
+	if err != nil {
+		return nil, err
+	}
+	return ann.TrainMultiDomain(
+		[]string{"automotive", "telecom"},
+		map[string]*characterize.DB{"automotive": autoPool, "telecom": telePool},
+		ann.PredictorConfig{Seed: seed},
+	)
+}

@@ -1,0 +1,431 @@
+package hetsched
+
+import (
+	"strings"
+	"testing"
+)
+
+func oracleSystem(t testing.TB) *System {
+	t.Helper()
+	sys, err := New(Options{Predictor: PredictOracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewWithEveryPredictorKind(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains predictors; skipped in -short")
+	}
+	for _, kind := range []PredictorKind{PredictANN, PredictOracle, PredictLinear, PredictKNN, PredictStump} {
+		sys, err := New(Options{Predictor: kind})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if sys.PredictorName() != kind.String() {
+			t.Errorf("predictor name %q != kind %q", sys.PredictorName(), kind)
+		}
+		pred, oracle, err := sys.PredictBestSize("matrix")
+		if err != nil {
+			t.Fatalf("%v: PredictBestSize: %v", kind, err)
+		}
+		if pred != 2 && pred != 4 && pred != 8 {
+			t.Errorf("%v: predicted size %d not in design space", kind, pred)
+		}
+		if kind == PredictOracle && pred != oracle {
+			t.Errorf("oracle disagrees with itself: %d vs %d", pred, oracle)
+		}
+	}
+	if _, err := New(Options{Predictor: PredictorKind(99)}); err == nil {
+		t.Error("unknown predictor kind accepted")
+	}
+}
+
+// The paper's headline claims must hold with the actual trained ANN, not
+// just the oracle predictor the core tests use.
+func TestANNExperimentShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the ANN and runs four systems; skipped in -short")
+	}
+	sys, err := New(Options{Predictor: PredictANN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultExperimentConfig()
+	cfg.Arrivals = 1500
+	res, err := sys.Experiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, opt, ec, prop := res.Base, res.Optimal, res.EnergyCentric, res.Proposed
+
+	// Proposed: the lowest total energy of all four systems.
+	for _, m := range []Metrics{base, opt, ec} {
+		if prop.TotalEnergy() >= m.TotalEnergy() {
+			t.Errorf("ANN proposed total %.0f not below %s %.0f",
+				prop.TotalEnergy(), m.System, m.TotalEnergy())
+		}
+	}
+	saving := 1 - prop.TotalEnergy()/base.TotalEnergy()
+	t.Logf("ANN-driven saving vs base: %.1f%% (paper: 28%%)", 100*saving)
+	if saving < 0.10 {
+		t.Errorf("ANN-driven saving %.1f%% collapsed", 100*saving)
+	}
+	// Energy-centric: lowest dynamic, and (with the ANN, as in the paper)
+	// total energy above the base system.
+	for _, m := range []Metrics{base, opt, prop} {
+		if ec.DynamicEnergy >= m.DynamicEnergy {
+			t.Errorf("energy-centric dynamic %.0f not lowest (vs %s %.0f)",
+				ec.DynamicEnergy, m.System, m.DynamicEnergy)
+		}
+	}
+	if ec.TotalEnergy() <= opt.TotalEnergy() {
+		t.Errorf("with the ANN, energy-centric total %.0f should exceed optimal %.0f (paper: +9%%)",
+			ec.TotalEnergy(), opt.TotalEnergy())
+	}
+	// Proposed beats both ANN-driven comparisons on turnaround.
+	if prop.TurnaroundCycles >= ec.TurnaroundCycles {
+		t.Errorf("proposed turnaround %d not below energy-centric %d",
+			prop.TurnaroundCycles, ec.TurnaroundCycles)
+	}
+	if prop.TurnaroundCycles >= opt.TurnaroundCycles {
+		t.Errorf("proposed turnaround %d not below optimal %d",
+			prop.TurnaroundCycles, opt.TurnaroundCycles)
+	}
+}
+
+func TestSystemExperimentAndReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment; skipped in -short")
+	}
+	sys := oracleSystem(t)
+	cfg := DefaultExperimentConfig()
+	cfg.Arrivals = 800
+	res, err := sys.Experiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := FormatFigures(res)
+	for _, want := range []string{
+		"Figure 6", "Figure 7", "base", "optimal", "energy-centric", "proposed",
+		"total-energy reduction",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunSystemNames(t *testing.T) {
+	sys := oracleSystem(t)
+	jobs, err := sys.Workload(200, 0.7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"base", "optimal", "energy-centric", "proposed", "proposed-noEadv"} {
+		m, err := sys.RunSystem(name, jobs, SimConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Completed != len(jobs) {
+			t.Errorf("%s: completed %d of %d", name, m.Completed, len(jobs))
+		}
+		if m.System != name {
+			t.Errorf("metrics name %q, want %q", m.System, name)
+		}
+	}
+	if _, err := sys.RunSystem("nope", jobs, SimConfig{}); err == nil {
+		t.Error("unknown system name accepted")
+	}
+}
+
+func TestEadvAblationChangesBehaviour(t *testing.T) {
+	sys := oracleSystem(t)
+	jobs, err := sys.Workload(600, 0.9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withEadv, err := sys.RunSystem("proposed", jobs, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := sys.RunSystem("proposed-noEadv", jobs, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withEadv.StallDecisions == without.StallDecisions &&
+		withEadv.NonBestPlacements == without.NonBestPlacements {
+		t.Error("disabling E_adv changed nothing; ablation is vacuous")
+	}
+	// The greedy variant must not deliberately stall once knowledge exists;
+	// its deliberate-stall count should be well below the full system's.
+	if without.StallDecisions > withEadv.StallDecisions {
+		t.Errorf("no-Eadv variant stalled more (%d) than the full system (%d)",
+			without.StallDecisions, withEadv.StallDecisions)
+	}
+}
+
+// Regression: RunSystem must not drop caller-set scheduling flags when it
+// fills in the default machine.
+func TestRunSystemPreservesRealtimeFlags(t *testing.T) {
+	sys := oracleSystem(t)
+	jobs, err := sys.Workload(500, 1.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AssignPriorities(jobs, 3, 4)
+	m, err := sys.RunSystem("proposed", jobs, SimConfig{
+		PriorityScheduling: true,
+		Preemptive:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Preemptions == 0 {
+		t.Error("preemptive flag lost through RunSystem defaults")
+	}
+	if m.Completed != len(jobs) {
+		t.Errorf("completed %d of %d", m.Completed, len(jobs))
+	}
+}
+
+func TestAssignHelpers(t *testing.T) {
+	sys := oracleSystem(t)
+	jobs, err := sys.Workload(100, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AssignPriorities(jobs, 4, 1)
+	if err := sys.AssignDeadlines(jobs, 5); err != nil {
+		t.Fatal(err)
+	}
+	hasPriority, hasDeadline := false, true
+	for _, j := range jobs {
+		if j.Priority > 0 {
+			hasPriority = true
+		}
+		if j.DeadlineCycle == 0 {
+			hasDeadline = false
+		}
+	}
+	if !hasPriority || !hasDeadline {
+		t.Error("assign helpers did not annotate jobs")
+	}
+	if err := sys.AssignDeadlines(jobs, -1); err == nil {
+		t.Error("negative slack accepted")
+	}
+}
+
+func TestIncludeTelecomExtendsPopulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recharacterizes 20 kernels; skipped in -short")
+	}
+	sys, err := New(Options{Predictor: PredictOracle, IncludeTelecom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.Eval.Records); got != 20 {
+		t.Fatalf("extended eval pool has %d records, want 20", got)
+	}
+	if got := len(sys.Train.Records); got != 20*6 {
+		t.Fatalf("extended train pool has %d records, want 120", got)
+	}
+	// The telecom kernels must be schedulable end to end.
+	pred, oracle, err := sys.PredictBestSize("viterb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != oracle {
+		t.Errorf("oracle disagrees with itself: %d vs %d", pred, oracle)
+	}
+	cfg := DefaultExperimentConfig()
+	cfg.Arrivals = 400
+	res, err := sys.Experiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proposed.Completed != cfg.Arrivals {
+		t.Errorf("proposed completed %d of %d over the extended population",
+			res.Proposed.Completed, cfg.Arrivals)
+	}
+}
+
+func TestMultiDomainANNOption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two ensembles; skipped in -short")
+	}
+	// Validation: requires IncludeTelecom + PredictANN.
+	if _, err := New(Options{Predictor: PredictANN, MultiDomainANN: true}); err == nil {
+		t.Error("MultiDomainANN without IncludeTelecom accepted")
+	}
+	if _, err := New(Options{Predictor: PredictOracle, IncludeTelecom: true, MultiDomainANN: true}); err == nil {
+		t.Error("MultiDomainANN with non-ANN predictor accepted")
+	}
+	sys, err := New(Options{Predictor: PredictANN, IncludeTelecom: true, MultiDomainANN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := range sys.Eval.Records {
+		got, err := sys.Pred.PredictSizeKB(sys.Eval.Records[i].Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == sys.Eval.Records[i].BestSizeKB() {
+			hits++
+		}
+	}
+	acc := float64(hits) / float64(len(sys.Eval.Records))
+	t.Logf("multi-domain facade accuracy: %.2f", acc)
+	if acc < 0.5 {
+		t.Errorf("multi-domain accuracy %.2f too low", acc)
+	}
+}
+
+func TestWithL2ChangesGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recharacterizes the suite; skipped in -short")
+	}
+	l1, err := New(Options{Predictor: PredictOracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := New(Options{Predictor: PredictOracle, WithL2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(s *System) int {
+		total := 0
+		for i := range s.Eval.Records {
+			total += s.Eval.Records[i].BestSizeKB()
+		}
+		return total
+	}
+	if sum(l2) > sum(l1) {
+		t.Errorf("L2 extension shifted best sizes upward: %d -> %d", sum(l1), sum(l2))
+	}
+	// The L2-aware system must run the full experiment pipeline.
+	cfg := DefaultExperimentConfig()
+	cfg.Arrivals = 300
+	if _, err := l2.Experiment(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDesignSpaceHelpers(t *testing.T) {
+	if len(DesignSpace()) != 18 {
+		t.Error("design space is not Table 1")
+	}
+	if BaseConfig().String() != "8KB_4W_64B" {
+		t.Errorf("base config = %s", BaseConfig())
+	}
+	c, err := ParseCacheConfig("4kb_2w_32b")
+	if err != nil || c.SizeKB != 4 {
+		t.Errorf("ParseCacheConfig: %v %v", c, err)
+	}
+	if len(Kernels()) != 16 {
+		t.Error("kernel suite incomplete")
+	}
+	if _, err := KernelByName("matrix"); err != nil {
+		t.Error(err)
+	}
+	table := FormatDesignSpace()
+	if !strings.Contains(table, "8KB_4W_64B") || !strings.Contains(table, "2KB_1W_16B") {
+		t.Error("design-space table incomplete")
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	sys := oracleSystem(t)
+	jobs, err := sys.Workload(100, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 100 {
+		t.Errorf("workload has %d jobs", len(jobs))
+	}
+	if _, err := sys.Workload(100, 0, 1); err == nil {
+		t.Error("zero utilization accepted")
+	}
+}
+
+func TestPredictBestSizeUnknownKernel(t *testing.T) {
+	sys := oracleSystem(t)
+	if _, _, err := sys.PredictBestSize("nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestFormatPerApp(t *testing.T) {
+	sys := oracleSystem(t)
+	jobs, err := sys.Workload(200, 0.6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.RunSystem("proposed", jobs, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attribution must partition the busy (non-idle, non-overhead) energy.
+	var attributed float64
+	runs := 0
+	for app, e := range m.PerAppEnergy {
+		attributed += e
+		runs += m.PerAppRuns[app]
+	}
+	busy := m.DynamicEnergy + m.StaticEnergy + m.CoreEnergy
+	if diff := attributed - busy; diff > 1e-6*busy || diff < -1e-6*busy {
+		t.Errorf("per-app energy %v does not partition busy energy %v", attributed, busy)
+	}
+	if runs != m.Completed {
+		t.Errorf("per-app runs %d != completed %d", runs, m.Completed)
+	}
+	out := FormatPerApp(sys, m)
+	for _, want := range []string{"per-benchmark energy", "nJ/run"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatPerApp missing %q", want)
+		}
+	}
+	// Every kernel that ran must appear by name, not app-N.
+	if strings.Contains(out, "app-") {
+		t.Errorf("FormatPerApp fell back to numeric app ids:\n%s", out)
+	}
+}
+
+func TestFormatSchedule(t *testing.T) {
+	sys := oracleSystem(t)
+	jobs, err := sys.Workload(60, 0.6, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.RunSystem("proposed", jobs, SimConfig{RecordSchedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatSchedule(sys, m, 10)
+	if !strings.Contains(out, "core") || !strings.Contains(out, "[profiling]") {
+		t.Errorf("timeline missing expected content:\n%s", out)
+	}
+	if !strings.Contains(out, "more") {
+		t.Errorf("timeline truncation marker missing for %d events", len(m.Schedule))
+	}
+}
+
+func TestFormatMetricsMentionsEverything(t *testing.T) {
+	sys := oracleSystem(t)
+	jobs, err := sys.Workload(150, 0.6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.RunSystem("proposed", jobs, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatMetrics(m)
+	for _, want := range []string{"makespan", "turnaround", "idle", "dynamic", "static", "profiling", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatMetrics missing %q:\n%s", want, out)
+		}
+	}
+}

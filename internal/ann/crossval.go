@@ -1,0 +1,106 @@
+package ann
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hetsched/internal/characterize"
+	"hetsched/internal/stats"
+)
+
+// Cross-validation for the size predictor. With pools this small (tens of
+// samples), a single 70/15/15 split is noisy; k-fold CV gives the honest
+// generalization estimate the future-work "evaluate different machine
+// learning techniques" comparison needs.
+
+// CVResult summarizes one k-fold cross-validation.
+type CVResult struct {
+	Folds int
+	// FoldAccuracy is the exact-best-size hit rate per fold.
+	FoldAccuracy []float64
+	// MeanAccuracy averages the folds.
+	MeanAccuracy float64
+	// MeanMSE averages the per-fold regression MSE.
+	MeanMSE float64
+}
+
+// CrossValidate runs k-fold cross-validation of the bagged predictor over a
+// characterization DB: each fold trains a full ensemble on the remaining
+// folds (normalizer fitted on training folds only — no leakage) and scores
+// exact-best-size accuracy on the held-out fold.
+func CrossValidate(db *characterize.DB, folds int, cfg PredictorConfig) (CVResult, error) {
+	if db == nil || len(db.Records) == 0 {
+		return CVResult{}, fmt.Errorf("ann: empty DB")
+	}
+	n := len(db.Records)
+	if folds < 2 || folds > n {
+		return CVResult{}, fmt.Errorf("ann: folds %d out of range [2,%d]", folds, n)
+	}
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed*131 + 7))
+	perm := rng.Perm(n)
+
+	res := CVResult{Folds: folds}
+	for fold := 0; fold < folds; fold++ {
+		var trainIdx, testIdx []int
+		for i, p := range perm {
+			if i%folds == fold {
+				testIdx = append(testIdx, p)
+			} else {
+				trainIdx = append(trainIdx, p)
+			}
+		}
+		// Build the fold's training matrices with a fold-local normalizer.
+		rawX := make([][]float64, len(trainIdx))
+		ys := make([][]float64, len(trainIdx))
+		for i, idx := range trainIdx {
+			rawX[i] = db.Records[idx].Features.Select()
+			ys[i] = []float64{sizeToTarget(db.Records[idx].BestSizeKB())}
+		}
+		norm, err := stats.FitNormalizer(rawX)
+		if err != nil {
+			return res, err
+		}
+		xs, err := norm.ApplyAll(rawX)
+		if err != nil {
+			return res, err
+		}
+		ecfg := cfg.Ensemble
+		ecfg.Seed = cfg.Seed + int64(fold)*997
+		ens, err := TrainEnsemble(Dataset{X: xs, Y: ys}, Dataset{}, ecfg)
+		if err != nil {
+			return res, err
+		}
+		pred := &SizePredictor{Ens: ens, Norm: norm}
+
+		hits := 0
+		var mse float64
+		for _, idx := range testIdx {
+			r := &db.Records[idx]
+			got, err := pred.PredictSizeKB(r.Features)
+			if err != nil {
+				return res, err
+			}
+			if got == r.BestSizeKB() {
+				hits++
+			}
+			x, err := norm.Apply(r.Features.Select())
+			if err != nil {
+				return res, err
+			}
+			out, err := ens.Predict(x)
+			if err != nil {
+				return res, err
+			}
+			diff := out[0] - sizeToTarget(r.BestSizeKB())
+			mse += diff * diff
+		}
+		acc := float64(hits) / float64(len(testIdx))
+		res.FoldAccuracy = append(res.FoldAccuracy, acc)
+		res.MeanAccuracy += acc
+		res.MeanMSE += mse / float64(len(testIdx))
+	}
+	res.MeanAccuracy /= float64(folds)
+	res.MeanMSE /= float64(folds)
+	return res, nil
+}

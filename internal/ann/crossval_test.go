@@ -1,0 +1,81 @@
+package ann
+
+import (
+	"testing"
+
+	"hetsched/internal/characterize"
+)
+
+func TestCrossValidateValidation(t *testing.T) {
+	if _, err := CrossValidate(nil, 4, PredictorConfig{}); err == nil {
+		t.Error("nil DB accepted")
+	}
+	db, err := characterize.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CrossValidate(db, 1, PredictorConfig{}); err == nil {
+		t.Error("1 fold accepted")
+	}
+	if _, err := CrossValidate(db, 1000, PredictorConfig{}); err == nil {
+		t.Error("more folds than samples accepted")
+	}
+}
+
+func TestCrossValidateHonestEstimate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains folds x ensembles; skipped in -short")
+	}
+	db, err := characterize.Augmented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small ensembles keep the test fast; the point is the protocol, not
+	// peak accuracy.
+	res, err := CrossValidate(db, 4, PredictorConfig{
+		Seed:     7,
+		Ensemble: EnsembleConfig{Members: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Folds != 4 || len(res.FoldAccuracy) != 4 {
+		t.Fatalf("fold bookkeeping: %+v", res)
+	}
+	for i, acc := range res.FoldAccuracy {
+		if acc < 0 || acc > 1 {
+			t.Errorf("fold %d accuracy %v out of range", i, acc)
+		}
+	}
+	t.Logf("4-fold CV: mean accuracy %.2f, mean MSE %.3f, folds %v",
+		res.MeanAccuracy, res.MeanMSE, res.FoldAccuracy)
+	// Far above the 1/3 chance level even with small ensembles.
+	if res.MeanAccuracy < 0.45 {
+		t.Errorf("CV accuracy %.2f too close to chance", res.MeanAccuracy)
+	}
+	if res.MeanMSE <= 0 {
+		t.Error("non-positive CV MSE")
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains folds; skipped in -short")
+	}
+	db, err := characterize.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PredictorConfig{Seed: 3, Ensemble: EnsembleConfig{Members: 2, Train: TrainConfig{Epochs: 60}}}
+	a, err := CrossValidate(db, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(db, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanAccuracy != b.MeanAccuracy || a.MeanMSE != b.MeanMSE {
+		t.Error("cross-validation not deterministic")
+	}
+}

@@ -1,0 +1,118 @@
+package ann
+
+import (
+	"fmt"
+	"math"
+
+	"hetsched/internal/characterize"
+	"hetsched/internal/stats"
+)
+
+// Multi-domain prediction (Section IV.D): "for diverse systems executing
+// different application domains, the scheduler could have multiple ANNs
+// each of which would be specialized for a different domain." A
+// MultiDomain predictor holds one bagged ensemble per domain plus a
+// nearest-centroid router over globally-normalized features that decides
+// which domain's ANN to consult for an unseen application.
+
+// Domain is one application domain's trained state.
+type Domain struct {
+	Name string
+	// Pred is the domain-specialized predictor.
+	Pred *SizePredictor
+	// Samples are the domain's training features in the router's
+	// normalized space; the router assigns a query to the domain of its
+	// nearest sample (1-NN — robust to imbalanced, multimodal domains
+	// where centroids mislead).
+	Samples [][]float64
+}
+
+// MultiDomain routes applications to domain-specialized predictors.
+type MultiDomain struct {
+	Domains []Domain
+	// RouterNorm is the global normalizer the router space lives in.
+	RouterNorm *stats.Normalizer
+}
+
+// TrainMultiDomain trains one predictor per named domain DB and fits the
+// centroid router over the union of the training pools. Domain order is
+// the order of the names slice (kept explicit for determinism).
+func TrainMultiDomain(names []string, dbs map[string]*characterize.DB, cfg PredictorConfig) (*MultiDomain, error) {
+	if len(names) < 2 {
+		return nil, fmt.Errorf("ann: multi-domain needs at least two domains")
+	}
+	// Global router normalizer over the union.
+	var union [][]float64
+	for _, name := range names {
+		db, ok := dbs[name]
+		if !ok || db == nil || len(db.Records) == 0 {
+			return nil, fmt.Errorf("ann: missing or empty domain %q", name)
+		}
+		for i := range db.Records {
+			union = append(union, db.Records[i].Features.Select())
+		}
+	}
+	norm, err := stats.FitNormalizer(union)
+	if err != nil {
+		return nil, err
+	}
+
+	md := &MultiDomain{RouterNorm: norm}
+	for di, name := range names {
+		db := dbs[name]
+		dcfg := cfg
+		dcfg.Seed = cfg.Seed + int64(di)*7919
+		pred, _, err := TrainSizePredictor(db, dcfg)
+		if err != nil {
+			return nil, fmt.Errorf("ann: domain %q: %v", name, err)
+		}
+		samples := make([][]float64, 0, len(db.Records))
+		for i := range db.Records {
+			x, err := norm.Apply(db.Records[i].Features.Select())
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, x)
+		}
+		md.Domains = append(md.Domains, Domain{Name: name, Pred: pred, Samples: samples})
+	}
+	return md, nil
+}
+
+// Route returns the domain whose nearest training sample is closest to the
+// application's features.
+func (m *MultiDomain) Route(f stats.Features) (string, error) {
+	x, err := m.RouterNorm.Apply(f.Select())
+	if err != nil {
+		return "", err
+	}
+	best, bestD := "", math.Inf(1)
+	for _, d := range m.Domains {
+		for _, s := range d.Samples {
+			var dist float64
+			for j, v := range x {
+				diff := v - s[j]
+				dist += diff * diff
+			}
+			if dist < bestD {
+				best, bestD = d.Name, dist
+			}
+		}
+	}
+	return best, nil
+}
+
+// PredictSizeKB implements core.Predictor: route, then delegate to the
+// domain's specialized ensemble.
+func (m *MultiDomain) PredictSizeKB(f stats.Features) (int, error) {
+	name, err := m.Route(f)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range m.Domains {
+		if d.Name == name {
+			return d.Pred.PredictSizeKB(f)
+		}
+	}
+	return 0, fmt.Errorf("ann: router chose unknown domain %q", name)
+}

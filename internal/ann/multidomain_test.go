@@ -1,0 +1,124 @@
+package ann
+
+import (
+	"sync"
+	"testing"
+
+	"hetsched/internal/characterize"
+	"hetsched/internal/energy"
+)
+
+var (
+	mdOnce sync.Once
+	mdAuto *characterize.DB // augmented automotive pool
+	mdTele *characterize.DB // augmented telecom pool
+	mdErr  error
+)
+
+func domainPools(t testing.TB) (*characterize.DB, *characterize.DB) {
+	t.Helper()
+	mdOnce.Do(func() {
+		mdAuto, mdErr = characterize.Augmented()
+		if mdErr != nil {
+			return
+		}
+		// Augment the telecom kernels the same way.
+		var tele []characterize.Variant
+		for _, v := range characterize.AugmentedExtendedVariants() {
+			switch v.Kernel {
+			case "autcor", "conven", "fbital", "viterb":
+				tele = append(tele, v)
+			}
+		}
+		mdTele, mdErr = characterize.Characterize(tele, energy.NewDefault())
+	})
+	if mdErr != nil {
+		t.Fatal(mdErr)
+	}
+	return mdAuto, mdTele
+}
+
+func trainMD(t testing.TB, members int) *MultiDomain {
+	t.Helper()
+	auto, tele := domainPools(t)
+	md, err := TrainMultiDomain(
+		[]string{"automotive", "telecom"},
+		map[string]*characterize.DB{"automotive": auto, "telecom": tele},
+		PredictorConfig{Seed: 42, Ensemble: EnsembleConfig{Members: members}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return md
+}
+
+func TestTrainMultiDomainValidation(t *testing.T) {
+	auto, _ := domainPools(t)
+	if _, err := TrainMultiDomain([]string{"one"}, map[string]*characterize.DB{"one": auto}, PredictorConfig{}); err == nil {
+		t.Error("single domain accepted")
+	}
+	if _, err := TrainMultiDomain([]string{"a", "b"},
+		map[string]*characterize.DB{"a": auto}, PredictorConfig{}); err == nil {
+		t.Error("missing domain accepted")
+	}
+}
+
+func TestRouterSeparatesDomains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains per-domain ensembles; skipped in -short")
+	}
+	md := trainMD(t, 5)
+	auto, tele := domainPools(t)
+	check := func(db *characterize.DB, want string) (hits, total int) {
+		for i := range db.Records {
+			got, err := md.Route(db.Records[i].Features)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if got == want {
+				hits++
+			}
+		}
+		return hits, total
+	}
+	aHits, aTotal := check(auto, "automotive")
+	tHits, tTotal := check(tele, "telecom")
+	t.Logf("routing: automotive %d/%d, telecom %d/%d", aHits, aTotal, tHits, tTotal)
+	// The router must be substantially better than a coin flip on its own
+	// training pools (domains overlap in feature space, so 100% is not
+	// expected).
+	if float64(aHits) < 0.7*float64(aTotal) {
+		t.Errorf("automotive routing %d/%d below 70%%", aHits, aTotal)
+	}
+	if float64(tHits) < 0.7*float64(tTotal) {
+		t.Errorf("telecom routing %d/%d below 70%%", tHits, tTotal)
+	}
+}
+
+func TestMultiDomainPredictsBothDomains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains per-domain ensembles; skipped in -short")
+	}
+	md := trainMD(t, 5)
+	eval, err := characterize.CharacterizeWithOptions(
+		characterize.ExtendedVariants(), energy.NewDefault(), characterize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := range eval.Records {
+		got, err := md.PredictSizeKB(eval.Records[i].Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == eval.Records[i].BestSizeKB() {
+			hits++
+		}
+	}
+	acc := float64(hits) / float64(len(eval.Records))
+	t.Logf("multi-domain accuracy over 20 canonical kernels: %.2f", acc)
+	if acc < 0.5 {
+		t.Errorf("multi-domain accuracy %.2f too low", acc)
+	}
+}

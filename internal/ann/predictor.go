@@ -1,0 +1,203 @@
+package ann
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sync"
+
+	"hetsched/internal/characterize"
+	"hetsched/internal/stats"
+)
+
+// sizeToTarget encodes a cache size (KB) as the single regression target:
+// log2(sizeKB) centered at 4 KB, i.e. 2→-1, 4→0, 8→+1.
+func sizeToTarget(sizeKB int) float64 {
+	return math.Log2(float64(sizeKB)) - 2
+}
+
+// targetToSize decodes a network output to the nearest design-space size.
+func targetToSize(y float64) int {
+	switch {
+	case y < -0.5:
+		return 2
+	case y < 0.5:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// SizePredictor is the trained best-cache-size (best-core) predictor: a
+// bagged ANN ensemble plus the feature normalizer fitted on its training
+// pool.
+type SizePredictor struct {
+	Ens  *Ensemble
+	Norm *stats.Normalizer
+}
+
+// PredictorConfig controls TrainSizePredictor.
+type PredictorConfig struct {
+	// Ensemble configures the bagged networks (defaults follow the paper:
+	// 30 members of topology {10, 18, 5, 1}).
+	Ensemble EnsembleConfig
+	// TrainFrac/ValFrac partition the dataset (defaults 0.70/0.15; the
+	// remaining 15 % is the held-out test set).
+	TrainFrac, ValFrac float64
+	// Seed drives the split shuffle.
+	Seed int64
+}
+
+func (c *PredictorConfig) fillDefaults() {
+	if c.TrainFrac == 0 {
+		c.TrainFrac = 0.70
+	}
+	if c.ValFrac == 0 {
+		c.ValFrac = 0.15
+	}
+}
+
+// PredictorReport summarizes training and held-out evaluation.
+type PredictorReport struct {
+	Samples       int
+	TrainSamples  int
+	TestSamples   int
+	Members       int
+	TestMSE       float64
+	TrainAccuracy float64 // fraction of exact best-size hits on train
+	TestAccuracy  float64 // fraction of exact best-size hits on test
+}
+
+// BuildDataset converts a characterization DB into the ANN's dataset: the 10
+// selected, normalized execution statistics against the encoded best size.
+func BuildDataset(db *characterize.DB) (Dataset, *stats.Normalizer, error) {
+	if db == nil || len(db.Records) == 0 {
+		return Dataset{}, nil, fmt.Errorf("ann: empty characterization DB")
+	}
+	raw := make([][]float64, len(db.Records))
+	ys := make([][]float64, len(db.Records))
+	for i := range db.Records {
+		r := &db.Records[i]
+		raw[i] = r.Features.Select()
+		ys[i] = []float64{sizeToTarget(r.BestSizeKB())}
+	}
+	norm, err := stats.FitNormalizer(raw)
+	if err != nil {
+		return Dataset{}, nil, err
+	}
+	xs, err := norm.ApplyAll(raw)
+	if err != nil {
+		return Dataset{}, nil, err
+	}
+	return Dataset{X: xs, Y: ys}, norm, nil
+}
+
+// TrainSizePredictor trains the paper's predictor on a characterization DB:
+// 70/15/15 split, bagged ensemble, returning the predictor and an evaluation
+// report over the held-out test split.
+func TrainSizePredictor(db *characterize.DB, cfg PredictorConfig) (*SizePredictor, PredictorReport, error) {
+	cfg.fillDefaults()
+	ds, norm, err := BuildDataset(db)
+	if err != nil {
+		return nil, PredictorReport{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed*31 + 7))
+	train, val, test, err := Split(ds, cfg.TrainFrac, cfg.ValFrac, rng)
+	if err != nil {
+		return nil, PredictorReport{}, err
+	}
+	ecfg := cfg.Ensemble
+	ecfg.Seed = cfg.Seed
+	ens, err := TrainEnsemble(train, val, ecfg)
+	if err != nil {
+		return nil, PredictorReport{}, err
+	}
+	p := &SizePredictor{Ens: ens, Norm: norm}
+	rep := PredictorReport{
+		Samples:      ds.Len(),
+		TrainSamples: train.Len(),
+		TestSamples:  test.Len(),
+		Members:      len(ens.Nets),
+	}
+	rep.TrainAccuracy = p.accuracy(train)
+	if test.Len() > 0 {
+		rep.TestAccuracy = p.accuracy(test)
+		rep.TestMSE, err = ens.MSE(test)
+		if err != nil {
+			return nil, rep, err
+		}
+	}
+	return p, rep, nil
+}
+
+// accuracy computes the exact-size hit rate on a pre-normalized dataset.
+func (p *SizePredictor) accuracy(d Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range d.X {
+		out, err := p.Ens.Predict(d.X[i])
+		if err != nil {
+			return 0
+		}
+		if targetToSize(out[0]) == targetToSize(d.Y[i][0]) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(d.Len())
+}
+
+// PredictSizeKB predicts the best cache size for an application's raw
+// profiling features.
+func (p *SizePredictor) PredictSizeKB(f stats.Features) (int, error) {
+	x, err := p.Norm.Apply(f.Select())
+	if err != nil {
+		return 0, err
+	}
+	out, err := p.Ens.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	return targetToSize(out[0]), nil
+}
+
+// Save serializes the predictor as JSON.
+func (p *SizePredictor) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(p)
+}
+
+// LoadPredictor deserializes a predictor written by Save.
+func LoadPredictor(r io.Reader) (*SizePredictor, error) {
+	var p SizePredictor
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("ann: load predictor: %v", err)
+	}
+	if p.Ens == nil || p.Norm == nil {
+		return nil, fmt.Errorf("ann: loaded predictor is incomplete")
+	}
+	return &p, nil
+}
+
+var (
+	defaultOnce sync.Once
+	defaultPred *SizePredictor
+	defaultRep  PredictorReport
+	defaultErr  error
+)
+
+// DefaultPredictor trains (once per process) the canonical predictor on the
+// augmented characterization pool with the paper's hyperparameters.
+func DefaultPredictor() (*SizePredictor, PredictorReport, error) {
+	defaultOnce.Do(func() {
+		db, err := characterize.Augmented()
+		if err != nil {
+			defaultErr = err
+			return
+		}
+		defaultPred, defaultRep, defaultErr = TrainSizePredictor(db, PredictorConfig{Seed: 42})
+	})
+	return defaultPred, defaultRep, defaultErr
+}

@@ -1,0 +1,243 @@
+package ann
+
+import (
+	"bytes"
+	"testing"
+
+	"hetsched/internal/characterize"
+)
+
+func TestSizeTargetEncoding(t *testing.T) {
+	cases := []struct {
+		size int
+		y    float64
+	}{
+		{2, -1}, {4, 0}, {8, 1},
+	}
+	for _, tc := range cases {
+		if got := sizeToTarget(tc.size); got != tc.y {
+			t.Errorf("sizeToTarget(%d) = %v, want %v", tc.size, got, tc.y)
+		}
+		if got := targetToSize(tc.y); got != tc.size {
+			t.Errorf("targetToSize(%v) = %d, want %d", tc.y, got, tc.size)
+		}
+	}
+	// Rounding boundaries.
+	if targetToSize(-0.51) != 2 || targetToSize(-0.49) != 4 {
+		t.Error("boundary near -0.5 wrong")
+	}
+	if targetToSize(0.49) != 4 || targetToSize(0.51) != 8 {
+		t.Error("boundary near 0.5 wrong")
+	}
+	if targetToSize(-7) != 2 || targetToSize(7) != 8 {
+		t.Error("extremes not clamped to design space")
+	}
+}
+
+func TestBuildDatasetShapes(t *testing.T) {
+	db, err := characterize.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, norm, err := BuildDataset(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != len(db.Records) {
+		t.Errorf("dataset %d samples, want %d", ds.Len(), len(db.Records))
+	}
+	if len(ds.X[0]) != 10 {
+		t.Errorf("input dim %d, want 10 (paper's selected features)", len(ds.X[0]))
+	}
+	if len(ds.Y[0]) != 1 {
+		t.Errorf("target dim %d, want 1", len(ds.Y[0]))
+	}
+	if norm == nil || len(norm.Mean) != 10 {
+		t.Error("normalizer missing or wrong dimension")
+	}
+	if _, _, err := BuildDataset(nil); err == nil {
+		t.Error("BuildDataset(nil) succeeded")
+	}
+}
+
+// The headline ANN property: trained on the augmented pool, the bagged
+// ensemble must predict best sizes far better than chance and must
+// generalize to the canonical 16-benchmark suite.
+func TestDefaultPredictorQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is seconds-long; skipped in -short")
+	}
+	pred, rep, err := DefaultPredictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("predictor report: %+v", rep)
+	if rep.Members != 30 {
+		t.Errorf("ensemble has %d members, want the paper's 30", rep.Members)
+	}
+	if rep.TrainAccuracy < 0.6 {
+		t.Errorf("train accuracy %.2f implausibly low", rep.TrainAccuracy)
+	}
+	if rep.TestAccuracy < 0.5 {
+		t.Errorf("held-out accuracy %.2f — worse than informative baseline", rep.TestAccuracy)
+	}
+
+	// Evaluate on the canonical suite: exact-size hits and, the paper's
+	// actual metric, energy degradation versus the oracle best size
+	// (Section IV.D reports < 2 %).
+	db, err := characterize.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	var degraded, optimal float64
+	for i := range db.Records {
+		r := &db.Records[i]
+		got, err := pred.PredictSizeKB(r.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == r.BestSizeKB() {
+			hits++
+		}
+		best := r.BestConfig()
+		chosen, err := r.BestConfigForSize(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		degraded += chosen.Energy.Total
+		optimal += best.Energy.Total
+	}
+	acc := float64(hits) / float64(len(db.Records))
+	degradation := degraded/optimal - 1
+	t.Logf("canonical suite: accuracy %.2f, energy degradation %.2f%%", acc, 100*degradation)
+	if acc < 0.5 {
+		t.Errorf("canonical accuracy %.2f too low", acc)
+	}
+	if degradation > 0.10 {
+		t.Errorf("energy degradation %.1f%% vs oracle size; paper reports <2%%, we allow <10%%",
+			100*degradation)
+	}
+}
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses the trained default predictor")
+	}
+	pred, _, err := DefaultPredictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := characterize.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range db.Records {
+		a, err := pred.PredictSizeKB(db.Records[i].Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := got.PredictSizeKB(db.Records[i].Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("prediction changed after round trip for record %d: %d vs %d", i, a, b)
+		}
+	}
+}
+
+func TestLoadPredictorRejectsGarbage(t *testing.T) {
+	if _, err := LoadPredictor(bytes.NewBufferString("nope")); err == nil {
+		t.Error("LoadPredictor(garbage) succeeded")
+	}
+	if _, err := LoadPredictor(bytes.NewBufferString("{}")); err == nil {
+		t.Error("LoadPredictor(empty object) succeeded")
+	}
+}
+
+func TestEnsembleValidation(t *testing.T) {
+	if _, err := TrainEnsemble(Dataset{}, Dataset{}, EnsembleConfig{}); err == nil {
+		t.Error("TrainEnsemble(empty) succeeded")
+	}
+	ds := Dataset{X: [][]float64{{1, 2}}, Y: [][]float64{{1}}}
+	bad := EnsembleConfig{Sizes: []int{3, 2, 1}, Members: 1}
+	if _, err := TrainEnsemble(ds, Dataset{}, bad); err == nil {
+		t.Error("TrainEnsemble(bad input width) succeeded")
+	}
+	badOut := EnsembleConfig{Sizes: []int{2, 2, 3}, Members: 1}
+	if _, err := TrainEnsemble(ds, Dataset{}, badOut); err == nil {
+		t.Error("TrainEnsemble(bad output width) succeeded")
+	}
+	var empty Ensemble
+	if _, err := empty.Predict([]float64{1}); err == nil {
+		t.Error("empty ensemble predicted")
+	}
+	if _, err := empty.MSE(ds); err == nil {
+		t.Error("empty-dataset ensemble MSE succeeded on empty ensemble")
+	}
+}
+
+// Bagging determinism: same seed, same ensemble predictions.
+func TestEnsembleDeterministic(t *testing.T) {
+	ds := Dataset{
+		X: [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {0.5, 0.5}, {0.2, 0.8}},
+		Y: [][]float64{{0}, {1}, {1}, {0}, {0.5}, {0.9}},
+	}
+	cfg := EnsembleConfig{Members: 4, Sizes: []int{2, 6, 1}, Seed: 9,
+		Train: TrainConfig{Epochs: 50}}
+	e1, err := TrainEnsemble(ds, Dataset{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := TrainEnsemble(ds, Dataset{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.X {
+		y1, _ := e1.Predict(ds.X[i])
+		y2, _ := e2.Predict(ds.X[i])
+		if y1[0] != y2[0] {
+			t.Fatalf("ensemble not deterministic at sample %d: %v vs %v", i, y1[0], y2[0])
+		}
+	}
+}
+
+// Bagging should not be catastrophically worse than its members on average
+// (variance reduction): ensemble MSE <= 2x the mean member MSE.
+func TestEnsembleReducesVariance(t *testing.T) {
+	ds := Dataset{
+		X: [][]float64{{0}, {0.25}, {0.5}, {0.75}, {1}},
+		Y: [][]float64{{0}, {0.5}, {1}, {0.5}, {0}},
+	}
+	cfg := EnsembleConfig{Members: 8, Sizes: []int{1, 6, 1}, Seed: 4,
+		Train: TrainConfig{Epochs: 300}}
+	ens, err := TrainEnsemble(ds, Dataset{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ensMSE, err := ens.MSE(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var memberMSE float64
+	for _, n := range ens.Nets {
+		m, err := MSE(n, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memberMSE += m
+	}
+	memberMSE /= float64(len(ens.Nets))
+	if ensMSE > 2*memberMSE+1e-9 {
+		t.Errorf("ensemble MSE %v far above mean member MSE %v", ensMSE, memberMSE)
+	}
+}

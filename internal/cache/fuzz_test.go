@@ -1,0 +1,36 @@
+package cache
+
+import "testing"
+
+// FuzzParseConfig: ParseConfig must never panic and must only accept
+// strings that round-trip to themselves through String().
+func FuzzParseConfig(f *testing.F) {
+	for _, c := range DesignSpace() {
+		f.Add(c.String())
+	}
+	f.Add("")
+	f.Add("8KB_4W")
+	f.Add("0KB_0W_0B")
+	f.Add("-8KB_-4W_-64B")
+	f.Add("8kb_4w_64b")
+	f.Add("8KB_4W_64B_8KB_4W_64B")
+	f.Add("\x00KB_\x00W_\x00B")
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseConfig(s)
+		if err != nil {
+			return
+		}
+		if !cfg.Valid() {
+			t.Fatalf("ParseConfig(%q) accepted invalid config %+v", s, cfg)
+		}
+		// Accepted configs must round-trip.
+		again, err := ParseConfig(cfg.String())
+		if err != nil || again != cfg {
+			t.Fatalf("round trip failed for %q -> %v", s, cfg)
+		}
+		// And must be buildable.
+		if _, err := NewL1(cfg); err != nil {
+			t.Fatalf("accepted config %v not buildable: %v", cfg, err)
+		}
+	})
+}

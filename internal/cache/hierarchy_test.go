@@ -1,0 +1,159 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHierarchyL1HitDoesNotTouchL2(t *testing.T) {
+	h, err := NewHierarchy(BaseConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0x1000, false) // cold: L1 miss, L2 miss, off-chip
+	r := h.Access(0x1000, false)
+	if !r.L1Hit {
+		t.Fatal("second access should hit L1")
+	}
+	if h.L2.Stats().Accesses() != 1 {
+		t.Errorf("L2 accesses = %d, want 1 (only the fill)", h.L2.Stats().Accesses())
+	}
+}
+
+func TestHierarchyL2CatchesL1Conflict(t *testing.T) {
+	// Small direct-mapped L1 conflicts; generous L2 retains both lines.
+	h, err := NewHierarchy(MustParseConfig("2KB_1W_16B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := uint64(0)
+	b := uint64(2048) // L1 conflict with a
+	h.Access(a, false)
+	h.Access(b, false)
+	r := h.Access(a, false) // L1 miss, L2 hit
+	if r.L1Hit {
+		t.Fatal("expected L1 conflict miss")
+	}
+	if !r.L2Hit {
+		t.Fatal("expected L2 hit")
+	}
+	if r.OffChip {
+		t.Fatal("unexpected off-chip access")
+	}
+}
+
+func TestHierarchyOffChipOnlyOnDoubleMiss(t *testing.T) {
+	h, err := NewHierarchy(BaseConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := h.Access(0xdeadbe0, true)
+	if !r.OffChip || r.L1Hit || r.L2Hit {
+		t.Errorf("cold access result %+v, want off-chip", r)
+	}
+}
+
+func TestHierarchyDirtyWritebackGoesToL2(t *testing.T) {
+	h, err := NewHierarchy(MustParseConfig("2KB_1W_16B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := uint64(0x10)
+	b := a + 2048
+	h.Access(a, true)  // dirty in L1
+	h.Access(b, false) // evicts a, writes back into L2
+	if !h.L2.Contains(a) {
+		t.Error("written-back line not present in L2")
+	}
+}
+
+func TestHierarchyResetClearsEverything(t *testing.T) {
+	h, err := NewHierarchy(BaseConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Access(uint64(i*64), i%3 == 0)
+	}
+	h.Reset()
+	if h.L1.Stats().Accesses() != 0 || h.L2.Stats().Accesses() != 0 {
+		t.Error("stats survived Reset")
+	}
+	if h.L1.ValidLines() != 0 || h.L2.ValidLines() != 0 {
+		t.Error("lines survived Reset")
+	}
+}
+
+func TestHierarchyReconfigureL1(t *testing.T) {
+	h, err := NewHierarchy(BaseConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0x0, false)
+	if err := h.ReconfigureL1(MustParseConfig("4KB_2W_32B")); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.L1.Config().SizeKB; got != 4 {
+		t.Errorf("L1 size after reconfigure = %d", got)
+	}
+	r := h.Access(0x0, false)
+	if r.L1Hit {
+		t.Error("L1 hit after flush-reconfigure")
+	}
+	if !r.L2Hit {
+		t.Error("L2 should retain the line across L1 reconfiguration")
+	}
+}
+
+func TestHierarchyBadConfigs(t *testing.T) {
+	if _, err := NewHierarchy(Config{}); err == nil {
+		t.Error("NewHierarchy(zero L1) succeeded")
+	}
+	if _, err := NewHierarchyL2(BaseConfig, L2Config{SizeKB: 3, Ways: 1, LineBytes: 64}); err == nil {
+		t.Error("NewHierarchyL2(bad L2) succeeded")
+	}
+}
+
+// Invariant: L1 misses == L2 demand accesses minus writeback insertions.
+func TestHierarchyAccountingInvariant(t *testing.T) {
+	h, err := NewHierarchy(MustParseConfig("2KB_1W_16B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		h.Access(uint64(rng.Intn(1<<14)), rng.Intn(3) == 0)
+	}
+	l1 := h.L1.Stats()
+	l2 := h.L2.Stats()
+	if l2.Accesses() != l1.Misses+l1.Writebacks {
+		t.Errorf("L2 accesses %d != L1 misses %d + L1 writebacks %d",
+			l2.Accesses(), l1.Misses, l1.Writebacks)
+	}
+}
+
+func BenchmarkL1Access(b *testing.B) {
+	c := MustNewL1(BaseConfig)
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 15))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&4095], false)
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h, _ := NewHierarchy(BaseConfig)
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 15))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(addrs[i&4095], false)
+	}
+}

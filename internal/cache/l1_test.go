@@ -1,0 +1,250 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestL1ColdMissThenHit(t *testing.T) {
+	c := MustNewL1(MustParseConfig("2KB_1W_16B"))
+	if r := c.Access(0x1000, false); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := c.Access(0x1000, false); !r.Hit {
+		t.Fatal("second access missed")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit 1 miss", s)
+	}
+}
+
+func TestL1SpatialLocalityWithinLine(t *testing.T) {
+	c := MustNewL1(MustParseConfig("2KB_1W_64B"))
+	c.Access(0x2000, false)
+	for off := uint64(1); off < 64; off++ {
+		if r := c.Access(0x2000+off, false); !r.Hit {
+			t.Fatalf("offset %d within line missed", off)
+		}
+	}
+	if r := c.Access(0x2040, false); r.Hit {
+		t.Fatal("next line unexpectedly hit")
+	}
+}
+
+func TestL1DirectMappedConflict(t *testing.T) {
+	cfg := MustParseConfig("2KB_1W_16B") // 128 sets
+	c := MustNewL1(cfg)
+	a := uint64(0x0000)
+	b := a + uint64(cfg.SizeBytes()) // same set, different tag
+	c.Access(a, false)
+	c.Access(b, false)
+	if r := c.Access(a, false); r.Hit {
+		t.Fatal("direct-mapped conflict should have evicted a")
+	}
+}
+
+func TestL1AssociativityAvoidsConflict(t *testing.T) {
+	cfg := MustParseConfig("8KB_2W_16B")
+	c := MustNewL1(cfg)
+	stride := uint64(cfg.Sets() * cfg.LineBytes)
+	a, b := uint64(0), stride // same set, two ways available
+	c.Access(a, false)
+	c.Access(b, false)
+	if r := c.Access(a, false); !r.Hit {
+		t.Fatal("2-way cache should retain both conflicting lines")
+	}
+	if r := c.Access(b, false); !r.Hit {
+		t.Fatal("2-way cache lost second line")
+	}
+}
+
+func TestL1TrueLRUOrder(t *testing.T) {
+	cfg := MustParseConfig("8KB_4W_16B")
+	c := MustNewL1(cfg)
+	stride := uint64(cfg.Sets() * cfg.LineBytes)
+	addrs := []uint64{0, stride, 2 * stride, 3 * stride}
+	for _, a := range addrs {
+		c.Access(a, false)
+	}
+	// Touch addrs[0] so addrs[1] is LRU, then insert a fifth conflicting line.
+	c.Access(addrs[0], false)
+	c.Access(4*stride, false)
+	if !c.Contains(addrs[0]) {
+		t.Error("MRU line evicted")
+	}
+	if c.Contains(addrs[1]) {
+		t.Error("LRU line survived eviction")
+	}
+	for _, a := addrs[2], addrs[3]; ; {
+		if !c.Contains(a) {
+			t.Errorf("line %#x evicted out of LRU order", a)
+		}
+		break
+	}
+}
+
+func TestL1WritebackOnDirtyEviction(t *testing.T) {
+	cfg := MustParseConfig("2KB_1W_16B")
+	c := MustNewL1(cfg)
+	a := uint64(0x100)
+	b := a + uint64(cfg.SizeBytes())
+	c.Access(a, true) // dirty
+	r := c.Access(b, false)
+	if !r.Evicted || !r.WB {
+		t.Fatalf("expected dirty eviction, got %+v", r)
+	}
+	if r.WritebackAddr>>4 != a>>4 {
+		t.Errorf("writeback addr %#x, want block of %#x", r.WritebackAddr, a)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestL1CleanEvictionNoWriteback(t *testing.T) {
+	cfg := MustParseConfig("2KB_1W_16B")
+	c := MustNewL1(cfg)
+	a := uint64(0x100)
+	b := a + uint64(cfg.SizeBytes())
+	c.Access(a, false)
+	r := c.Access(b, false)
+	if !r.Evicted || r.WB {
+		t.Fatalf("expected clean eviction, got %+v", r)
+	}
+}
+
+func TestL1FlushInvalidatesAndCountsDirty(t *testing.T) {
+	c := MustNewL1(MustParseConfig("4KB_2W_32B"))
+	c.Access(0x0, true)
+	c.Access(0x40, false)
+	c.Flush()
+	if c.ValidLines() != 0 {
+		t.Errorf("valid lines after flush = %d", c.ValidLines())
+	}
+	s := c.Stats()
+	if s.Writebacks != 1 {
+		t.Errorf("flush writebacks = %d, want 1 (one dirty line)", s.Writebacks)
+	}
+	if s.Flushes != 1 {
+		t.Errorf("flushes = %d, want 1", s.Flushes)
+	}
+	if r := c.Access(0x0, false); r.Hit {
+		t.Error("access after flush hit")
+	}
+}
+
+func TestL1ReconfigurePreservesStats(t *testing.T) {
+	c := MustNewL1(MustParseConfig("8KB_4W_64B"))
+	c.Access(0x0, false)
+	c.Access(0x0, false)
+	before := c.Stats()
+	if err := c.Reconfigure(MustParseConfig("2KB_1W_16B")); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Stats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Errorf("stats lost across reconfigure: %+v -> %+v", before, after)
+	}
+	if after.Flushes != before.Flushes+1 {
+		t.Errorf("reconfigure did not flush")
+	}
+	if got := c.Config(); got.SizeKB != 2 {
+		t.Errorf("config after reconfigure = %v", got)
+	}
+}
+
+func TestL1ReconfigureInvalid(t *testing.T) {
+	c := MustNewL1(BaseConfig)
+	if err := c.Reconfigure(Config{SizeKB: 3, Ways: 1, LineBytes: 16}); err == nil {
+		t.Error("reconfigure to invalid config succeeded")
+	}
+}
+
+func TestNewL1Invalid(t *testing.T) {
+	if _, err := NewL1(Config{}); err == nil {
+		t.Error("NewL1(zero) succeeded")
+	}
+}
+
+// Property: hits+misses always equals total accesses, and the cache never
+// holds more valid lines than its capacity, for random access streams over
+// every design-space configuration.
+func TestL1InvariantsQuick(t *testing.T) {
+	for _, cfg := range DesignSpace() {
+		cfg := cfg
+		f := func(seed int64, n uint16) bool {
+			rng := rand.New(rand.NewSource(seed))
+			c := MustNewL1(cfg)
+			total := uint64(n%2048) + 1
+			for i := uint64(0); i < total; i++ {
+				addr := uint64(rng.Intn(1 << 16))
+				c.Access(addr, rng.Intn(4) == 0)
+			}
+			s := c.Stats()
+			capacity := cfg.Sets() * cfg.Ways
+			return s.Accesses() == total && c.ValidLines() <= capacity
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+			t.Errorf("%s: %v", cfg, err)
+		}
+	}
+}
+
+// Property: a working set that fits entirely in the cache incurs exactly one
+// miss per distinct line on the first pass and zero afterwards.
+func TestL1FullyResidentWorkingSet(t *testing.T) {
+	for _, cfg := range DesignSpace() {
+		c := MustNewL1(cfg)
+		lines := cfg.Sets() * cfg.Ways
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < lines; i++ {
+				c.Access(uint64(i*cfg.LineBytes), false)
+			}
+		}
+		s := c.Stats()
+		if s.Misses != uint64(lines) {
+			t.Errorf("%s: misses = %d, want %d (compulsory only)", cfg, s.Misses, lines)
+		}
+		if s.Evictions != 0 {
+			t.Errorf("%s: evictions = %d for resident set", cfg, s.Evictions)
+		}
+	}
+}
+
+// Property: larger caches (same ways/line) never miss more on a repeated
+// scan-style workload (a Belady-friendly LRU workload: the inclusion property
+// holds for LRU with fixed line size and associativity scaling by sets).
+func TestL1MonotoneSizeUnderStackingWorkload(t *testing.T) {
+	small := MustNewL1(MustParseConfig("2KB_1W_32B"))
+	large := MustNewL1(MustParseConfig("8KB_1W_32B"))
+	rng := rand.New(rand.NewSource(7))
+	// Gaussian-ish hot spot working set of ~4KB.
+	for i := 0; i < 20000; i++ {
+		addr := uint64(rng.Intn(4096))
+		small.Access(addr, false)
+		large.Access(addr, false)
+	}
+	if large.Stats().Misses > small.Stats().Misses {
+		t.Errorf("larger cache missed more: %d > %d",
+			large.Stats().Misses, small.Stats().Misses)
+	}
+}
+
+func TestStatsAddAndMissRate(t *testing.T) {
+	var a, b Stats
+	a.Hits, a.Misses = 3, 1
+	b.Hits, b.Misses, b.Writebacks = 1, 1, 2
+	a.Add(b)
+	if a.Hits != 4 || a.Misses != 2 || a.Writebacks != 2 {
+		t.Errorf("Add: %+v", a)
+	}
+	if got := a.MissRate(); got != 2.0/6.0 {
+		t.Errorf("MissRate = %v", got)
+	}
+	var empty Stats
+	if empty.MissRate() != 0 {
+		t.Error("empty MissRate should be 0")
+	}
+}

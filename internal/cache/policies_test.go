@@ -1,0 +1,203 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewL1OptsValidation(t *testing.T) {
+	if _, err := NewL1Opts(BaseConfig, L1Options{Replacement: Replacement(9)}); err == nil {
+		t.Error("unknown replacement accepted")
+	}
+	if _, err := NewL1Opts(BaseConfig, L1Options{Write: WritePolicy(9)}); err == nil {
+		t.Error("unknown write policy accepted")
+	}
+	c, err := NewL1Opts(BaseConfig, L1Options{Replacement: FIFO, Write: WriteThrough, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Options().Replacement != FIFO || c.Options().Write != WriteThrough {
+		t.Errorf("options not stored: %+v", c.Options())
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	cases := map[string]string{
+		LRU.String():          "lru",
+		FIFO.String():         "fifo",
+		Random.String():       "random",
+		WriteBack.String():    "writeback",
+		WriteThrough.String(): "writethrough",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("policy string %q, want %q", got, want)
+		}
+	}
+	if Replacement(9).String() == "" || WritePolicy(9).String() == "" {
+		t.Error("unknown policies must still print")
+	}
+}
+
+// FIFO vs LRU: the classic discriminator. Fill a 2-way set, re-touch the
+// first line, insert a third conflicting line. LRU keeps the re-touched
+// line; FIFO evicts it (it is the oldest insertion).
+func TestFIFOIgnoresReuse(t *testing.T) {
+	cfg := MustParseConfig("8KB_2W_16B")
+	stride := uint64(cfg.Sets() * cfg.LineBytes)
+	a, b, c := uint64(0), stride, 2*stride
+
+	lru := MustNewL1(cfg)
+	fifo, err := NewL1Opts(cfg, L1Options{Replacement: FIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cache := range []*L1{lru, fifo} {
+		cache.Access(a, false)
+		cache.Access(b, false)
+		cache.Access(a, false) // reuse a
+		cache.Access(c, false) // conflict: evicts LRU-victim
+	}
+	if !lru.Contains(a) || lru.Contains(b) {
+		t.Error("LRU should keep the re-touched line and evict b")
+	}
+	if fifo.Contains(a) || !fifo.Contains(b) {
+		t.Error("FIFO should evict the oldest insertion (a) despite reuse")
+	}
+}
+
+func TestRandomReplacementDeterministicPerSeed(t *testing.T) {
+	cfg := MustParseConfig("8KB_4W_16B")
+	run := func(seed int64) uint64 {
+		c, err := NewL1Opts(cfg, L1Options{Replacement: Random, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 20000; i++ {
+			c.Access(uint64(rng.Intn(1<<15)), rng.Intn(4) == 0)
+		}
+		return c.Stats().Misses
+	}
+	if run(1) != run(1) {
+		t.Error("random replacement not deterministic for a fixed seed")
+	}
+	// Different seeds usually give different miss counts on a thrashing
+	// workload; equal counts would suggest the seed is ignored.
+	if run(1) == run(999) {
+		t.Log("warning: seeds 1 and 999 coincided (possible but unlikely)")
+	}
+}
+
+func TestRandomNeverEvictsWhenInvalidWaysExist(t *testing.T) {
+	cfg := MustParseConfig("8KB_4W_16B")
+	c, err := NewL1Opts(cfg, L1Options{Replacement: Random, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch exactly capacity-many distinct lines: all must fit.
+	lines := cfg.Sets() * cfg.Ways
+	for i := 0; i < lines; i++ {
+		c.Access(uint64(i*cfg.LineBytes), false)
+	}
+	if c.Stats().Evictions != 0 {
+		t.Errorf("random policy evicted %d lines while invalid ways existed", c.Stats().Evictions)
+	}
+}
+
+func TestWriteThroughKeepsLinesClean(t *testing.T) {
+	cfg := MustParseConfig("2KB_1W_16B")
+	c, err := NewL1Opts(cfg, L1Options{Write: WriteThrough})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := uint64(0x40)
+	r := c.Access(a, true) // write miss: allocate + write through
+	if !r.WroteThrough {
+		t.Error("write miss did not propagate")
+	}
+	r = c.Access(a, true) // write hit: through again
+	if !r.Hit || !r.WroteThrough {
+		t.Errorf("write hit result %+v", r)
+	}
+	// Evicting the line must not write back: it was never dirty.
+	b := a + uint64(cfg.SizeBytes())
+	r = c.Access(b, false)
+	if r.WB {
+		t.Error("write-through line was dirty at eviction")
+	}
+	s := c.Stats()
+	if s.Writethroughs != 2 {
+		t.Errorf("writethroughs = %d, want 2", s.Writethroughs)
+	}
+	if s.Writebacks != 0 {
+		t.Errorf("writebacks = %d, want 0", s.Writebacks)
+	}
+}
+
+func TestWriteThroughTrafficExceedsWriteBack(t *testing.T) {
+	// On a store-heavy loop, write-through sends every store down; write-
+	// back coalesces them into at most one writeback per line.
+	cfg := MustParseConfig("4KB_2W_32B")
+	wb := MustNewL1(cfg)
+	wt, err := NewL1Opts(cfg, L1Options{Write: WriteThrough})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 10; pass++ {
+		for i := 0; i < 64; i++ {
+			addr := uint64(i * 4)
+			wb.Access(addr, true)
+			wt.Access(addr, true)
+		}
+	}
+	wbTraffic := wb.Stats().Writebacks
+	wtTraffic := wt.Stats().Writethroughs
+	if wtTraffic <= wbTraffic*10 {
+		t.Errorf("write-through traffic (%d) should dwarf write-back (%d) on a hot store loop",
+			wtTraffic, wbTraffic)
+	}
+}
+
+func TestHierarchyForwardsWriteThrough(t *testing.T) {
+	l1cfg := MustParseConfig("2KB_1W_16B")
+	h, err := NewHierarchyL2(l1cfg, DefaultL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := NewL1Opts(l1cfg, L1Options{Write: WriteThrough})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.L1 = wt
+	h.Access(0x100, true)
+	if !h.L2.Contains(0x100) {
+		t.Error("write-through store did not reach the L2")
+	}
+}
+
+// Miss-rate ordering on a looping workload larger than the cache:
+// LRU thrashes on a cyclic scan (its pathological case) while Random
+// breaks the cycle — the textbook result, reproduced.
+func TestRandomBeatsLRUOnCyclicThrash(t *testing.T) {
+	cfg := MustParseConfig("2KB_1W_64B")
+	// Note: direct-mapped caches have no replacement choice; use 8KB 4-way.
+	cfg = MustParseConfig("8KB_4W_64B")
+	lru := MustNewL1(cfg)
+	rnd, err := NewL1Opts(cfg, L1Options{Replacement: Random, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cyclic scan over 1.5x the cache size.
+	span := cfg.SizeBytes() * 3 / 2
+	for pass := 0; pass < 20; pass++ {
+		for a := 0; a < span; a += cfg.LineBytes {
+			lru.Access(uint64(a), false)
+			rnd.Access(uint64(a), false)
+		}
+	}
+	if rnd.Stats().Misses >= lru.Stats().Misses {
+		t.Errorf("random (%d misses) should beat LRU (%d) on a cyclic thrash",
+			rnd.Stats().Misses, lru.Stats().Misses)
+	}
+}

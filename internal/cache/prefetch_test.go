@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func prefetching(t *testing.T, cfg string) *L1 {
+	t.Helper()
+	c, err := NewL1Opts(MustParseConfig(cfg), L1Options{NextLinePrefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPrefetchCoversSequentialStream(t *testing.T) {
+	cfg := "4KB_2W_32B"
+	plain := MustNewL1(MustParseConfig(cfg))
+	pf := prefetching(t, cfg)
+	// Sequential word scan over 64 KB: with next-line prefetch roughly
+	// every other line arrives early.
+	for a := uint64(0); a < 64*1024; a += 4 {
+		plain.Access(a, false)
+		pf.Access(a, false)
+	}
+	pm, fm := plain.Stats().Misses, pf.Stats().Misses
+	t.Logf("sequential misses: plain %d, prefetch %d (prefetches %d)",
+		pm, fm, pf.Stats().Prefetches)
+	if fm >= pm {
+		t.Errorf("prefetcher did not reduce sequential misses: %d vs %d", fm, pm)
+	}
+	if fm > pm*6/10 {
+		t.Errorf("next-line prefetch should roughly halve sequential misses: %d vs %d", fm, pm)
+	}
+}
+
+func TestPrefetchCountsAreSpeculativeOnly(t *testing.T) {
+	pf := prefetching(t, "2KB_1W_16B")
+	pf.Access(0x100, false)
+	s := pf.Stats()
+	if s.Accesses() != 1 {
+		t.Errorf("prefetch counted as access: %d", s.Accesses())
+	}
+	if s.Prefetches != 1 {
+		t.Errorf("prefetches = %d, want 1", s.Prefetches)
+	}
+	// The prefetched next line must hit.
+	if r := pf.Access(0x110, false); !r.Hit {
+		t.Error("next line was not resident after prefetch")
+	}
+}
+
+func TestPrefetchDoesNotHelpPointerChase(t *testing.T) {
+	cfg := "2KB_1W_16B"
+	plain := MustNewL1(MustParseConfig(cfg))
+	pf := prefetching(t, cfg)
+	// Random 16B-granular hops over 32 KB: next-line prefetch is pure
+	// pollution (at best neutral, typically extra evictions).
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 20000; i++ {
+		a := uint64(rng.Intn(2048)) * 16
+		plain.Access(a, false)
+		pf.Access(a, false)
+	}
+	pm, fm := plain.Stats().Misses, pf.Stats().Misses
+	t.Logf("random misses: plain %d, prefetch %d", pm, fm)
+	if fm < pm*95/100 {
+		t.Errorf("prefetch implausibly helped a random walk: %d vs %d", fm, pm)
+	}
+}
+
+func TestPrefetchLowPriorityInsertion(t *testing.T) {
+	// A useless prefetched line must be evicted before demand lines.
+	cfg := MustParseConfig("8KB_2W_16B")
+	pf, err := NewL1Opts(cfg, L1Options{NextLinePrefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := uint64(cfg.Sets() * cfg.LineBytes)
+	// Demand-miss block A: prefetches A+1line... instead construct:
+	// touch a (demand, also prefetches next-set line), then b in the same
+	// set; the set now holds {a(demand), b(demand)}; prefetched lines live
+	// in *other* sets, so prove priority directly within one set:
+	a := uint64(0)
+	pf.Access(a, false) // demand a, prefetch line a+16 (different set)
+	// The prefetched line (set 1) has lru=0. Fill set 1 with a demand line
+	// and then one more conflicting line: the prefetched line must be the
+	// victim, not the demand line.
+	demand := 16 + stride // same set as the prefetched line a+16
+	pf.Access(demand, false)
+	conflict := 16 + 2*stride
+	pf.Access(conflict, false)
+	if !pf.Contains(demand) {
+		t.Error("demand line evicted before the stale prefetched line")
+	}
+	if pf.Contains(16) {
+		t.Error("stale prefetched line survived over demand lines")
+	}
+}
+
+func TestPrefetchAcrossReconfigure(t *testing.T) {
+	pf := prefetching(t, "4KB_1W_32B")
+	pf.Access(0, false)
+	if err := pf.Reconfigure(MustParseConfig("2KB_1W_16B")); err != nil {
+		t.Fatal(err)
+	}
+	pf.Access(0, false)
+	if pf.Stats().Prefetches < 2 {
+		t.Errorf("prefetcher inactive after reconfigure: %d", pf.Stats().Prefetches)
+	}
+}

@@ -1,0 +1,137 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewSharedHierarchyValidation(t *testing.T) {
+	if _, err := NewSharedHierarchy(0, BaseConfig, DefaultL2); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := NewSharedHierarchy(2, Config{}, DefaultL2); err == nil {
+		t.Error("bad L1 accepted")
+	}
+	if _, err := NewSharedHierarchy(2, BaseConfig, L2Config{SizeKB: 3, Ways: 1, LineBytes: 64}); err == nil {
+		t.Error("bad L2 accepted")
+	}
+}
+
+func TestSharedAccessValidation(t *testing.T) {
+	h, err := NewSharedHierarchy(2, MustParseConfig("2KB_1W_16B"), DefaultL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Access(-1, 0, false); err == nil {
+		t.Error("negative core accepted")
+	}
+	if _, err := h.Access(2, 0, false); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+}
+
+func TestSharedL2VisibleAcrossCores(t *testing.T) {
+	// Core 0 pulls a line into the shared L2; core 1's L1 miss then hits
+	// in the L2 — the defining property of sharing.
+	h, err := NewSharedHierarchy(2, MustParseConfig("2KB_1W_16B"), DefaultL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := h.Access(0, 0x1000, false); err != nil || !r.OffChip {
+		t.Fatalf("first access result %+v, %v", r, err)
+	}
+	r, err := h.Access(1, 0x1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.L2Hit {
+		t.Errorf("core 1 did not hit the shared line: %+v", r)
+	}
+}
+
+// The interference result: a core's off-chip traffic grows when a
+// cache-hostile neighbour thrashes the shared L2 — the effect per-job
+// characterization cannot see, and the reason the paper defers shared
+// caches to future work.
+func TestSharedL2Interference(t *testing.T) {
+	l1 := MustParseConfig("2KB_1W_16B")
+	l2 := L2Config{SizeKB: 8, Ways: 4, LineBytes: 32} // small shared L2
+
+	victim := make([]TraceAccess, 0, 40000)
+	rng := rand.New(rand.NewSource(4))
+	// Victim loops over a 6KB set (fits the 8KB L2 alone).
+	for i := 0; i < 40000; i++ {
+		victim = append(victim, TraceAccess{Addr: uint64(rng.Intn(6 * 1024))})
+	}
+	aggressor := make([]TraceAccess, 0, 40000)
+	// Aggressor scatters over 256KB, evicting everything it touches.
+	for i := 0; i < 40000; i++ {
+		aggressor = append(aggressor, TraceAccess{Addr: 0x100000 + uint64(rng.Intn(256*1024))})
+	}
+	idle := make([]TraceAccess, 0) // a silent neighbour
+
+	alone, err := NewSharedHierarchy(2, l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, offAlone, err := alone.InterleaveTraces([][]TraceAccess{victim, idle})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	contended, err := NewSharedHierarchy(2, l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, offContended, err := contended.InterleaveTraces([][]TraceAccess{victim, aggressor})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("victim off-chip: alone %d, with aggressor %d", offAlone[0], offContended[0])
+	if offContended[0] < 2*offAlone[0]+100 {
+		t.Errorf("aggressor barely hurt the victim (%d -> %d); shared-L2 interference missing",
+			offAlone[0], offContended[0])
+	}
+}
+
+func TestInterleaveValidation(t *testing.T) {
+	h, err := NewSharedHierarchy(2, MustParseConfig("2KB_1W_16B"), DefaultL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.InterleaveTraces([][]TraceAccess{{}}); err == nil {
+		t.Error("trace/core count mismatch accepted")
+	}
+}
+
+func TestInterleaveCountsPartitionMisses(t *testing.T) {
+	h, err := NewSharedHierarchy(2, MustParseConfig("2KB_1W_16B"), DefaultL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	traces := make([][]TraceAccess, 2)
+	for c := range traces {
+		for i := 0; i < 5000; i++ {
+			traces[c] = append(traces[c], TraceAccess{
+				Addr:  uint64(rng.Intn(64 * 1024)),
+				Write: rng.Intn(4) == 0,
+			})
+		}
+	}
+	l2Hits, offChip, err := h.InterleaveTraces(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range traces {
+		l1 := h.L1s[c].Stats()
+		if l2Hits[c]+offChip[c] != l1.Misses {
+			t.Errorf("core %d: L2 split %d+%d != L1 misses %d",
+				c, l2Hits[c], offChip[c], l1.Misses)
+		}
+		if l1.Accesses() != uint64(len(traces[c])) {
+			t.Errorf("core %d: %d accesses recorded for %d issued", c, l1.Accesses(), len(traces[c]))
+		}
+	}
+}

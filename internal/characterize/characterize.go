@@ -1,0 +1,387 @@
+// Package characterize runs the offline characterization pipeline: each
+// benchmark variant is executed once on the VM (recording its hardware
+// counters and full memory trace), then the trace is replayed through every
+// Table 1 cache configuration to obtain per-configuration hit/miss counts,
+// cycles and energy. This reproduces the paper's methodology of recording
+// cache accesses and miss rates with SimpleScalar for every configuration
+// and evaluating them under the Figure 4 energy model.
+//
+// The resulting DB is the ground truth the experiments draw from: the
+// scheduler's profiling table learns *parts* of it at runtime, the ANN is
+// trained on its feature/best-size pairs, and the "optimal" comparison
+// system reads it directly.
+package characterize
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"hetsched/internal/cache"
+	"hetsched/internal/eembc"
+	"hetsched/internal/energy"
+	"hetsched/internal/stats"
+	"hetsched/internal/vm"
+)
+
+// ConfigResult is one benchmark's behaviour under one cache configuration.
+type ConfigResult struct {
+	Config cache.Config
+	Hits   uint64
+	Misses uint64
+	// L2Hits and OffChip split Misses when the DB was characterized with
+	// the two-level hierarchy (the future-work L2 extension); both are
+	// zero in the paper's L1-only mode, where every miss goes off-chip.
+	L2Hits  uint64
+	OffChip uint64
+	// Cycles is total execution time: base cycles plus miss stalls.
+	Cycles uint64
+	// Energy is the Figure 4 breakdown over the execution.
+	Energy energy.Breakdown
+}
+
+// Record is the full characterization of one benchmark variant.
+type Record struct {
+	// ID is the application identification number indexing the profiling
+	// table (Section V); it equals the record's position in DB.Records.
+	ID int
+	// Kernel is the benchmark name.
+	Kernel string
+	// Params is the variant's scale/iterations/seed.
+	Params eembc.Params
+	// Features are the 18 execution statistics from the base-config
+	// profiling run.
+	Features stats.Features
+	// BaseCycles is the perfect-L1 cycle count from the VM.
+	BaseCycles uint64
+	// Accesses is the number of data-memory accesses.
+	Accesses uint64
+	// Configs holds one result per Table 1 configuration, in design-space
+	// order.
+	Configs []ConfigResult
+}
+
+// Result returns the entry for cfg.
+func (r *Record) Result(cfg cache.Config) (ConfigResult, error) {
+	for _, cr := range r.Configs {
+		if cr.Config == cfg {
+			return cr, nil
+		}
+	}
+	return ConfigResult{}, fmt.Errorf("characterize: %s: config %s not characterized", r.Kernel, cfg)
+}
+
+// BestConfig returns the configuration with the lowest total energy across
+// the whole design space — the oracle the paper's "optimal" system uses.
+func (r *Record) BestConfig() ConfigResult {
+	best := r.Configs[0]
+	for _, cr := range r.Configs[1:] {
+		if cr.Energy.Total < best.Energy.Total {
+			best = cr
+		}
+	}
+	return best
+}
+
+// BestSizeKB returns the cache size of the energy-optimal configuration —
+// the label the ANN is trained to predict.
+func (r *Record) BestSizeKB() int { return r.BestConfig().Config.SizeKB }
+
+// BestConfigForSize returns the lowest-energy configuration among those a
+// core of fixed sizeKB offers.
+func (r *Record) BestConfigForSize(sizeKB int) (ConfigResult, error) {
+	var best ConfigResult
+	found := false
+	for _, cr := range r.Configs {
+		if cr.Config.SizeKB != sizeKB {
+			continue
+		}
+		if !found || cr.Energy.Total < best.Energy.Total {
+			best = cr
+			found = true
+		}
+	}
+	if !found {
+		return ConfigResult{}, fmt.Errorf("characterize: no configs of size %dKB", sizeKB)
+	}
+	return best, nil
+}
+
+// DB is a characterization database over a set of benchmark variants.
+type DB struct {
+	Records []Record
+}
+
+// Find returns the record for a kernel/params pair.
+func (db *DB) Find(kernel string, p eembc.Params) (*Record, error) {
+	for i := range db.Records {
+		r := &db.Records[i]
+		if r.Kernel == kernel && r.Params == p {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("characterize: no record for %s %+v", kernel, p)
+}
+
+// Record returns the record with the given application ID.
+func (db *DB) Record(id int) (*Record, error) {
+	if id < 0 || id >= len(db.Records) {
+		return nil, fmt.Errorf("characterize: app id %d out of range", id)
+	}
+	return &db.Records[id], nil
+}
+
+// Variant names one benchmark variant to characterize.
+type Variant struct {
+	Kernel string
+	Params eembc.Params
+}
+
+// CanonicalVariants returns the paper-like set: every kernel at scale 1 with
+// the default iteration count and seed.
+func CanonicalVariants() []Variant {
+	var out []Variant
+	for _, name := range eembc.Names() {
+		out = append(out, Variant{Kernel: name, Params: eembc.DefaultParams()})
+	}
+	return out
+}
+
+// TelecomVariants returns the telecom-domain kernels at canonical
+// parameters — the second application domain of Section IV.D's
+// multiple-ANN discussion.
+func TelecomVariants() []Variant {
+	var out []Variant
+	for _, k := range eembc.TelecomSuite() {
+		out = append(out, Variant{Kernel: k.Name, Params: eembc.DefaultParams()})
+	}
+	return out
+}
+
+// ExtendedVariants returns the automotive and telecom kernels at canonical
+// parameters (20 applications).
+func ExtendedVariants() []Variant {
+	return append(CanonicalVariants(), TelecomVariants()...)
+}
+
+// augmentNames builds the scale/seed-augmented pool over the given kernels.
+func augmentNames(names []string) []Variant {
+	scales := []int{1, 2, 4}
+	seeds := []int64{1, 2}
+	var out []Variant
+	for _, name := range names {
+		for _, sc := range scales {
+			for _, sd := range seeds {
+				out = append(out, Variant{
+					Kernel: name,
+					Params: eembc.Params{Scale: sc, Iterations: 4, Seed: sd},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// AugmentedVariants returns the training pool: every automotive kernel at
+// several data scales and seeds. Each variant is a genuinely re-simulated
+// program (see DESIGN.md, substitutions): augmentation exists because 16
+// samples are too few to train a from-scratch ANN robustly.
+func AugmentedVariants() []Variant {
+	return augmentNames(eembc.Names())
+}
+
+// AugmentedExtendedVariants augments over both domains (20 kernels).
+func AugmentedExtendedVariants() []Variant {
+	names := eembc.Names()
+	for _, k := range eembc.TelecomSuite() {
+		names = append(names, k.Name)
+	}
+	return augmentNames(names)
+}
+
+// Options extends characterization beyond the paper's L1-only Figure 4
+// model.
+type Options struct {
+	// L2 enables the two-level hierarchy (future-work extension): traces
+	// replay through the private L2 and energies/cycles use the L2-aware
+	// model. Nil reproduces the paper.
+	L2 *energy.L2Model
+}
+
+// Characterize builds the database for the given variants under the energy
+// model, running variants in parallel across CPUs. Records appear in
+// variant order and are assigned IDs matching their index.
+func Characterize(variants []Variant, em *energy.Model) (*DB, error) {
+	return CharacterizeWithOptions(variants, em, Options{})
+}
+
+// CharacterizeWithOptions is Characterize with extension knobs.
+func CharacterizeWithOptions(variants []Variant, em *energy.Model, opts Options) (*DB, error) {
+	if em == nil {
+		return nil, fmt.Errorf("characterize: nil energy model")
+	}
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("characterize: no variants")
+	}
+	records := make([]Record, len(variants))
+	errs := make([]error, len(variants))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, v := range variants {
+		wg.Add(1)
+		go func(i int, v Variant) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rec, err := characterizeOne(v, em, opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rec.ID = i
+			records[i] = rec
+		}(i, v)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &DB{Records: records}, nil
+}
+
+func characterizeOne(v Variant, em *energy.Model, opts Options) (Record, error) {
+	k, err := eembc.ByName(v.Kernel)
+	if err != nil {
+		return Record{}, err
+	}
+	ctr, tr, err := eembc.Record(k, v.Params)
+	if err != nil {
+		return Record{}, err
+	}
+	rec := Record{
+		Kernel:     v.Kernel,
+		Params:     v.Params,
+		BaseCycles: ctr.Cycles,
+		Accesses:   uint64(tr.Len()),
+	}
+	space := cache.DesignSpace()
+	rec.Configs = make([]ConfigResult, 0, len(space))
+	var baseHits, baseMisses uint64
+	for _, cfg := range space {
+		var cr ConfigResult
+		if opts.L2 != nil {
+			cr, err = replayL2(tr, cfg, ctr.Cycles, opts.L2)
+		} else {
+			cr, err = replayL1(tr, cfg, ctr.Cycles, em)
+		}
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Configs = append(rec.Configs, cr)
+		if cfg == cache.BaseConfig {
+			baseHits, baseMisses = cr.Hits, cr.Misses
+		}
+	}
+	rec.Features = stats.FromExecution(ctr, tr, baseHits, baseMisses)
+	return rec, nil
+}
+
+// replayL1 is the paper's mode: every L1 miss pays the off-chip penalty.
+func replayL1(tr *vm.Trace, cfg cache.Config, baseCycles uint64, em *energy.Model) (ConfigResult, error) {
+	l1, err := cache.NewL1(cfg)
+	if err != nil {
+		return ConfigResult{}, err
+	}
+	for _, a := range tr.Accesses {
+		l1.Access(a.Addr, a.Write)
+	}
+	s := l1.Stats()
+	cycles := em.ExecCycles(baseCycles, cfg, s.Misses)
+	return ConfigResult{
+		Config:  cfg,
+		Hits:    s.Hits,
+		Misses:  s.Misses,
+		OffChip: s.Misses,
+		Cycles:  cycles,
+		Energy:  em.Total(cfg, s.Hits, s.Misses, cycles),
+	}, nil
+}
+
+// replayL2 is the extension mode: the trace runs through the two-level
+// hierarchy and misses split into L2 hits and true off-chip accesses.
+func replayL2(tr *vm.Trace, cfg cache.Config, baseCycles uint64, em *energy.L2Model) (ConfigResult, error) {
+	h, err := cache.NewHierarchyL2(cfg, em.L2Params().Config)
+	if err != nil {
+		return ConfigResult{}, err
+	}
+	var l1Hits, l2Hits, offChip uint64
+	for _, a := range tr.Accesses {
+		switch r := h.Access(a.Addr, a.Write); {
+		case r.L1Hit:
+			l1Hits++
+		case r.L2Hit:
+			l2Hits++
+		default:
+			offChip++
+		}
+	}
+	cycles := em.ExecCyclesL2(baseCycles, cfg, l2Hits, offChip)
+	b := em.TotalL2(cfg, l1Hits, l2Hits, offChip, cycles)
+	return ConfigResult{
+		Config:  cfg,
+		Hits:    l1Hits,
+		Misses:  l2Hits + offChip,
+		L2Hits:  l2Hits,
+		OffChip: offChip,
+		Cycles:  cycles,
+		Energy:  b.Breakdown,
+	}, nil
+}
+
+// Save serializes the DB as JSON.
+func (db *DB) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(db)
+}
+
+// Load deserializes a DB written by Save.
+func Load(r io.Reader) (*DB, error) {
+	var db DB
+	if err := json.NewDecoder(r).Decode(&db); err != nil {
+		return nil, fmt.Errorf("characterize: load: %v", err)
+	}
+	return &db, nil
+}
+
+var (
+	defaultOnce sync.Once
+	defaultDB   *DB
+	defaultErr  error
+
+	augOnce sync.Once
+	augDB   *DB
+	augErr  error
+)
+
+// Default returns the canonical-variant DB under the default energy model,
+// computed once per process. Experiments and tests share it.
+func Default() (*DB, error) {
+	defaultOnce.Do(func() {
+		defaultDB, defaultErr = Characterize(CanonicalVariants(), energy.NewDefault())
+	})
+	return defaultDB, defaultErr
+}
+
+// Augmented returns the augmented-variant DB (training pool), computed once
+// per process.
+func Augmented() (*DB, error) {
+	augOnce.Do(func() {
+		augDB, augErr = Characterize(AugmentedVariants(), energy.NewDefault())
+	})
+	return augDB, augErr
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"hetsched/internal/energy"
+)
+
+func contentionRun(t *testing.T, factor float64, util float64) Metrics {
+	t.Helper()
+	db := testDB(t)
+	jobs := testJobs(t, db, 400, util, 17)
+	cfg := SimConfig{CoreSizesKB: BaseCoreSizes(4), MemContentionFactor: factor}
+	sim, err := NewSimulator(db, energy.NewDefault(), BasePolicy{}, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestContentionStretchesTurnaround(t *testing.T) {
+	free := contentionRun(t, 0, 0.8)
+	congested := contentionRun(t, 1.0, 0.8)
+	if congested.TurnaroundCycles <= free.TurnaroundCycles {
+		t.Errorf("bus contention did not stretch turnaround: %d vs %d",
+			congested.TurnaroundCycles, free.TurnaroundCycles)
+	}
+	if congested.Completed != free.Completed {
+		t.Errorf("contention changed completion count")
+	}
+}
+
+func TestContentionMonotoneInFactor(t *testing.T) {
+	prev := uint64(0)
+	for _, f := range []float64{0, 0.5, 1.0, 2.0} {
+		m := contentionRun(t, f, 0.8)
+		if m.TurnaroundCycles < prev {
+			t.Errorf("turnaround not monotone in contention factor at %v", f)
+		}
+		prev = m.TurnaroundCycles
+	}
+}
+
+func TestContentionScalesOccupancyEnergyOnly(t *testing.T) {
+	free := contentionRun(t, 0, 0.8)
+	congested := contentionRun(t, 1.5, 0.8)
+	// Dynamic energy is per access: identical work, identical dynamic.
+	if congested.DynamicEnergy != free.DynamicEnergy {
+		t.Errorf("contention changed dynamic energy: %v vs %v",
+			congested.DynamicEnergy, free.DynamicEnergy)
+	}
+	// Static and core energies track time and must grow.
+	if congested.StaticEnergy <= free.StaticEnergy {
+		t.Errorf("contention did not grow static energy")
+	}
+	if congested.CoreEnergy <= free.CoreEnergy {
+		t.Errorf("contention did not grow core energy")
+	}
+}
+
+func TestContentionNoEffectWhenAlone(t *testing.T) {
+	// At very light load jobs mostly run alone; contention should barely
+	// move the numbers.
+	free := contentionRun(t, 0, 0.05)
+	congested := contentionRun(t, 2.0, 0.05)
+	ratio := float64(congested.TurnaroundCycles) / float64(free.TurnaroundCycles)
+	if ratio > 1.10 {
+		t.Errorf("contention at near-zero load stretched turnaround %.3fx", ratio)
+	}
+}

@@ -1,0 +1,779 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hetsched/internal/cache"
+	"hetsched/internal/characterize"
+	"hetsched/internal/energy"
+	"hetsched/internal/profile"
+	"hetsched/internal/stats"
+)
+
+// Predictor is the best-cache-size predictor interface the scheduler
+// consumes; satisfied by ann.SizePredictor and by the test oracles.
+type Predictor interface {
+	PredictSizeKB(f stats.Features) (int, error)
+}
+
+// SimConfig shapes the simulated machine.
+type SimConfig struct {
+	// CoreSizesKB fixes each core's cache size (Figure 1: {2, 4, 8, 8}).
+	CoreSizesKB []int
+	// ReconfigCycles is charged when a core switches L1 configuration
+	// (flush + tuner latency).
+	ReconfigCycles uint64
+	// ProfilingCycles is the extra latency of a profiling run (counter
+	// collection + ANN inference) on top of the base-config execution.
+	ProfilingCycles uint64
+	// SingleProfilingCore restricts profiling to the primary profiling
+	// core (Core 4), disabling the secondary Core 3 path (ablation;
+	// Section III allows both).
+	SingleProfilingCore bool
+	// PriorityScheduling orders the ready queue by job priority (highest
+	// first, FIFO within a priority) instead of pure FIFO. Part of the
+	// paper's future-work extension (Section VIII).
+	PriorityScheduling bool
+	// Preemptive lets an arriving higher-priority job preempt a running
+	// lower-priority job on one of its eligible cores when no idle core is
+	// available (future-work extension). Requires a policy implementing
+	// PreemptionAdvisor; other policies simply never preempt.
+	Preemptive bool
+	// MemContentionFactor models shared memory-bus pressure (extension):
+	// a job's miss-stall cycles stretch by
+	// 1 + factor·(otherBusyCores/(cores-1)) at the moment it starts.
+	// Zero (the paper's setting) gives every job exclusive bus bandwidth.
+	// The stretch also scales the execution's static and core energy,
+	// which grow with occupancy; dynamic (per-access) energy is unchanged.
+	MemContentionFactor float64
+	// RecordSchedule captures every execution as a PlacementEvent in
+	// Metrics.Schedule (timeline analysis and debugging; off by default to
+	// keep long runs lean).
+	RecordSchedule bool
+	// CoreFreqs gives each core a relative clock frequency in (0, 1.5]
+	// (nil or 1.0 = the paper's uniform nominal clock). This is the
+	// intro's "voltage, frequency" configurability axis under a simple
+	// V∝f scaling model: an execution on a core at frequency f occupies
+	// the core for cycles/f wall time; its non-cache core energy scales by
+	// f² (voltage squared, same executed cycles) and its cache static
+	// energy by 1/f (leakage integrates over wall time). Per-access
+	// dynamic energy is unchanged.
+	CoreFreqs []float64
+}
+
+// DefaultSimConfig returns the paper's quad-core machine.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		CoreSizesKB:     append([]int(nil), cache.CoreSizesKB...),
+		ReconfigCycles:  200,
+		ProfilingCycles: 2000,
+	}
+}
+
+// SimCore is one core's simulation state.
+type SimCore struct {
+	ID     int
+	SizeKB int
+	// Config is the currently loaded L1 configuration.
+	Config cache.Config
+
+	busyUntil  uint64
+	busyCycles uint64
+	job        *Job         // job currently executing (nil if idle)
+	jobCfg     cache.Config // configuration the current job runs in
+	profiling  bool         // current execution is a profiling run
+
+	// Preemption bookkeeping: when the execution started, its total
+	// length, and the energy charged at start (refunded pro rata if the
+	// job is preempted).
+	startedAt     uint64
+	execCycles    uint64
+	chargedDyn    float64
+	chargedStatic float64
+	chargedCore   float64
+}
+
+// Idle reports whether the core is free at time now.
+func (c *SimCore) Idle(now uint64) bool { return c.job == nil }
+
+// BusyUntil returns the completion time of the current execution.
+func (c *SimCore) BusyUntil() uint64 { return c.busyUntil }
+
+// Job returns the currently executing job (nil when idle).
+func (c *SimCore) Job() *Job { return c.job }
+
+// Decision is a policy's verdict for one queued job.
+type Decision struct {
+	// Place schedules the job now; false leaves it in the ready queue.
+	Place bool
+	// CoreID and Config select where and how to execute when Place is set.
+	CoreID int
+	Config cache.Config
+	// Profiling marks the execution as the base-config profiling run.
+	Profiling bool
+}
+
+// Policy is one of the four systems of Section V.
+type Policy interface {
+	// Name identifies the system ("base", "optimal", ...).
+	Name() string
+	// Decide chooses a placement for job given current state, or stalls it.
+	Decide(s *Simulator, job *Job) (Decision, error)
+	// OnComplete runs when a job finishes executing; policies update the
+	// profiling table and tuning state here (knowledge becomes available
+	// only after a run completes).
+	OnComplete(s *Simulator, job *Job, c *SimCore, cfg cache.Config, profiled bool) error
+}
+
+// Metrics aggregates one simulation run, mirroring the quantities of
+// Figures 6 and 7.
+type Metrics struct {
+	System string
+	Jobs   int
+	// Completed counts finished executions (== Jobs when the run drains).
+	Completed int
+
+	// Makespan is the total number of cycles from time 0 to the last
+	// completion.
+	Makespan uint64
+	// TurnaroundCycles sums, over all jobs, completion minus arrival
+	// (queueing plus execution). This is the reproduction's reading of the
+	// paper's "performance in total number of cycles": it is the only
+	// cycle metric under which the always-stalling energy-centric system
+	// can outperform the never-stalling optimal system, as Figure 7
+	// reports — stalling trades wait cycles for much shorter executions.
+	TurnaroundCycles uint64
+	// Turnarounds holds every job's individual turnaround, in completion
+	// order, for tail-latency analysis (see TurnaroundPercentile).
+	Turnarounds []uint64
+
+	// Energy components in nanojoules.
+	IdleEnergy      float64 // idle cores: cache static + core idle power
+	DynamicEnergy   float64 // cache dynamic energy of all executions
+	StaticEnergy    float64 // cache static energy while executing
+	CoreEnergy      float64 // non-cache core energy while executing
+	ProfilingEnergy float64 // profiling/reconfiguration overhead energy
+
+	// Decision counters.
+	ProfilingRuns     int
+	TuningRuns        int // executions whose config came from the tuner
+	NonBestPlacements int // executions on a core of non-predicted size
+	StallDecisions    int // deliberate stalls while a usable core idled
+	ResourceStalls    int // stalls because no core was idle
+
+	// MaxQueueDepth is the deepest the ready queue ever got — the
+	// congestion diagnostic behind the stall counters.
+	MaxQueueDepth int
+
+	// Real-time extension counters (future work, Section VIII).
+	Preemptions    int // executions displaced by higher-priority arrivals
+	DeadlinesTotal int // completed jobs that carried a deadline
+	DeadlineMisses int // of those, how many finished late
+
+	// ExploredPerApp counts distinct configurations executed per app.
+	ExploredPerApp map[int]int
+	// PerAppEnergy accumulates each application's execution energy
+	// (dynamic + static + core, net of preemption refunds), keyed by app
+	// ID. Idle energy is a system property and is not attributed.
+	PerAppEnergy map[int]float64
+	// PerAppRuns counts completed executions per application.
+	PerAppRuns map[int]int
+	// Schedule is the execution timeline (populated only with
+	// SimConfig.RecordSchedule).
+	Schedule []PlacementEvent
+}
+
+// PlacementEvent is one execution interval on one core.
+type PlacementEvent struct {
+	Start, End uint64
+	JobIndex   int
+	AppID      int
+	CoreID     int
+	Config     cache.Config
+	Profiling  bool
+	// Preempted marks intervals cut short by a higher-priority arrival.
+	Preempted bool
+}
+
+// TotalEnergy sums every component.
+func (m Metrics) TotalEnergy() float64 {
+	return m.IdleEnergy + m.DynamicEnergy + m.StaticEnergy + m.CoreEnergy + m.ProfilingEnergy
+}
+
+// TurnaroundPercentile returns the p-th percentile (0 < p <= 100) of
+// per-job turnaround, using nearest-rank on a sorted copy; 0 if no jobs
+// completed or p is out of range.
+func (m Metrics) TurnaroundPercentile(p float64) uint64 {
+	if len(m.Turnarounds) == 0 || p <= 0 || p > 100 {
+		return 0
+	}
+	sorted := append([]uint64(nil), m.Turnarounds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p/100*float64(len(sorted))+0.9999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// BusyEnergy is the non-idle portion.
+func (m Metrics) BusyEnergy() float64 {
+	return m.DynamicEnergy + m.StaticEnergy + m.CoreEnergy + m.ProfilingEnergy
+}
+
+// Simulator drives one system over one workload. It is single-use: build,
+// Run once, read metrics.
+type Simulator struct {
+	DB     *characterize.DB
+	EM     *energy.Model
+	Policy Policy
+	Pred   Predictor // nil for systems without the ANN
+	Table  *profile.Table
+	Cfg    SimConfig
+
+	cores   []*SimCore
+	now     uint64
+	queue   []*Job
+	metrics Metrics
+}
+
+// NewSimulator validates and assembles a simulator.
+func NewSimulator(db *characterize.DB, em *energy.Model, pol Policy, pred Predictor, cfg SimConfig) (*Simulator, error) {
+	if db == nil || len(db.Records) == 0 {
+		return nil, fmt.Errorf("core: empty characterization DB")
+	}
+	if em == nil {
+		return nil, fmt.Errorf("core: nil energy model")
+	}
+	if pol == nil {
+		return nil, fmt.Errorf("core: nil policy")
+	}
+	if len(cfg.CoreSizesKB) == 0 {
+		return nil, fmt.Errorf("core: no cores")
+	}
+	s := &Simulator{
+		DB:     db,
+		EM:     em,
+		Policy: pol,
+		Pred:   pred,
+		Table:  profile.NewTable(),
+		Cfg:    cfg,
+	}
+	if len(cfg.CoreFreqs) != 0 && len(cfg.CoreFreqs) != len(cfg.CoreSizesKB) {
+		return nil, fmt.Errorf("core: %d frequencies for %d cores", len(cfg.CoreFreqs), len(cfg.CoreSizesKB))
+	}
+	for i, f := range cfg.CoreFreqs {
+		if f <= 0 || f > 1.5 {
+			return nil, fmt.Errorf("core: core %d frequency %v out of (0, 1.5]", i, f)
+		}
+	}
+	for i, size := range cfg.CoreSizesKB {
+		ok := false
+		for _, known := range cache.Sizes() {
+			if size == known {
+				ok = true
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: core %d size %dKB not in design space", i, size)
+		}
+		s.cores = append(s.cores, &SimCore{
+			ID:     i,
+			SizeKB: size,
+			Config: cache.Config{SizeKB: size, Ways: 1, LineBytes: 16},
+		})
+	}
+	s.metrics.System = pol.Name()
+	s.metrics.ExploredPerApp = map[int]int{}
+	s.metrics.PerAppEnergy = map[int]float64{}
+	s.metrics.PerAppRuns = map[int]int{}
+	return s, nil
+}
+
+// Now returns the current simulation time in cycles.
+func (s *Simulator) Now() uint64 { return s.now }
+
+// Cores returns the simulated cores.
+func (s *Simulator) Cores() []*SimCore { return s.cores }
+
+// IdleCores returns the currently idle cores in ID order.
+func (s *Simulator) IdleCores() []*SimCore {
+	var out []*SimCore
+	for _, c := range s.cores {
+		if c.Idle(s.now) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CoresOfSize returns cores with the given cache size in ID order.
+func (s *Simulator) CoresOfSize(sizeKB int) []*SimCore {
+	var out []*SimCore
+	for _, c := range s.cores {
+		if c.SizeKB == sizeKB {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ProfilingCores returns the profiling-capable cores (the 8 KB cores;
+// Core 4 — the highest-ID one — is primary, Core 3 secondary). With
+// SingleProfilingCore set, only the primary is returned.
+func (s *Simulator) ProfilingCores() []*SimCore {
+	var out []*SimCore
+	for i := len(s.cores) - 1; i >= 0; i-- {
+		if s.cores[i].SizeKB == cache.BaseConfig.SizeKB {
+			out = append(out, s.cores[i])
+			if s.Cfg.SingleProfilingCore {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Record fetches the characterization record behind a job.
+func (s *Simulator) Record(job *Job) (*characterize.Record, error) {
+	return s.DB.Record(job.AppID)
+}
+
+// start places job on core in cfg, charging energy and occupying the core.
+func (s *Simulator) start(job *Job, core *SimCore, cfg cache.Config, profiling bool) error {
+	if core.job != nil {
+		return fmt.Errorf("core: core %d is busy", core.ID)
+	}
+	rec, err := s.Record(job)
+	if err != nil {
+		return err
+	}
+	cr, err := rec.Result(cfg)
+	if err != nil {
+		return err
+	}
+	// A preempted job resumes with only its unexecuted share of work and
+	// energy (pro-rata model; the cold-cache restart cost is approximated
+	// by the reconfiguration charge below).
+	frac := job.remaining()
+	execCycles := cr.Cycles
+	stretch := 1.0
+	if s.Cfg.MemContentionFactor > 0 && len(s.cores) > 1 {
+		// Bus contention stretches the miss-stall share of the execution
+		// by the current occupancy of the other cores.
+		busy := 0
+		for _, c := range s.cores {
+			if c != core && c.job != nil {
+				busy++
+			}
+		}
+		pressure := float64(busy) / float64(len(s.cores)-1)
+		stretch = 1 + s.Cfg.MemContentionFactor*pressure
+		stallCycles := float64(0)
+		if cr.Cycles > rec.BaseCycles {
+			stallCycles = float64(cr.Cycles - rec.BaseCycles)
+		}
+		execCycles = rec.BaseCycles + uint64(stallCycles*stretch)
+	}
+	// DVFS: a core at relative frequency f takes 1/f wall time per
+	// executed cycle. The simulator's timebase is nominal cycles.
+	freq := 1.0
+	if len(s.Cfg.CoreFreqs) > 0 {
+		freq = s.Cfg.CoreFreqs[core.ID]
+	}
+	cycles := uint64(float64(execCycles) * frac / freq)
+	if cycles == 0 {
+		cycles = 1
+	}
+	var overheadE float64
+	if cfg != core.Config {
+		cycles += s.Cfg.ReconfigCycles
+		overheadE += float64(s.Cfg.ReconfigCycles) * s.EM.Params().CoreActiveNJPerCycle
+	}
+	if profiling {
+		cycles += s.Cfg.ProfilingCycles
+		overheadE += float64(s.Cfg.ProfilingCycles) * s.EM.Params().CoreActiveNJPerCycle
+		s.metrics.ProfilingRuns++
+	}
+	core.Config = cfg
+	core.job = job
+	core.jobCfg = cfg
+	core.profiling = profiling
+	core.startedAt = s.now
+	core.execCycles = cycles
+	core.busyUntil = s.now + cycles
+	core.busyCycles += cycles
+	// Static energy tracks wall-clock occupancy (contention stretch and
+	// 1/f dilation); core energy tracks executed cycles at V² ∝ f²;
+	// dynamic energy is per access and scales with neither.
+	timeScale := 1.0
+	if cr.Cycles > 0 {
+		timeScale = float64(execCycles) / float64(cr.Cycles)
+	}
+	core.chargedDyn = cr.Energy.Dynamic * frac
+	core.chargedStatic = cr.Energy.Static * frac * timeScale / freq
+	core.chargedCore = cr.Energy.Core * frac * timeScale * freq * freq
+
+	s.metrics.DynamicEnergy += core.chargedDyn
+	s.metrics.StaticEnergy += core.chargedStatic
+	s.metrics.CoreEnergy += core.chargedCore
+	s.metrics.ProfilingEnergy += overheadE
+	s.metrics.PerAppEnergy[job.AppID] += core.chargedDyn + core.chargedStatic + core.chargedCore
+	return nil
+}
+
+// preempt stops the execution on core at the current time, refunds the
+// unexecuted share of its energy and cycles, and returns the displaced job
+// (with its remaining fraction reduced) for re-queueing.
+func (s *Simulator) preempt(core *SimCore) (*Job, error) {
+	if core.job == nil {
+		return nil, fmt.Errorf("core: preempting idle core %d", core.ID)
+	}
+	if core.profiling {
+		return nil, fmt.Errorf("core: profiling runs are not preemptible")
+	}
+	job := core.job
+	elapsed := s.now - core.startedAt
+	if elapsed > core.execCycles {
+		elapsed = core.execCycles
+	}
+	doneFrac := float64(elapsed) / float64(core.execCycles)
+	undone := 1 - doneFrac
+
+	// Refund the unexecuted share.
+	s.metrics.DynamicEnergy -= core.chargedDyn * undone
+	s.metrics.StaticEnergy -= core.chargedStatic * undone
+	s.metrics.CoreEnergy -= core.chargedCore * undone
+	s.metrics.PerAppEnergy[job.AppID] -= (core.chargedDyn + core.chargedStatic + core.chargedCore) * undone
+	core.busyCycles -= core.execCycles - elapsed
+
+	job.remainingFrac = job.remaining() * undone
+	if s.Cfg.RecordSchedule {
+		s.metrics.Schedule = append(s.metrics.Schedule, PlacementEvent{
+			Start: core.startedAt, End: s.now,
+			JobIndex: job.Index, AppID: job.AppID, CoreID: core.ID,
+			Config: core.jobCfg, Preempted: true,
+		})
+	}
+	core.job = nil
+	core.busyUntil = s.now
+	s.metrics.Preemptions++
+	return job, nil
+}
+
+// completeDue finishes every execution with busyUntil <= now.
+func (s *Simulator) completeDue() error {
+	for _, c := range s.cores {
+		if c.job != nil && c.busyUntil <= s.now {
+			job, cfg, profiled := c.job, c.jobCfg, c.profiling
+			c.job = nil
+			c.profiling = false
+			if s.Cfg.RecordSchedule {
+				s.metrics.Schedule = append(s.metrics.Schedule, PlacementEvent{
+					Start: c.startedAt, End: c.busyUntil,
+					JobIndex: job.Index, AppID: job.AppID, CoreID: c.ID,
+					Config: cfg, Profiling: profiled,
+				})
+			}
+			s.metrics.TurnaroundCycles += c.busyUntil - job.ArrivalCycle
+			s.metrics.Turnarounds = append(s.metrics.Turnarounds, c.busyUntil-job.ArrivalCycle)
+			s.metrics.Completed++
+			s.metrics.PerAppRuns[job.AppID]++
+			if job.DeadlineCycle > 0 {
+				s.metrics.DeadlinesTotal++
+				if c.busyUntil > job.DeadlineCycle {
+					s.metrics.DeadlineMisses++
+				}
+			}
+			if err := s.Policy.OnComplete(s, job, c, cfg, profiled); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// schedulePass scans the ready queue, placing every job the policy accepts.
+// The scan order is FIFO (the paper) or priority-then-FIFO when
+// PriorityScheduling is set. Jobs that stall stay in the queue in order
+// (the paper's "enqueued back into the ready queue"). With Preemptive set,
+// a still-stalled job may displace a running strictly-lower-priority job on
+// one of its eligible cores.
+func (s *Simulator) schedulePass() error {
+	if len(s.queue) > s.metrics.MaxQueueDepth {
+		s.metrics.MaxQueueDepth = len(s.queue)
+	}
+	if s.Cfg.PriorityScheduling {
+		sortByPriority(s.queue)
+	}
+	remaining := s.queue[:0]
+	for _, job := range s.queue {
+		d, err := s.Policy.Decide(s, job)
+		if err != nil {
+			return fmt.Errorf("core: %s deciding job %d (app %d): %v", s.Policy.Name(), job.Index, job.AppID, err)
+		}
+		if !d.Place && s.Cfg.Preemptive {
+			placed, err := s.tryPreempt(job, &remaining)
+			if err != nil {
+				return err
+			}
+			if placed {
+				continue
+			}
+		}
+		if !d.Place {
+			if len(s.IdleCores()) > 0 {
+				s.metrics.StallDecisions++
+			} else {
+				s.metrics.ResourceStalls++
+			}
+			remaining = append(remaining, job)
+			continue
+		}
+		if d.CoreID < 0 || d.CoreID >= len(s.cores) {
+			return fmt.Errorf("core: %s placed job on core %d", s.Policy.Name(), d.CoreID)
+		}
+		if err := s.start(job, s.cores[d.CoreID], d.Config, d.Profiling); err != nil {
+			return err
+		}
+	}
+	s.queue = remaining
+	return nil
+}
+
+// tryPreempt displaces a running lower-priority job with the stalled job
+// when the policy advises eligible cores. The victim is re-queued (appended
+// to remaining, which preserves its priority position on the next pass).
+func (s *Simulator) tryPreempt(job *Job, remaining *[]*Job) (bool, error) {
+	adv, ok := s.Policy.(PreemptionAdvisor)
+	if !ok {
+		return false, nil
+	}
+	eligible, err := adv.EligibleCores(s, job)
+	if err != nil {
+		return false, err
+	}
+	var victim *SimCore
+	for _, id := range eligible {
+		if id < 0 || id >= len(s.cores) {
+			return false, fmt.Errorf("core: advisor named core %d", id)
+		}
+		c := s.cores[id]
+		if c.job == nil || c.profiling {
+			continue
+		}
+		if c.job.Priority >= job.Priority {
+			continue
+		}
+		// Prefer the lowest-priority victim; break ties toward the
+		// latest-finishing one (most remaining work displaced).
+		if victim == nil ||
+			c.job.Priority < victim.job.Priority ||
+			(c.job.Priority == victim.job.Priority && c.busyUntil > victim.busyUntil) {
+			victim = c
+		}
+	}
+	if victim == nil {
+		return false, nil
+	}
+	cfg, err := adv.ConfigFor(s, job, victim.ID)
+	if err != nil {
+		return false, err
+	}
+	displaced, err := s.preempt(victim)
+	if err != nil {
+		return false, err
+	}
+	*remaining = append(*remaining, displaced)
+	if err := s.start(job, victim, cfg, false); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// sortByPriority orders the queue by descending priority, stable within a
+// priority level (insertion order == arrival order).
+func sortByPriority(queue []*Job) {
+	// Insertion sort: queues are short and mostly ordered between passes.
+	for i := 1; i < len(queue); i++ {
+		j := queue[i]
+		k := i - 1
+		for k >= 0 && less(j, queue[k]) {
+			queue[k+1] = queue[k]
+			k--
+		}
+		queue[k+1] = j
+	}
+}
+
+// less orders a before b: higher priority first, then earlier arrival.
+func less(a, b *Job) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.Index < b.Index
+}
+
+// PreemptionAdvisor is the optional policy extension consulted in
+// preemptive mode: which cores a job may preempt onto, and what
+// configuration it should run there.
+type PreemptionAdvisor interface {
+	EligibleCores(s *Simulator, job *Job) ([]int, error)
+	ConfigFor(s *Simulator, job *Job, coreID int) (cache.Config, error)
+}
+
+// Run simulates the workload to completion and returns the metrics.
+func (s *Simulator) Run(jobs []Job) (Metrics, error) {
+	if len(jobs) == 0 {
+		return Metrics{}, fmt.Errorf("core: empty workload")
+	}
+	s.metrics.Jobs = len(jobs)
+	next := 0
+	for {
+		// Determine the next event time: earliest pending arrival or
+		// earliest completion.
+		nextEvent := uint64(0)
+		have := false
+		if next < len(jobs) {
+			nextEvent = jobs[next].ArrivalCycle
+			have = true
+		}
+		for _, c := range s.cores {
+			if c.job != nil && (!have || c.busyUntil < nextEvent) {
+				nextEvent = c.busyUntil
+				have = true
+			}
+		}
+		if !have {
+			if len(s.queue) > 0 {
+				return s.metrics, fmt.Errorf("core: %s deadlocked with %d queued jobs", s.Policy.Name(), len(s.queue))
+			}
+			break
+		}
+		if nextEvent > s.now {
+			s.now = nextEvent
+		}
+		if err := s.completeDue(); err != nil {
+			return s.metrics, err
+		}
+		for next < len(jobs) && jobs[next].ArrivalCycle <= s.now {
+			j := jobs[next]
+			s.queue = append(s.queue, &j)
+			next++
+		}
+		if err := s.schedulePass(); err != nil {
+			return s.metrics, err
+		}
+	}
+
+	s.metrics.Makespan = s.now
+	for _, c := range s.cores {
+		idleCycles := s.metrics.Makespan - c.busyCycles
+		s.metrics.IdleEnergy += s.EM.IdleEnergy(c.SizeKB, idleCycles)
+	}
+	if err := s.selfCheck(); err != nil {
+		return s.metrics, err
+	}
+	return s.metrics, nil
+}
+
+// selfCheck validates the run's accounting invariants: preemption refunds
+// must never drive any energy component negative, every job must be
+// accounted exactly once, and per-app attribution must partition the busy
+// energy. Violations indicate a simulator bug, not a workload property.
+func (s *Simulator) selfCheck() error {
+	m := &s.metrics
+	for name, v := range map[string]float64{
+		"idle":      m.IdleEnergy,
+		"dynamic":   m.DynamicEnergy,
+		"static":    m.StaticEnergy,
+		"core":      m.CoreEnergy,
+		"profiling": m.ProfilingEnergy,
+	} {
+		if v < 0 {
+			return fmt.Errorf("core: self-check: negative %s energy %v", name, v)
+		}
+	}
+	if m.Completed != m.Jobs {
+		return fmt.Errorf("core: self-check: completed %d of %d jobs", m.Completed, m.Jobs)
+	}
+	var attributed float64
+	runs := 0
+	for app, e := range m.PerAppEnergy {
+		attributed += e
+		runs += m.PerAppRuns[app]
+	}
+	busy := m.DynamicEnergy + m.StaticEnergy + m.CoreEnergy
+	if diff := attributed - busy; diff > 1e-6*(busy+1) || diff < -1e-6*(busy+1) {
+		return fmt.Errorf("core: self-check: per-app energy %v does not partition busy energy %v", attributed, busy)
+	}
+	if runs != m.Completed {
+		return fmt.Errorf("core: self-check: per-app runs %d != completed %d", runs, m.Completed)
+	}
+	return nil
+}
+
+// Preload populates the profiling table before the run, implementing
+// Section IV.B's design-time alternative: "if the applications were known a
+// priori with profiling-based statistics recorded at design time ... this
+// profiling information can be pre-loaded". Every application's features
+// and best-size prediction are installed (eliminating runtime profiling);
+// with full=true the per-size tuning state is also driven to completion
+// from design-time exploration, eliminating runtime tuning as well.
+func (s *Simulator) Preload(full bool) error {
+	for i := range s.DB.Records {
+		rec := &s.DB.Records[i]
+		entry := s.Table.Ensure(rec.ID)
+		entry.SetProfile(rec.Features)
+		if s.Pred != nil {
+			size, err := s.Pred.PredictSizeKB(rec.Features)
+			if err != nil {
+				return err
+			}
+			if err := entry.SetPrediction(size); err != nil {
+				return err
+			}
+		}
+		if !full {
+			continue
+		}
+		for _, size := range cache.Sizes() {
+			tn, err := entry.Tuner(size)
+			if err != nil {
+				return err
+			}
+			for !tn.Done() {
+				cfg, ok := tn.Next()
+				if !ok {
+					break
+				}
+				cr, err := rec.Result(cfg)
+				if err != nil {
+					return err
+				}
+				if err := entry.RecordExecution(cfg, cr.Energy.Total, cr.Cycles); err != nil {
+					return err
+				}
+				if err := tn.Observe(cfg, cr.Energy.Total); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// NoteExplored lets policies report a newly explored (app, config) pair.
+func (s *Simulator) NoteExplored(appID int) {
+	s.metrics.ExploredPerApp[appID]++
+}
+
+// NoteTuningRun lets policies count a tuner-driven execution.
+func (s *Simulator) NoteTuningRun() { s.metrics.TuningRuns++ }
+
+// NoteNonBest lets policies count a placement on a non-best core.
+func (s *Simulator) NoteNonBest() { s.metrics.NonBestPlacements++ }

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"hetsched/internal/energy"
+)
+
+func dvfsRun(t *testing.T, freqs []float64) Metrics {
+	t.Helper()
+	db := testDB(t)
+	jobs := testJobs(t, db, 300, 0.6, 23)
+	cfg := SimConfig{CoreSizesKB: BaseCoreSizes(4), CoreFreqs: freqs}
+	sim, err := NewSimulator(db, energy.NewDefault(), BasePolicy{}, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDVFSValidation(t *testing.T) {
+	db := testDB(t)
+	em := energy.NewDefault()
+	bad := [][]float64{
+		{1, 1},          // wrong length for 4 cores
+		{1, 1, 1, 0},    // zero
+		{1, 1, 1, -0.5}, // negative
+		{1, 1, 1, 2.0},  // beyond overdrive cap
+	}
+	for _, freqs := range bad {
+		cfg := SimConfig{CoreSizesKB: BaseCoreSizes(4), CoreFreqs: freqs}
+		if _, err := NewSimulator(db, em, BasePolicy{}, nil, cfg); err == nil {
+			t.Errorf("frequencies %v accepted", freqs)
+		}
+	}
+}
+
+func TestDVFSSlowerClockStretchesTime(t *testing.T) {
+	nominal := dvfsRun(t, nil)
+	slow := dvfsRun(t, []float64{0.5, 0.5, 0.5, 0.5})
+	if slow.TurnaroundCycles <= nominal.TurnaroundCycles {
+		t.Errorf("half-speed cores did not stretch turnaround: %d vs %d",
+			slow.TurnaroundCycles, nominal.TurnaroundCycles)
+	}
+	if slow.Completed != nominal.Completed {
+		t.Error("DVFS changed completion count")
+	}
+}
+
+func TestDVFSVoltageScalingCutsCoreEnergy(t *testing.T) {
+	nominal := dvfsRun(t, nil)
+	slow := dvfsRun(t, []float64{0.5, 0.5, 0.5, 0.5})
+	// Core energy scales ~f² = 0.25x; dynamic unchanged; static grows with
+	// dilation.
+	ratio := slow.CoreEnergy / nominal.CoreEnergy
+	if ratio < 0.2 || ratio > 0.35 {
+		t.Errorf("core energy ratio %.3f at f=0.5, want ~0.25", ratio)
+	}
+	if slow.DynamicEnergy != nominal.DynamicEnergy {
+		t.Errorf("dynamic energy changed under DVFS: %v vs %v",
+			slow.DynamicEnergy, nominal.DynamicEnergy)
+	}
+	if slow.StaticEnergy <= nominal.StaticEnergy {
+		t.Error("static energy should grow with dilated occupancy")
+	}
+}
+
+func TestDVFSHeterogeneousFrequencies(t *testing.T) {
+	// A big.LITTLE-flavoured mix must run to completion and stay
+	// deterministic.
+	m1 := dvfsRun(t, []float64{0.6, 0.6, 1.0, 1.0})
+	m2 := dvfsRun(t, []float64{0.6, 0.6, 1.0, 1.0})
+	if m1.TotalEnergy() != m2.TotalEnergy() || m1.TurnaroundCycles != m2.TurnaroundCycles {
+		t.Error("heterogeneous DVFS run not deterministic")
+	}
+}

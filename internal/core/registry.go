@@ -1,0 +1,40 @@
+package core
+
+import "fmt"
+
+// SystemNames lists every scheduling system the registry can build, in
+// presentation order: the paper's four, the prior-work SaT baseline, and
+// the never-stall ablation.
+func SystemNames() []string {
+	return []string{"base", "optimal", "sat", "energy-centric", "proposed", "proposed-noEadv"}
+}
+
+// NewPolicy builds a policy by system name and reports whether it requires
+// a best-size predictor.
+func NewPolicy(name string) (pol Policy, needsPredictor bool, err error) {
+	switch name {
+	case "base":
+		return BasePolicy{}, false, nil
+	case "optimal":
+		return OptimalPolicy{}, false, nil
+	case "sat":
+		return SaTPolicy{}, false, nil
+	case "energy-centric":
+		return EnergyCentricPolicy{}, true, nil
+	case "proposed":
+		return ProposedPolicy{}, true, nil
+	case "proposed-noEadv":
+		return ProposedPolicy{DisableEadv: true}, true, nil
+	}
+	return nil, false, fmt.Errorf("core: unknown system %q (want one of %v)", name, SystemNames())
+}
+
+// CoreSizesFor returns the machine's core sizes for a system: the base
+// system replaces every core with the fixed 8 KB base cache; all others use
+// the Figure 1 subsetting as configured.
+func CoreSizesFor(name string, configured []int) []int {
+	if name == "base" {
+		return BaseCoreSizes(len(configured))
+	}
+	return append([]int(nil), configured...)
+}

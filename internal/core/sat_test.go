@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"hetsched/internal/energy"
+)
+
+func runSat(t testing.TB, jobs []Job) Metrics {
+	t.Helper()
+	db := testDB(t)
+	sim, err := NewSimulator(db, energy.NewDefault(), SaTPolicy{}, nil, DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSaTCompletesWorkload(t *testing.T) {
+	db := testDB(t)
+	jobs := testJobs(t, db, 600, 0.8, 14)
+	m := runSat(t, jobs)
+	if m.Completed != len(jobs) {
+		t.Fatalf("completed %d of %d", m.Completed, len(jobs))
+	}
+	if m.TuningRuns == 0 {
+		t.Error("SaT never tuned; it has no other way to learn")
+	}
+	if m.ProfilingRuns == 0 {
+		t.Error("SaT never profiled")
+	}
+}
+
+// SaT explores more than the proposed system early in the run: without the
+// ANN it must tune every size for every application before it knows the
+// best core, while the proposed system front-loads only the predicted-best
+// size. (Over very long runs both converge to full knowledge — the ANN's
+// advantage is the transient, which is where the energy goes.)
+func TestSaTExploresMoreThanProposed(t *testing.T) {
+	db := testDB(t)
+	jobs := testJobs(t, db, 150, 0.4, 15)
+	sat := runSat(t, jobs)
+	sim, err := NewSimulator(db, energy.NewDefault(), ProposedPolicy{},
+		OraclePredictor{DB: db}, DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := sim.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat.TuningRuns <= prop.TuningRuns {
+		t.Errorf("SaT tuning runs (%d) not above proposed (%d); the ANN should be saving exploration",
+			sat.TuningRuns, prop.TuningRuns)
+	}
+	t.Logf("tuning runs: SaT %d vs proposed %d; totals: SaT %.0f vs proposed %.0f",
+		sat.TuningRuns, prop.TuningRuns, sat.TotalEnergy(), prop.TotalEnergy())
+}
+
+// Once converged, SaT's knowledge is complete: every app must end with all
+// three sizes tuned (enough arrivals per app guarantee convergence).
+func TestSaTConverges(t *testing.T) {
+	db := testDB(t)
+	jobs := testJobs(t, db, 1200, 0.8, 16)
+	sim, err := NewSimulator(db, energy.NewDefault(), SaTPolicy{}, nil, DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, j := range jobs {
+		seen[j.AppID] = true
+	}
+	for app := range seen {
+		if _, ok := satBestSize(sim, app); !ok {
+			t.Errorf("app %d never converged to a best size", app)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package core implements the paper's primary contribution: the dynamic
+// scheduler for a heterogeneous quad-core system with configurable caches,
+// together with the discrete-event simulator and the three comparison
+// systems of Section V (base, optimal, energy-centric) against which the
+// proposed system is evaluated.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hetsched/internal/characterize"
+)
+
+// Job is one benchmark arrival.
+type Job struct {
+	// Index is the arrival sequence number.
+	Index int
+	// AppID indexes the characterization DB (the paper's benchmark
+	// identification number).
+	AppID int
+	// ArrivalCycle is the arrival time in cycles.
+	ArrivalCycle uint64
+
+	// Priority orders the ready queue when priority scheduling is enabled
+	// (higher runs first; 0 is the default for the paper's FIFO setup).
+	Priority int
+	// DeadlineCycle is the absolute completion deadline (0 = none). Missed
+	// deadlines are counted in Metrics.DeadlineMisses.
+	DeadlineCycle uint64
+
+	// remainingFrac is the unexecuted share of the job (1 until first
+	// started; reduced when preempted mid-execution).
+	remainingFrac float64
+}
+
+// remaining returns the unexecuted share, defaulting to the whole job.
+func (j *Job) remaining() float64 {
+	if j.remainingFrac == 0 {
+		return 1
+	}
+	return j.remainingFrac
+}
+
+// ArrivalModel selects the arrival process.
+type ArrivalModel int
+
+// Arrival processes.
+const (
+	// ArrivalUniform draws i.i.d. uniform arrival times over the horizon —
+	// the paper's "5000 uniform distribution arrival times".
+	ArrivalUniform ArrivalModel = iota
+	// ArrivalPoisson uses exponential inter-arrival times at the rate
+	// implied by Arrivals/HorizonCycles (a memoryless open system).
+	ArrivalPoisson
+	// ArrivalBursty alternates high-rate bursts and quiet gaps (4x / 0.25x
+	// the mean rate over horizon/16-long phases) — the stress case for
+	// stall decisions.
+	ArrivalBursty
+)
+
+// String names the model.
+func (m ArrivalModel) String() string {
+	switch m {
+	case ArrivalUniform:
+		return "uniform"
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalBursty:
+		return "bursty"
+	}
+	return fmt.Sprintf("arrival(%d)", int(m))
+}
+
+// WorkloadConfig controls workload generation. The paper creates 5000
+// uniformly distributed arrivals over the full EEMBC suite.
+type WorkloadConfig struct {
+	// Arrivals is the number of jobs (paper: 5000).
+	Arrivals int
+	// AppIDs is the population of application IDs to draw uniformly from.
+	AppIDs []int
+	// HorizonCycles spreads arrivals over [0, HorizonCycles).
+	HorizonCycles uint64
+	// Model selects the arrival process (default ArrivalUniform).
+	Model ArrivalModel
+	// Seed drives the draws.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c WorkloadConfig) Validate() error {
+	if c.Arrivals < 1 {
+		return fmt.Errorf("core: arrivals %d < 1", c.Arrivals)
+	}
+	if len(c.AppIDs) == 0 {
+		return fmt.Errorf("core: no application IDs")
+	}
+	if c.HorizonCycles == 0 {
+		return fmt.Errorf("core: zero horizon")
+	}
+	return nil
+}
+
+// GenerateWorkload draws jobs under the configured arrival process with
+// uniformly chosen applications, sorted by arrival time.
+func GenerateWorkload(cfg WorkloadConfig) ([]Job, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var arrivals []uint64
+	switch cfg.Model {
+	case ArrivalUniform:
+		// Draw (app, arrival) pairs interleaved — the original stream
+		// layout, kept bit-identical so seeded experiments stay stable.
+		jobs := make([]Job, cfg.Arrivals)
+		for i := range jobs {
+			jobs[i] = Job{
+				AppID:        cfg.AppIDs[rng.Intn(len(cfg.AppIDs))],
+				ArrivalCycle: uint64(rng.Int63n(int64(cfg.HorizonCycles))),
+			}
+		}
+		return finishWorkload(jobs), nil
+	case ArrivalPoisson:
+		mean := float64(cfg.HorizonCycles) / float64(cfg.Arrivals)
+		at := 0.0
+		for len(arrivals) < cfg.Arrivals {
+			at += rng.ExpFloat64() * mean
+			arrivals = append(arrivals, uint64(at))
+		}
+	case ArrivalBursty:
+		// Alternate burst (4x rate) and quiet (0.25x rate) phases of
+		// horizon/16 cycles each; within a phase, Poisson arrivals.
+		baseMean := float64(cfg.HorizonCycles) / float64(cfg.Arrivals)
+		phaseLen := float64(cfg.HorizonCycles) / 16
+		at := 0.0
+		for len(arrivals) < cfg.Arrivals {
+			phase := int(at / phaseLen)
+			mean := baseMean / 4
+			if phase%2 == 1 {
+				mean = baseMean * 4
+			}
+			at += rng.ExpFloat64() * mean
+			arrivals = append(arrivals, uint64(at))
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown arrival model %d", cfg.Model)
+	}
+
+	jobs := make([]Job, cfg.Arrivals)
+	for i := range jobs {
+		jobs[i] = Job{
+			AppID:        cfg.AppIDs[rng.Intn(len(cfg.AppIDs))],
+			ArrivalCycle: arrivals[i],
+		}
+	}
+	return finishWorkload(jobs), nil
+}
+
+// finishWorkload sorts by arrival and assigns indices.
+func finishWorkload(jobs []Job) []Job {
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].ArrivalCycle != jobs[j].ArrivalCycle {
+			return jobs[i].ArrivalCycle < jobs[j].ArrivalCycle
+		}
+		return jobs[i].AppID < jobs[j].AppID
+	})
+	for i := range jobs {
+		jobs[i].Index = i
+	}
+	return jobs
+}
+
+// HorizonForUtilization sizes the arrival horizon so the quad-core system
+// runs at roughly the requested utilization (0 < util <= ~1.5): the sum of
+// best-configuration execution times of the drawn population, divided by
+// core count and utilization. Higher utilization means more contention and
+// more scheduler decisions — the regime the paper's results live in.
+func HorizonForUtilization(db *characterize.DB, appIDs []int, arrivals, cores int, util float64) (uint64, error) {
+	if util <= 0 || util > 4 {
+		return 0, fmt.Errorf("core: utilization %v out of range", util)
+	}
+	if cores < 1 {
+		return 0, fmt.Errorf("core: %d cores", cores)
+	}
+	if len(appIDs) == 0 {
+		return 0, fmt.Errorf("core: no application IDs")
+	}
+	var mean float64
+	for _, id := range appIDs {
+		rec, err := db.Record(id)
+		if err != nil {
+			return 0, err
+		}
+		mean += float64(rec.BestConfig().Cycles)
+	}
+	mean /= float64(len(appIDs))
+	horizon := mean * float64(arrivals) / float64(cores) / util
+	if horizon < 1 {
+		horizon = 1
+	}
+	return uint64(horizon), nil
+}
+
+// AllAppIDs returns every application ID in the DB.
+func AllAppIDs(db *characterize.DB) []int {
+	ids := make([]int, len(db.Records))
+	for i := range db.Records {
+		ids[i] = db.Records[i].ID
+	}
+	return ids
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"testing"
+
+	"hetsched/internal/characterize"
+	"hetsched/internal/energy"
+)
+
+func TestWorkloadValidation(t *testing.T) {
+	bad := []WorkloadConfig{
+		{Arrivals: 0, AppIDs: []int{0}, HorizonCycles: 100},
+		{Arrivals: 10, AppIDs: nil, HorizonCycles: 100},
+		{Arrivals: 10, AppIDs: []int{0}, HorizonCycles: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateWorkload(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestWorkloadSortedAndInRange(t *testing.T) {
+	cfg := WorkloadConfig{
+		Arrivals:      500,
+		AppIDs:        []int{3, 7, 11},
+		HorizonCycles: 1_000_000,
+		Seed:          9,
+	}
+	jobs, err := GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 500 {
+		t.Fatalf("generated %d jobs", len(jobs))
+	}
+	apps := map[int]int{}
+	for i, j := range jobs {
+		if j.Index != i {
+			t.Errorf("job %d has index %d", i, j.Index)
+		}
+		if i > 0 && jobs[i-1].ArrivalCycle > j.ArrivalCycle {
+			t.Fatal("jobs not sorted by arrival")
+		}
+		if j.ArrivalCycle >= cfg.HorizonCycles {
+			t.Errorf("arrival %d beyond horizon", j.ArrivalCycle)
+		}
+		apps[j.AppID]++
+	}
+	for _, id := range cfg.AppIDs {
+		if apps[id] == 0 {
+			t.Errorf("app %d never drawn in 500 arrivals", id)
+		}
+	}
+	for id := range apps {
+		found := false
+		for _, want := range cfg.AppIDs {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unknown app %d drawn", id)
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	cfg := WorkloadConfig{Arrivals: 100, AppIDs: []int{0, 1}, HorizonCycles: 1000, Seed: 4}
+	a, err := GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+	cfg.Seed = 5
+	c, err := GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestHorizonForUtilization(t *testing.T) {
+	db, err := characterize.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := AllAppIDs(db)
+	h1, err := HorizonForUtilization(db, ids, 1000, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HorizonForUtilization(db, ids, 1000, 4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 >= h1 {
+		t.Errorf("higher utilization should shrink horizon: %d vs %d", h2, h1)
+	}
+	h4, err := HorizonForUtilization(db, ids, 2000, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h4 <= h1 {
+		t.Errorf("more arrivals should grow horizon: %d vs %d", h4, h1)
+	}
+	if _, err := HorizonForUtilization(db, ids, 1000, 4, 0); err == nil {
+		t.Error("zero utilization accepted")
+	}
+	if _, err := HorizonForUtilization(db, ids, 1000, 0, 0.5); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := HorizonForUtilization(db, nil, 1000, 4, 0.5); err == nil {
+		t.Error("no apps accepted")
+	}
+	if _, err := HorizonForUtilization(db, []int{999}, 1000, 4, 0.5); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestArrivalModels(t *testing.T) {
+	base := WorkloadConfig{
+		Arrivals:      2000,
+		AppIDs:        []int{0, 1, 2},
+		HorizonCycles: 10_000_000,
+		Seed:          5,
+	}
+	for _, model := range []ArrivalModel{ArrivalUniform, ArrivalPoisson, ArrivalBursty} {
+		cfg := base
+		cfg.Model = model
+		jobs, err := GenerateWorkload(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if len(jobs) != cfg.Arrivals {
+			t.Fatalf("%v: %d jobs", model, len(jobs))
+		}
+		for i := 1; i < len(jobs); i++ {
+			if jobs[i-1].ArrivalCycle > jobs[i].ArrivalCycle {
+				t.Fatalf("%v: not sorted", model)
+			}
+		}
+		if model.String() == "" {
+			t.Errorf("unnamed model %d", model)
+		}
+	}
+	bad := base
+	bad.Model = ArrivalModel(99)
+	if _, err := GenerateWorkload(bad); err == nil {
+		t.Error("unknown arrival model accepted")
+	}
+}
+
+// Burstiness check: the bursty model's inter-arrival variance must exceed
+// the Poisson model's (coefficient of variation > 1), and Poisson's must
+// exceed none-at-all.
+func TestBurstyHasHigherVariance(t *testing.T) {
+	cv := func(model ArrivalModel) float64 {
+		jobs, err := GenerateWorkload(WorkloadConfig{
+			Arrivals: 4000, AppIDs: []int{0}, HorizonCycles: 40_000_000,
+			Model: model, Seed: 6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gaps []float64
+		for i := 1; i < len(jobs); i++ {
+			gaps = append(gaps, float64(jobs[i].ArrivalCycle-jobs[i-1].ArrivalCycle))
+		}
+		mean, varr := 0.0, 0.0
+		for _, g := range gaps {
+			mean += g
+		}
+		mean /= float64(len(gaps))
+		for _, g := range gaps {
+			varr += (g - mean) * (g - mean)
+		}
+		varr /= float64(len(gaps))
+		if mean == 0 {
+			return 0
+		}
+		return varr / (mean * mean) // squared coefficient of variation
+	}
+	poisson := cv(ArrivalPoisson)
+	bursty := cv(ArrivalBursty)
+	t.Logf("squared CV: poisson %.2f, bursty %.2f", poisson, bursty)
+	// Poisson: CV^2 ~ 1. Bursty must be clearly above.
+	if poisson < 0.7 || poisson > 1.4 {
+		t.Errorf("poisson squared CV %.2f far from 1", poisson)
+	}
+	if bursty < 1.5*poisson {
+		t.Errorf("bursty squared CV %.2f not clearly above poisson %.2f", bursty, poisson)
+	}
+}
+
+func TestTurnaroundPercentiles(t *testing.T) {
+	m := Metrics{Turnarounds: []uint64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}}
+	cases := []struct {
+		p    float64
+		want uint64
+	}{
+		{50, 50}, {90, 90}, {100, 100}, {10, 10}, {1, 10},
+	}
+	for _, tc := range cases {
+		if got := m.TurnaroundPercentile(tc.p); got != tc.want {
+			t.Errorf("p%v = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	if got := (Metrics{}).TurnaroundPercentile(50); got != 0 {
+		t.Errorf("empty percentile = %d", got)
+	}
+	if got := m.TurnaroundPercentile(0); got != 0 {
+		t.Errorf("p0 = %d, want 0", got)
+	}
+	if got := m.TurnaroundPercentile(101); got != 0 {
+		t.Errorf("p101 = %d, want 0", got)
+	}
+}
+
+func TestPercentilesPopulatedByRun(t *testing.T) {
+	db := testDB(t)
+	jobs := testJobs(t, db, 200, 0.7, 12)
+	sim, err := NewSimulator(db, energyDefaultForTest(), BasePolicy{}, nil,
+		SimConfig{CoreSizesKB: BaseCoreSizes(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Turnarounds) != len(jobs) {
+		t.Fatalf("recorded %d turnarounds for %d jobs", len(m.Turnarounds), len(jobs))
+	}
+	p50 := m.TurnaroundPercentile(50)
+	p99 := m.TurnaroundPercentile(99)
+	if p50 == 0 || p99 < p50 {
+		t.Errorf("implausible percentiles p50=%d p99=%d", p50, p99)
+	}
+	var sum uint64
+	for _, v := range m.Turnarounds {
+		sum += v
+	}
+	if sum != m.TurnaroundCycles {
+		t.Errorf("per-job turnarounds sum %d != aggregate %d", sum, m.TurnaroundCycles)
+	}
+}
+
+func TestAllAppIDs(t *testing.T) {
+	db, err := characterize.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := AllAppIDs(db)
+	if len(ids) != len(db.Records) {
+		t.Fatalf("AllAppIDs returned %d ids", len(ids))
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Errorf("ids[%d] = %d", i, id)
+		}
+	}
+}
+
+func energyDefaultForTest() *energy.Model { return energy.NewDefault() }

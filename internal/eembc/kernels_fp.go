@@ -1,0 +1,622 @@
+package eembc
+
+import (
+	"hetsched/internal/isa"
+	"hetsched/internal/vm"
+)
+
+// Floating-point kernels. Data layout conventions: float64 slots are 8
+// bytes; complex points are interleaved (re, im) in 16-byte records. Kernels
+// that damp values across outer iterations keep the literal 0.5 in a
+// constants slot loaded into F15 at program start.
+
+// fftProgram emits an iterative decimation-in-frequency FFT-like transform
+// over n complex points with a precomputed n-entry twiddle table. inverse
+// selects the mirrored stage order (decimation in time), which changes the
+// stride pattern the cache sees. Both damp by 0.5 per butterfly so repeated
+// outer iterations stay numerically bounded.
+func fftProgram(name string, n, iterations, dataBase, twBase, constBase int64, inverse bool) (*isa.Program, error) {
+	b := isa.NewBuilder(name).
+		Li(isa.R10, dataBase).
+		Li(isa.R11, twBase).
+		Li(isa.R12, n).
+		Flw(isa.F15, isa.R0, constBase). // 0.5
+		Li(isa.R9, iterations).
+		Label("outer").
+		Beq(isa.R9, isa.R0, "done")
+	if inverse {
+		b.Li(isa.R1, 1) // len doubles: 1 .. n/2
+	} else {
+		b.Shri(isa.R1, isa.R12, 1) // len halves: n/2 .. 1
+	}
+	b.Label("lenloop").
+		Beq(isa.R1, isa.R0, "outer_next").
+		Bge(isa.R1, isa.R12, "outer_next").
+		// tstep = n / (2*len)
+		Shli(isa.R8, isa.R1, 1).
+		Div(isa.R13, isa.R12, isa.R8).
+		Li(isa.R2, 0).
+		Label("iloop").
+		Bge(isa.R2, isa.R12, "iend").
+		Li(isa.R3, 0).
+		Label("jloop").
+		Bge(isa.R3, isa.R1, "jend").
+		// addrA = base + (i+j)*16 ; addrB = addrA + len*16
+		Add(isa.R4, isa.R2, isa.R3).
+		Shli(isa.R5, isa.R4, 4).
+		Add(isa.R5, isa.R5, isa.R10).
+		Add(isa.R6, isa.R4, isa.R1).
+		Shli(isa.R6, isa.R6, 4).
+		Add(isa.R6, isa.R6, isa.R10).
+		Flw(isa.F1, isa.R5, 0). // ar
+		Flw(isa.F2, isa.R5, 8). // ai
+		Flw(isa.F3, isa.R6, 0). // br
+		Flw(isa.F4, isa.R6, 8). // bi
+		// sum = (a+b)*0.5
+		Fadd(isa.F5, isa.F1, isa.F3).
+		Fadd(isa.F6, isa.F2, isa.F4).
+		Fmul(isa.F5, isa.F5, isa.F15).
+		Fmul(isa.F6, isa.F6, isa.F15).
+		// diff = a-b
+		Fsub(isa.F7, isa.F1, isa.F3).
+		Fsub(isa.F8, isa.F2, isa.F4).
+		// w = tw[j*tstep]
+		Mul(isa.R7, isa.R3, isa.R13).
+		Shli(isa.R7, isa.R7, 4).
+		Add(isa.R7, isa.R7, isa.R11).
+		Flw(isa.F9, isa.R7, 0).  // wr
+		Flw(isa.F10, isa.R7, 8). // wi
+		// c = diff*w*0.5 (complex multiply)
+		Fmul(isa.F11, isa.F7, isa.F9).
+		Fmul(isa.F12, isa.F8, isa.F10).
+		Fsub(isa.F11, isa.F11, isa.F12).
+		Fmul(isa.F12, isa.F7, isa.F10).
+		Fmul(isa.F13, isa.F8, isa.F9).
+		Fadd(isa.F12, isa.F12, isa.F13).
+		Fmul(isa.F11, isa.F11, isa.F15).
+		Fmul(isa.F12, isa.F12, isa.F15).
+		// store
+		Fsw(isa.F5, isa.R5, 0).
+		Fsw(isa.F6, isa.R5, 8).
+		Fsw(isa.F11, isa.R6, 0).
+		Fsw(isa.F12, isa.R6, 8).
+		Addi(isa.R3, isa.R3, 1).
+		Jmp("jloop").
+		Label("jend").
+		Shli(isa.R8, isa.R1, 1).
+		Add(isa.R2, isa.R2, isa.R8).
+		Jmp("iloop").
+		Label("iend")
+	if inverse {
+		b.Shli(isa.R1, isa.R1, 1)
+	} else {
+		b.Shri(isa.R1, isa.R1, 1)
+	}
+	b.Jmp("lenloop").
+		Label("outer_next").
+		Addi(isa.R9, isa.R9, -1).
+		Jmp("outer").
+		Label("done").
+		Halt()
+	return b.Build()
+}
+
+// fftInit fills the complex data and twiddle tables and the 0.5 constant.
+func fftInit(name string, points int, dataBase, twBase, constBase uint64) func(v *vm.VM, p Params) error {
+	return func(v *vm.VM, p Params) error {
+		r := rng(name, p)
+		if err := pokeFloats(v, dataBase, points*2, func(i int) float64 {
+			return r.Float64()*2 - 1
+		}); err != nil {
+			return err
+		}
+		if err := pokeFloats(v, twBase, points*2, func(i int) float64 {
+			return sineLike(float64(i) / float64(2*points))
+		}); err != nil {
+			return err
+		}
+		return v.PokeFloat(constBase, 0.5)
+	}
+}
+
+// sineLike is a cheap deterministic periodic triangle wave in [-1, 1]; close
+// enough to sinusoidal twiddles for an access-pattern kernel and exactly
+// reproducible on every platform.
+func sineLike(x float64) float64 {
+	x -= float64(int64(x))
+	if x < 0 {
+		x++
+	}
+	switch {
+	case x < 0.25:
+		return 4 * x
+	case x < 0.75:
+		return 2 - 4*x
+	default:
+		return -4 + 4*x
+	}
+}
+
+// aifftr emulates EEMBC aifftr01: a radix-2 FFT over 128 complex points at
+// scale 1 (2 KB data + 2 KB twiddles). Strided butterflies make it line-
+// and capacity-sensitive around the 4 KB boundary.
+func aifftr() Kernel {
+	points := func(p Params) int { return 128 * p.Scale }
+	return Kernel{
+		Name:        "aifftr",
+		Description: "radix-2 FFT butterflies over complex points",
+		MemBytes: func(p Params) int {
+			return points(p)*16*2 + 64
+		},
+		Program: func(p Params) (*isa.Program, error) {
+			n := int64(points(p))
+			twBase := n * 16
+			constBase := twBase + n*16
+			return fftProgram("aifftr", n, int64(p.Iterations), 0, twBase, constBase, false)
+		},
+		Init: func(v *vm.VM, p Params) error {
+			n := points(p)
+			return fftInit("aifftr", n, 0, uint64(n*16), uint64(n*32))(v, p)
+		},
+	}
+}
+
+// aiifft emulates EEMBC aiifft01: the inverse transform with mirrored stage
+// order and a doubled working set (256 points at scale 1, ≈8 KB total) — an
+// 8 KB-core kernel.
+func aiifft() Kernel {
+	points := func(p Params) int { return 256 * p.Scale }
+	return Kernel{
+		Name:        "aiifft",
+		Description: "inverse FFT with doubled working set",
+		MemBytes: func(p Params) int {
+			return points(p)*16*2 + 64
+		},
+		Program: func(p Params) (*isa.Program, error) {
+			n := int64(points(p))
+			twBase := n * 16
+			constBase := twBase + n*16
+			return fftProgram("aiifft", n, int64(p.Iterations*2), 0, twBase, constBase, true)
+		},
+		Init: func(v *vm.VM, p Params) error {
+			n := points(p)
+			return fftInit("aiifft", n, 0, uint64(n*16), uint64(n*32))(v, p)
+		},
+	}
+}
+
+// aifirf emulates EEMBC aifirf01: a 16-tap FIR filter run repeatedly over a
+// held signal buffer (as in block-based automotive DSP). Signal plus output
+// total ≈7 KB at scale 1, reused across passes — resident only in the 8 KB
+// caches.
+func aifirf() Kernel {
+	const taps = 16
+	samples := func(p Params) int { return 416 * p.Scale }
+	return Kernel{
+		Name:        "aifirf",
+		Description: "16-tap FIR filter over a streaming signal",
+		MemBytes: func(p Params) int {
+			return taps*8 + samples(p)*8*2 + 64
+		},
+		Program: func(p Params) (*isa.Program, error) {
+			n := int64(samples(p))
+			coefBase := int64(0)
+			sigBase := int64(taps * 8)
+			outBase := sigBase + n*8
+			b := isa.NewBuilder("aifirf").
+				Li(isa.R10, coefBase).
+				Li(isa.R11, sigBase).
+				Li(isa.R12, outBase).
+				Li(isa.R14, taps).
+				Li(isa.R15, n).
+				Li(isa.R9, int64(p.Iterations)).
+				Label("outer").
+				Beq(isa.R9, isa.R0, "done").
+				Li(isa.R1, taps). // first sample with a full window
+				Label("loop").
+				Bge(isa.R1, isa.R15, "outer_next").
+				Fsub(isa.F5, isa.F5, isa.F5). // acc = 0
+				Li(isa.R2, 0).                // tap index
+				Label("taps").
+				Bge(isa.R2, isa.R14, "tapsdone").
+				Shli(isa.R4, isa.R2, 3).
+				Add(isa.R4, isa.R4, isa.R10).
+				Flw(isa.F1, isa.R4, 0). // coef[t]
+				Sub(isa.R5, isa.R1, isa.R2).
+				Shli(isa.R5, isa.R5, 3).
+				Add(isa.R5, isa.R5, isa.R11).
+				Flw(isa.F2, isa.R5, 0). // sig[i-t]
+				Fmul(isa.F3, isa.F1, isa.F2).
+				Fadd(isa.F5, isa.F5, isa.F3).
+				Addi(isa.R2, isa.R2, 1).
+				Jmp("taps").
+				Label("tapsdone").
+				Shli(isa.R4, isa.R1, 3).
+				Add(isa.R4, isa.R4, isa.R12).
+				Fsw(isa.F5, isa.R4, 0). // out[i]
+				Addi(isa.R1, isa.R1, 1).
+				Jmp("loop").
+				Label("outer_next").
+				Addi(isa.R9, isa.R9, -1).
+				Jmp("outer").
+				Label("done").
+				Halt()
+			return b.Build()
+		},
+		Init: func(v *vm.VM, p Params) error {
+			r := rng("aifirf", p)
+			if err := pokeFloats(v, 0, taps, func(i int) float64 {
+				return r.Float64()*0.25 - 0.125
+			}); err != nil {
+				return err
+			}
+			return pokeFloats(v, taps*8, samples(p), func(i int) float64 {
+				return r.Float64()*2 - 1
+			})
+		},
+	}
+}
+
+// basefp emulates EEMBC basefp01: floating-point housekeeping — Horner
+// polynomial evaluation, guarded division and clamping over two tiny arrays
+// (1 KB total). Compute-bound with a sub-2 KB working set.
+func basefp() Kernel {
+	const words = 64 // per array
+	return Kernel{
+		Name:        "basefp",
+		Description: "polynomial evaluation and clamping over tiny arrays",
+		MemBytes:    func(p Params) int { return words*8*2 + 64 },
+		Program: func(p Params) (*isa.Program, error) {
+			n := int64(2048 * p.Scale)
+			aBase := int64(0)
+			bBase := int64(words * 8)
+			constBase := bBase + words*8
+			b := isa.NewBuilder("basefp").
+				Li(isa.R10, aBase).
+				Li(isa.R11, bBase).
+				Flw(isa.F15, isa.R0, constBase). // 0.5 damping
+				// Materialize comparison constants: F12=+1, F13=-1, F14=+2.
+				Li(isa.R3, 1).
+				Itof(isa.F12, isa.R3).
+				Li(isa.R3, -1).
+				Itof(isa.F13, isa.R3).
+				Li(isa.R3, 2).
+				Itof(isa.F14, isa.R3).
+				Li(isa.R9, int64(p.Iterations)).
+				Label("outer").
+				Beq(isa.R9, isa.R0, "done").
+				Li(isa.R1, 0).
+				Li(isa.R2, n).
+				Label("loop").
+				Bge(isa.R1, isa.R2, "outer_next").
+				Andi(isa.R3, isa.R1, 63).
+				Shli(isa.R4, isa.R3, 3).
+				Add(isa.R5, isa.R4, isa.R10).
+				Add(isa.R6, isa.R4, isa.R11).
+				Flw(isa.F1, isa.R5, 0). // x
+				Flw(isa.F2, isa.R6, 0). // c
+				// Horner: y = ((x*c + c)*x + c)*x + c
+				Fmul(isa.F3, isa.F1, isa.F2).
+				Fadd(isa.F3, isa.F3, isa.F2).
+				Fmul(isa.F3, isa.F3, isa.F1).
+				Fadd(isa.F3, isa.F3, isa.F2).
+				Fmul(isa.F3, isa.F3, isa.F1).
+				Fadd(isa.F3, isa.F3, isa.F2).
+				// guarded divide: y = y / (x + 2) — x in (-1,1) keeps it safe
+				Fadd(isa.F4, isa.F1, isa.F14). // F14 = 2.0
+				Fdiv(isa.F3, isa.F3, isa.F4).
+				// clamp to (-1, 1) by damping when out of range
+				Fblt(isa.F3, isa.F13, "neg"). // F13 = -1.0
+				Fbge(isa.F3, isa.F12, "pos"). // F12 = +1.0
+				Jmp("store").
+				Label("neg").
+				Fmul(isa.F3, isa.F3, isa.F15).
+				Jmp("store").
+				Label("pos").
+				Fmul(isa.F3, isa.F3, isa.F15).
+				Label("store").
+				Fsw(isa.F3, isa.R5, 0). // a[idx] = y
+				Addi(isa.R1, isa.R1, 1).
+				Jmp("loop").
+				Label("outer_next").
+				Addi(isa.R9, isa.R9, -1).
+				Jmp("outer").
+				Label("done").
+				Halt()
+			return b.Build()
+		},
+		Init: func(v *vm.VM, p Params) error {
+			r := rng("basefp", p)
+			if err := pokeFloats(v, 0, words, func(i int) float64 {
+				return r.Float64()*1.8 - 0.9
+			}); err != nil {
+				return err
+			}
+			if err := pokeFloats(v, words*8, words, func(i int) float64 {
+				return r.Float64()*0.5 - 0.25
+			}); err != nil {
+				return err
+			}
+			return v.PokeFloat(uint64(words*8*2), 0.5)
+		},
+	}
+}
+
+// idctrn emulates EEMBC idctrn01: 8×8 inverse-DCT-like transforms over a
+// sequence of blocks. Per-block locality is strong (512 B hot) but the block
+// stream plus coefficient table total ≈8.5 KB at scale 1.
+func idctrn() Kernel {
+	blocks := func(p Params) int { return 8 * p.Scale }
+	return Kernel{
+		Name:        "idctrn",
+		Description: "8x8 IDCT-like block transforms",
+		MemBytes: func(p Params) int {
+			// coeff (64) + in blocks + out blocks
+			return 64*8 + blocks(p)*64*8*2 + 64
+		},
+		Program: func(p Params) (*isa.Program, error) {
+			nb := int64(blocks(p))
+			coefBase := int64(0)
+			inBase := int64(64 * 8)
+			outBase := inBase + nb*64*8
+			b := isa.NewBuilder("idctrn").
+				Li(isa.R10, coefBase).
+				Li(isa.R11, inBase).
+				Li(isa.R12, outBase).
+				Li(isa.R14, 8).
+				Li(isa.R15, nb).
+				Li(isa.R9, int64(p.Iterations)).
+				Label("outer").
+				Beq(isa.R9, isa.R0, "done").
+				Li(isa.R1, 0). // block
+				Label("blk").
+				Bge(isa.R1, isa.R15, "outer_next").
+				Li(isa.R2, 0). // u
+				Label("uloop").
+				Bge(isa.R2, isa.R14, "blkdone").
+				Li(isa.R3, 0). // v
+				Label("vloop").
+				Bge(isa.R3, isa.R14, "udone").
+				Fsub(isa.F5, isa.F5, isa.F5). // acc = 0
+				Li(isa.R4, 0).                // k
+				Label("kloop").
+				Bge(isa.R4, isa.R14, "kdone").
+				// coeff[u*8+k]
+				Shli(isa.R5, isa.R2, 3).
+				Add(isa.R5, isa.R5, isa.R4).
+				Shli(isa.R5, isa.R5, 3).
+				Add(isa.R5, isa.R5, isa.R10).
+				Flw(isa.F1, isa.R5, 0).
+				// in[block*64 + k*8 + v]
+				Shli(isa.R6, isa.R1, 6).
+				Shli(isa.R7, isa.R4, 3).
+				Add(isa.R6, isa.R6, isa.R7).
+				Add(isa.R6, isa.R6, isa.R3).
+				Shli(isa.R6, isa.R6, 3).
+				Add(isa.R6, isa.R6, isa.R11).
+				Flw(isa.F2, isa.R6, 0).
+				Fmul(isa.F3, isa.F1, isa.F2).
+				Fadd(isa.F5, isa.F5, isa.F3).
+				Addi(isa.R4, isa.R4, 1).
+				Jmp("kloop").
+				Label("kdone").
+				// out[block*64 + u*8 + v] = acc
+				Shli(isa.R6, isa.R1, 6).
+				Shli(isa.R7, isa.R2, 3).
+				Add(isa.R6, isa.R6, isa.R7).
+				Add(isa.R6, isa.R6, isa.R3).
+				Shli(isa.R6, isa.R6, 3).
+				Add(isa.R6, isa.R6, isa.R12).
+				Fsw(isa.F5, isa.R6, 0).
+				Addi(isa.R3, isa.R3, 1).
+				Jmp("vloop").
+				Label("udone").
+				Addi(isa.R2, isa.R2, 1).
+				Jmp("uloop").
+				Label("blkdone").
+				Addi(isa.R1, isa.R1, 1).
+				Jmp("blk").
+				Label("outer_next").
+				Addi(isa.R9, isa.R9, -1).
+				Jmp("outer").
+				Label("done").
+				Halt()
+			return b.Build()
+		},
+		Init: func(v *vm.VM, p Params) error {
+			r := rng("idctrn", p)
+			if err := pokeFloats(v, 0, 64, func(i int) float64 {
+				return sineLike(float64(i)/64.0) * 0.35
+			}); err != nil {
+				return err
+			}
+			return pokeFloats(v, 64*8, blocks(p)*64, func(i int) float64 {
+				return r.Float64()*2 - 1
+			})
+		},
+	}
+}
+
+// iirflt emulates EEMBC iirflt01: a two-section IIR biquad cascade over a
+// streaming signal. The filter state and coefficients are a few hundred
+// bytes of very hot data; the signal streams through once per iteration.
+func iirflt() Kernel {
+	samples := func(p Params) int { return 448 * p.Scale }
+	const sections = 2
+	return Kernel{
+		Name:        "iirflt",
+		Description: "two-section IIR biquad cascade over a streaming signal",
+		MemBytes: func(p Params) int {
+			// coeffs (5/section) + state (2/section) + in + out
+			return sections*7*8 + samples(p)*8*2 + 64
+		},
+		Program: func(p Params) (*isa.Program, error) {
+			n := int64(samples(p))
+			coefBase := int64(0)                 // 5 floats per section
+			stateBase := int64(sections * 5 * 8) // 2 floats per section
+			inBase := stateBase + sections*2*8
+			outBase := inBase + n*8
+			b := isa.NewBuilder("iirflt").
+				Li(isa.R10, coefBase).
+				Li(isa.R11, stateBase).
+				Li(isa.R12, inBase).
+				Li(isa.R13, outBase).
+				Li(isa.R14, sections).
+				Li(isa.R15, n).
+				Li(isa.R9, int64(p.Iterations*3)).
+				Label("outer").
+				Beq(isa.R9, isa.R0, "done").
+				Li(isa.R1, 0).
+				Label("loop").
+				Bge(isa.R1, isa.R15, "outer_next").
+				Shli(isa.R4, isa.R1, 3).
+				Add(isa.R4, isa.R4, isa.R12).
+				Flw(isa.F1, isa.R4, 0). // x
+				Li(isa.R2, 0).          // section
+				Label("sect").
+				Bge(isa.R2, isa.R14, "sectdone").
+				// coeffs b0,b1,b2,a1,a2 at coefBase + s*40
+				Li(isa.R6, 40).
+				Mul(isa.R5, isa.R2, isa.R6).
+				Add(isa.R5, isa.R5, isa.R10).
+				Flw(isa.F2, isa.R5, 0).  // b0
+				Flw(isa.F3, isa.R5, 8).  // b1
+				Flw(isa.F4, isa.R5, 16). // b2
+				Flw(isa.F5, isa.R5, 24). // a1
+				Flw(isa.F6, isa.R5, 32). // a2
+				// state w1,w2 at stateBase + s*16
+				Shli(isa.R6, isa.R2, 4).
+				Add(isa.R6, isa.R6, isa.R11).
+				Flw(isa.F7, isa.R6, 0). // w1
+				Flw(isa.F8, isa.R6, 8). // w2
+				// direct form II: w0 = x - a1*w1 - a2*w2
+				Fmul(isa.F9, isa.F5, isa.F7).
+				Fsub(isa.F10, isa.F1, isa.F9).
+				Fmul(isa.F9, isa.F6, isa.F8).
+				Fsub(isa.F10, isa.F10, isa.F9).
+				// y = b0*w0 + b1*w1 + b2*w2
+				Fmul(isa.F11, isa.F2, isa.F10).
+				Fmul(isa.F9, isa.F3, isa.F7).
+				Fadd(isa.F11, isa.F11, isa.F9).
+				Fmul(isa.F9, isa.F4, isa.F8).
+				Fadd(isa.F11, isa.F11, isa.F9).
+				// state update: w2 = w1 ; w1 = w0
+				Fsw(isa.F7, isa.R6, 8).
+				Fsw(isa.F10, isa.R6, 0).
+				Fmov(isa.F1, isa.F11). // cascade
+				Addi(isa.R2, isa.R2, 1).
+				Jmp("sect").
+				Label("sectdone").
+				Shli(isa.R4, isa.R1, 3).
+				Add(isa.R4, isa.R4, isa.R13).
+				Fsw(isa.F1, isa.R4, 0). // out[i]
+				Addi(isa.R1, isa.R1, 1).
+				Jmp("loop").
+				Label("outer_next").
+				Addi(isa.R9, isa.R9, -1).
+				Jmp("outer").
+				Label("done").
+				Halt()
+			return b.Build()
+		},
+		Init: func(v *vm.VM, p Params) error {
+			r := rng("iirflt", p)
+			// Stable biquad coefficients (small feedback terms).
+			coefs := []float64{0.2, 0.4, 0.2, -0.3, 0.1, 0.25, 0.5, 0.25, -0.2, 0.05}
+			for i, c := range coefs {
+				if err := v.PokeFloat(uint64(i*8), c); err != nil {
+					return err
+				}
+			}
+			return pokeFloats(v, uint64(sections*5*8+sections*2*8), samples(p), func(i int) float64 {
+				return r.Float64()*2 - 1
+			})
+		},
+	}
+}
+
+// matrix emulates EEMBC matrix01: dense float matrix multiply. At scale 1
+// the three 16×16 matrices total 6 KB; the column walk through B defeats
+// small caches — the archetypal 8 KB kernel.
+func matrix() Kernel {
+	dim := func(p Params) int {
+		d := 16 * p.Scale
+		if d > 48 {
+			d = 48
+		}
+		return d
+	}
+	return Kernel{
+		Name:        "matrix",
+		Description: "dense matrix multiply with column-strided operand",
+		MemBytes: func(p Params) int {
+			d := dim(p)
+			return 3*d*d*8 + 64
+		},
+		Program: func(p Params) (*isa.Program, error) {
+			d := int64(dim(p))
+			aBase := int64(0)
+			bBase := d * d * 8
+			cBase := 2 * d * d * 8
+			b := isa.NewBuilder("matrix").
+				Li(isa.R10, aBase).
+				Li(isa.R11, bBase).
+				Li(isa.R12, cBase).
+				Li(isa.R14, d).
+				Li(isa.R9, int64(p.Iterations*2)).
+				Label("outer").
+				Beq(isa.R9, isa.R0, "done").
+				Li(isa.R1, 0). // i
+				Label("iloop").
+				Bge(isa.R1, isa.R14, "outer_next").
+				Li(isa.R2, 0). // j
+				Label("jloop").
+				Bge(isa.R2, isa.R14, "idone").
+				Fsub(isa.F5, isa.F5, isa.F5). // acc = 0
+				Li(isa.R3, 0).                // k
+				Label("kloop").
+				Bge(isa.R3, isa.R14, "kdone").
+				// A[i*d + k]
+				Mul(isa.R5, isa.R1, isa.R14).
+				Add(isa.R5, isa.R5, isa.R3).
+				Shli(isa.R5, isa.R5, 3).
+				Add(isa.R5, isa.R5, isa.R10).
+				Flw(isa.F1, isa.R5, 0).
+				// B[k*d + j] — column stride
+				Mul(isa.R6, isa.R3, isa.R14).
+				Add(isa.R6, isa.R6, isa.R2).
+				Shli(isa.R6, isa.R6, 3).
+				Add(isa.R6, isa.R6, isa.R11).
+				Flw(isa.F2, isa.R6, 0).
+				Fmul(isa.F3, isa.F1, isa.F2).
+				Fadd(isa.F5, isa.F5, isa.F3).
+				Addi(isa.R3, isa.R3, 1).
+				Jmp("kloop").
+				Label("kdone").
+				// C[i*d + j] = acc
+				Mul(isa.R5, isa.R1, isa.R14).
+				Add(isa.R5, isa.R5, isa.R2).
+				Shli(isa.R5, isa.R5, 3).
+				Add(isa.R5, isa.R5, isa.R12).
+				Fsw(isa.F5, isa.R5, 0).
+				Addi(isa.R2, isa.R2, 1).
+				Jmp("jloop").
+				Label("idone").
+				Addi(isa.R1, isa.R1, 1).
+				Jmp("iloop").
+				Label("outer_next").
+				Addi(isa.R9, isa.R9, -1).
+				Jmp("outer").
+				Label("done").
+				Halt()
+			return b.Build()
+		},
+		Init: func(v *vm.VM, p Params) error {
+			r := rng("matrix", p)
+			d := dim(p)
+			return pokeFloats(v, 0, 2*d*d, func(i int) float64 {
+				return r.Float64()*0.2 - 0.1
+			})
+		},
+	}
+}

@@ -1,0 +1,585 @@
+package eembc
+
+import (
+	"hetsched/internal/isa"
+	"hetsched/internal/vm"
+)
+
+// Shared register conventions for the integer kernels:
+//
+//	R1..R9   loop counters and temporaries
+//	R10..R15 base addresses and sizes
+//	R20+     long-lived accumulators
+//
+// Index wrap-around uses REM rather than masking so that non-power-of-two
+// scales stay correct.
+
+// a2time emulates EEMBC a2time01: angle-to-time conversion for engine
+// management. A tooth-period lookup table is indexed from a synthetic
+// crank-angle sequence; each sample needs a table load, an integer division
+// and a read-modify-write of a small result buffer. Working set ≈ 1 KB at
+// scale 1 — a 2 KB-cache-friendly kernel.
+func a2time() Kernel {
+	const (
+		tableBase   = 0
+		resultWords = 64
+	)
+	tableWords := func(p Params) int { return 224 * p.Scale }
+	resultBase := func(p Params) uint64 { return uint64(tableWords(p) * 4) }
+	return Kernel{
+		Name:        "a2time",
+		Description: "angle-to-time conversion (table lookup + integer divide)",
+		MemBytes: func(p Params) int {
+			return tableWords(p)*4 + resultWords*4 + 64
+		},
+		Program: func(p Params) (*isa.Program, error) {
+			n := int64(2048 * p.Scale)
+			b := isa.NewBuilder("a2time").
+				Li(isa.R10, tableBase).
+				Li(isa.R11, int64(resultBase(p))).
+				Li(isa.R12, int64(tableWords(p))).
+				Li(isa.R20, 0).                  // acc
+				Li(isa.R9, int64(p.Iterations)). // outer reps
+				Label("outer").
+				Beq(isa.R9, isa.R0, "done").
+				Li(isa.R1, 0).
+				Li(isa.R2, n).
+				Label("loop").
+				Bge(isa.R1, isa.R2, "outer_next").
+				// angle = i*37 + 13
+				Li(isa.R6, 37).
+				Mul(isa.R3, isa.R1, isa.R6).
+				Addi(isa.R3, isa.R3, 13).
+				// idx = (angle >> 3) mod tableWords
+				Shri(isa.R4, isa.R3, 3).
+				Rem(isa.R4, isa.R4, isa.R12).
+				Shli(isa.R4, isa.R4, 2).
+				Add(isa.R4, isa.R4, isa.R10).
+				Lw(isa.R6, isa.R4, 0).
+				// t = table[idx] / (angle | 1)
+				Ori(isa.R7, isa.R3, 1).
+				Div(isa.R8, isa.R6, isa.R7).
+				Add(isa.R20, isa.R20, isa.R8).
+				// result[i % 64] += acc (read-modify-write)
+				Andi(isa.R7, isa.R1, 63).
+				Shli(isa.R7, isa.R7, 2).
+				Add(isa.R7, isa.R7, isa.R11).
+				Lw(isa.R5, isa.R7, 0).
+				Add(isa.R5, isa.R5, isa.R20).
+				Sw(isa.R5, isa.R7, 0).
+				Addi(isa.R1, isa.R1, 1).
+				Jmp("loop").
+				Label("outer_next").
+				Addi(isa.R9, isa.R9, -1).
+				Jmp("outer").
+				Label("done").
+				Sw(isa.R20, isa.R11, 0).
+				Halt()
+			return b.Build()
+		},
+		Init: func(v *vm.VM, p Params) error {
+			r := rng("a2time", p)
+			return pokeWords(v, tableBase, tableWords(p), func(i int) int32 {
+				return int32(r.Intn(100_000) + 1000)
+			})
+		},
+	}
+}
+
+// bitmnp emulates EEMBC bitmnp01: bit manipulation over a word array with a
+// shift/xor scramble and a software popcount inner loop. Moderate working
+// set (2 KB at scale 1), heavily integer-ALU bound.
+func bitmnp() Kernel {
+	words := func(p Params) int { return 512 * p.Scale }
+	return Kernel{
+		Name:        "bitmnp",
+		Description: "bit manipulation and popcount over a word array",
+		MemBytes:    func(p Params) int { return words(p)*4 + 64 },
+		Program: func(p Params) (*isa.Program, error) {
+			b := isa.NewBuilder("bitmnp").
+				Li(isa.R10, 0).
+				Li(isa.R12, int64(words(p))).
+				Li(isa.R20, 0).
+				Li(isa.R9, int64(p.Iterations)).
+				Label("outer").
+				Beq(isa.R9, isa.R0, "done").
+				Li(isa.R1, 0).
+				Label("loop").
+				Bge(isa.R1, isa.R12, "outer_next").
+				Shli(isa.R4, isa.R1, 2).
+				Add(isa.R4, isa.R4, isa.R10).
+				Lw(isa.R5, isa.R4, 0).
+				// scramble: w ^= w << 3; w ^= w >> 7
+				Shli(isa.R6, isa.R5, 3).
+				Xor(isa.R5, isa.R5, isa.R6).
+				Shri(isa.R6, isa.R5, 7).
+				Xor(isa.R5, isa.R5, isa.R6).
+				Andi(isa.R5, isa.R5, 0x7fffffff).
+				// popcount of low 16 bits, 1 bit per inner step
+				Li(isa.R7, 16). // bit counter
+				Li(isa.R8, 0).  // popcount
+				Label("pop").
+				Beq(isa.R7, isa.R0, "popdone").
+				Andi(isa.R6, isa.R5, 1).
+				Add(isa.R8, isa.R8, isa.R6).
+				Shri(isa.R5, isa.R5, 1).
+				Addi(isa.R7, isa.R7, -1).
+				Jmp("pop").
+				Label("popdone").
+				Add(isa.R20, isa.R20, isa.R8).
+				Sw(isa.R8, isa.R4, 0).
+				Addi(isa.R1, isa.R1, 1).
+				Jmp("loop").
+				Label("outer_next").
+				Addi(isa.R9, isa.R9, -1).
+				Jmp("outer").
+				Label("done").
+				Halt()
+			return b.Build()
+		},
+		Init: func(v *vm.VM, p Params) error {
+			r := rng("bitmnp", p)
+			return pokeWords(v, 0, words(p), func(i int) int32 {
+				return int32(r.Uint32() & 0x7fffffff)
+			})
+		},
+	}
+}
+
+// cacheb emulates EEMBC cacheb01, the cache buster: a pseudo-random walk
+// over an array far larger than any L1 in the design space. Every
+// configuration misses heavily, so the cheapest (smallest, direct-mapped)
+// cache wins on energy — the opposite extreme from matrix/pntrch.
+func cacheb() Kernel {
+	words := func(p Params) int { return 6144 * p.Scale } // 24 KB at scale 1
+	return Kernel{
+		Name:        "cacheb",
+		Description: "cache-busting pseudo-random walk over a 24 KB array",
+		MemBytes:    func(p Params) int { return words(p)*4 + 64 },
+		Program: func(p Params) (*isa.Program, error) {
+			n := int64(1536 * p.Scale)
+			b := isa.NewBuilder("cacheb").
+				Li(isa.R10, 0).
+				Li(isa.R12, int64(words(p))).
+				Li(isa.R13, 2971).
+				Li(isa.R20, 0).
+				Li(isa.R9, int64(p.Iterations)).
+				Label("outer").
+				Beq(isa.R9, isa.R0, "done").
+				Li(isa.R1, 0).
+				Li(isa.R2, n).
+				Label("loop").
+				Bge(isa.R1, isa.R2, "outer_next").
+				// idx = (i*2971 + 7) mod words — 2971 is coprime to the
+				// array length, so the walk scatters over the full array
+				Mul(isa.R3, isa.R1, isa.R13).
+				Addi(isa.R3, isa.R3, 7).
+				Rem(isa.R3, isa.R3, isa.R12).
+				Shli(isa.R4, isa.R3, 2).
+				Add(isa.R4, isa.R4, isa.R10).
+				Lw(isa.R5, isa.R4, 0).
+				Add(isa.R20, isa.R20, isa.R5).
+				// occasionally write back (1 in 8)
+				Andi(isa.R6, isa.R1, 7).
+				Bne(isa.R6, isa.R0, "skipstore").
+				Sw(isa.R20, isa.R4, 0).
+				Label("skipstore").
+				Addi(isa.R1, isa.R1, 1).
+				Jmp("loop").
+				Label("outer_next").
+				Addi(isa.R9, isa.R9, -1).
+				Jmp("outer").
+				Label("done").
+				Halt()
+			return b.Build()
+		},
+		Init: func(v *vm.VM, p Params) error {
+			r := rng("cacheb", p)
+			return pokeWords(v, 0, words(p), func(i int) int32 {
+				return int32(r.Intn(1 << 20))
+			})
+		},
+	}
+}
+
+// canrdr emulates EEMBC canrdr01: CAN remote-data-request processing. A ring
+// of 16-byte messages is scanned byte-by-byte: identifier match, length
+// check, payload checksum, status write-back. Byte-granular accesses with
+// good spatial locality — line size matters more than capacity here.
+func canrdr() Kernel {
+	msgs := func(p Params) int { return 192 * p.Scale } // 3 KB at scale 1
+	return Kernel{
+		Name:        "canrdr",
+		Description: "CAN message scan: id match, checksum, status write",
+		MemBytes:    func(p Params) int { return msgs(p)*16 + 64 },
+		Program: func(p Params) (*isa.Program, error) {
+			b := isa.NewBuilder("canrdr").
+				Li(isa.R10, 0).
+				Li(isa.R12, int64(msgs(p))).
+				Li(isa.R20, 0). // accepted count
+				Li(isa.R21, 0). // checksum acc
+				Li(isa.R9, int64(p.Iterations*2)).
+				Label("outer").
+				Beq(isa.R9, isa.R0, "done").
+				Li(isa.R1, 0).
+				Label("loop").
+				Bge(isa.R1, isa.R12, "outer_next").
+				Shli(isa.R4, isa.R1, 4).
+				Add(isa.R4, isa.R4, isa.R10). // msg base
+				Lb(isa.R5, isa.R4, 0).        // id
+				Andi(isa.R6, isa.R5, 0x70).
+				Li(isa.R7, 0x20).
+				Bne(isa.R6, isa.R7, "reject").
+				Lb(isa.R6, isa.R4, 1). // dlc
+				Andi(isa.R6, isa.R6, 7).
+				// checksum payload bytes 2..2+dlc
+				Li(isa.R2, 0). // byte index
+				Li(isa.R8, 0). // checksum
+				Label("sum").
+				Bge(isa.R2, isa.R6, "sumdone").
+				Add(isa.R3, isa.R4, isa.R2).
+				Lb(isa.R5, isa.R3, 2).
+				Add(isa.R8, isa.R8, isa.R5).
+				Addi(isa.R2, isa.R2, 1).
+				Jmp("sum").
+				Label("sumdone").
+				Add(isa.R21, isa.R21, isa.R8).
+				Sb(isa.R8, isa.R4, 15). // status byte
+				Addi(isa.R20, isa.R20, 1).
+				Label("reject").
+				Addi(isa.R1, isa.R1, 1).
+				Jmp("loop").
+				Label("outer_next").
+				Addi(isa.R9, isa.R9, -1).
+				Jmp("outer").
+				Label("done").
+				Halt()
+			return b.Build()
+		},
+		Init: func(v *vm.VM, p Params) error {
+			r := rng("canrdr", p)
+			for i := 0; i < msgs(p); i++ {
+				base := uint64(i * 16)
+				if err := v.PokeByte(base, byte(r.Intn(256))); err != nil {
+					return err
+				}
+				if err := v.PokeByte(base+1, byte(r.Intn(8))); err != nil {
+					return err
+				}
+				for j := 2; j < 15; j++ {
+					if err := v.PokeByte(base+uint64(j), byte(r.Intn(256))); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// pntrch emulates EEMBC pntrch01: pointer chasing through a randomized
+// linked list spread across ~6 KB. Dependent loads with no spatial locality
+// — capacity is everything, long lines are wasted fills.
+func pntrch() Kernel {
+	nodes := func(p Params) int { return 384 * p.Scale } // 16 B/node => 6 KB
+	return Kernel{
+		Name:        "pntrch",
+		Description: "pointer chase through a shuffled 6 KB linked list",
+		MemBytes:    func(p Params) int { return nodes(p)*16 + 64 },
+		Program: func(p Params) (*isa.Program, error) {
+			steps := int64(4096 * p.Scale)
+			b := isa.NewBuilder("pntrch").
+				Li(isa.R10, 0).
+				Li(isa.R20, 0).
+				Li(isa.R9, int64(p.Iterations)).
+				Label("outer").
+				Beq(isa.R9, isa.R0, "done").
+				Li(isa.R3, 0). // current node index
+				Li(isa.R1, 0).
+				Li(isa.R2, steps).
+				Label("loop").
+				Bge(isa.R1, isa.R2, "outer_next").
+				Shli(isa.R4, isa.R3, 4).
+				Add(isa.R4, isa.R4, isa.R10).
+				Lw(isa.R3, isa.R4, 0). // next index (dependent load)
+				Lw(isa.R5, isa.R4, 4). // payload
+				Add(isa.R20, isa.R20, isa.R5).
+				Addi(isa.R1, isa.R1, 1).
+				Jmp("loop").
+				Label("outer_next").
+				Addi(isa.R9, isa.R9, -1).
+				Jmp("outer").
+				Label("done").
+				Halt()
+			return b.Build()
+		},
+		Init: func(v *vm.VM, p Params) error {
+			r := rng("pntrch", p)
+			n := nodes(p)
+			perm := r.Perm(n)
+			// Link the permutation into one cycle: perm[i] -> perm[i+1].
+			for i := 0; i < n; i++ {
+				next := perm[(i+1)%n]
+				base := uint64(perm[i] * 16)
+				if err := v.PokeWord(base, int32(next)); err != nil {
+					return err
+				}
+				if err := v.PokeWord(base+4, int32(r.Intn(1000))); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// puwmod emulates EEMBC puwmod01: pulse-width modulation. Counter/compare
+// logic against a tiny duty table with register-file-like stores. The
+// working set is a few hundred bytes — the archetypal 2 KB kernel.
+func puwmod() Kernel {
+	const dutyWords = 64
+	const regWords = 16
+	return Kernel{
+		Name:        "puwmod",
+		Description: "pulse-width modulation counters over a tiny duty table",
+		MemBytes:    func(p Params) int { return (dutyWords+regWords)*4 + 64 },
+		Program: func(p Params) (*isa.Program, error) {
+			n := int64(6144 * p.Scale)
+			b := isa.NewBuilder("puwmod").
+				Li(isa.R10, 0).           // duty table
+				Li(isa.R11, dutyWords*4). // "registers"
+				Li(isa.R20, 0).
+				Li(isa.R9, int64(p.Iterations)).
+				Label("outer").
+				Beq(isa.R9, isa.R0, "done").
+				Li(isa.R1, 0).
+				Li(isa.R2, n).
+				Label("loop").
+				Bge(isa.R1, isa.R2, "outer_next").
+				// phase = i mod 64; duty = table[phase]
+				Andi(isa.R3, isa.R1, 63).
+				Shli(isa.R4, isa.R3, 2).
+				Add(isa.R4, isa.R4, isa.R10).
+				Lw(isa.R5, isa.R4, 0).
+				// out = phase < duty ? 1 : 0
+				Li(isa.R6, 0).
+				Bge(isa.R3, isa.R5, "low").
+				Li(isa.R6, 1).
+				Label("low").
+				Add(isa.R20, isa.R20, isa.R6).
+				// regs[i mod 16] = running duty
+				Andi(isa.R7, isa.R1, 15).
+				Shli(isa.R7, isa.R7, 2).
+				Add(isa.R7, isa.R7, isa.R11).
+				Sw(isa.R20, isa.R7, 0).
+				Addi(isa.R1, isa.R1, 1).
+				Jmp("loop").
+				Label("outer_next").
+				Addi(isa.R9, isa.R9, -1).
+				Jmp("outer").
+				Label("done").
+				Halt()
+			return b.Build()
+		},
+		Init: func(v *vm.VM, p Params) error {
+			r := rng("puwmod", p)
+			return pokeWords(v, 0, dutyWords, func(i int) int32 {
+				return int32(r.Intn(64))
+			})
+		},
+	}
+}
+
+// rspeed emulates EEMBC rspeed01: road-speed calculation from a circular
+// history of wheel-pulse timestamps. Deltas, divisions and a rolling average
+// over a 3 KB history buffer — a 4 KB-cache kernel.
+func rspeed() Kernel {
+	const bufWords = 768
+	return Kernel{
+		Name:        "rspeed",
+		Description: "road speed from wheel-pulse timestamp deltas",
+		MemBytes:    func(p Params) int { return bufWords*4 + 64 },
+		Program: func(p Params) (*isa.Program, error) {
+			n := int64(2048 * p.Scale)
+			b := isa.NewBuilder("rspeed").
+				Li(isa.R10, 0).
+				Li(isa.R12, bufWords-1).
+				Li(isa.R13, 613).
+				Li(isa.R20, 0).
+				Li(isa.R9, int64(p.Iterations)).
+				Label("outer").
+				Beq(isa.R9, isa.R0, "done").
+				Li(isa.R1, 1).
+				Li(isa.R2, n).
+				Label("loop").
+				Bge(isa.R1, isa.R2, "outer_next").
+				// Wheel-pulse history is consulted out of order (interrupt
+				// driven): idx = (i*613+5) mod (bufWords-1); the pair
+				// (cur, prev) sits in adjacent slots.
+				Mul(isa.R3, isa.R1, isa.R13).
+				Addi(isa.R3, isa.R3, 5).
+				Rem(isa.R3, isa.R3, isa.R12).
+				Shli(isa.R4, isa.R3, 2).
+				Add(isa.R4, isa.R4, isa.R10).
+				Lw(isa.R5, isa.R4, 0).
+				Lw(isa.R7, isa.R4, 4).
+				// delta = |cur - prev| + 1 ; speed = 360000 / delta
+				Sub(isa.R8, isa.R5, isa.R7).
+				Bge(isa.R8, isa.R0, "pos").
+				Sub(isa.R8, isa.R0, isa.R8).
+				Label("pos").
+				Addi(isa.R8, isa.R8, 1).
+				Li(isa.R5, 360000).
+				Div(isa.R5, isa.R5, isa.R8).
+				// rolling average: avg += (speed - avg) >> 3
+				Sub(isa.R6, isa.R5, isa.R20).
+				Shri(isa.R6, isa.R6, 3).
+				Add(isa.R20, isa.R20, isa.R6).
+				// store updated timestamp back
+				Sw(isa.R20, isa.R4, 0).
+				Addi(isa.R1, isa.R1, 1).
+				Jmp("loop").
+				Label("outer_next").
+				Addi(isa.R9, isa.R9, -1).
+				Jmp("outer").
+				Label("done").
+				Halt()
+			return b.Build()
+		},
+		Init: func(v *vm.VM, p Params) error {
+			r := rng("rspeed", p)
+			ts := int32(0)
+			return pokeWords(v, 0, bufWords, func(i int) int32 {
+				ts += int32(r.Intn(500) + 50)
+				return ts
+			})
+		},
+	}
+}
+
+// tblook emulates EEMBC tblook01: table lookup with linear interpolation
+// over a 6 KB (at scale 1) calibration table indexed pseudo-randomly.
+// Resident only in the 8 KB caches — capacity-sensitive at the top of the design space.
+func tblook() Kernel {
+	words := func(p Params) int { return 1536 * p.Scale }
+	return Kernel{
+		Name:        "tblook",
+		Description: "calibration table lookup with linear interpolation",
+		MemBytes:    func(p Params) int { return words(p)*4 + 64 },
+		Program: func(p Params) (*isa.Program, error) {
+			n := int64(3072 * p.Scale)
+			b := isa.NewBuilder("tblook").
+				Li(isa.R10, 0).
+				Li(isa.R12, int64(words(p)-1)).
+				Li(isa.R13, 617).
+				Li(isa.R20, 0).
+				Li(isa.R9, int64(p.Iterations)).
+				Label("outer").
+				Beq(isa.R9, isa.R0, "done").
+				Li(isa.R1, 0).
+				Li(isa.R2, n).
+				Label("loop").
+				Bge(isa.R1, isa.R2, "outer_next").
+				// idx = (i*617 + 71) mod (words-1); 617 is prime and coprime
+				// to the table length, covering the whole table
+				Mul(isa.R3, isa.R1, isa.R13).
+				Addi(isa.R3, isa.R3, 71).
+				Rem(isa.R3, isa.R3, isa.R12).
+				Shli(isa.R4, isa.R3, 2).
+				Add(isa.R4, isa.R4, isa.R10).
+				Lw(isa.R5, isa.R4, 0). // y0
+				Lw(isa.R6, isa.R4, 4). // y1
+				// interp = y0 + (y1-y0)*frac/16, frac = i & 15
+				Sub(isa.R7, isa.R6, isa.R5).
+				Andi(isa.R8, isa.R1, 15).
+				Mul(isa.R7, isa.R7, isa.R8).
+				Shri(isa.R7, isa.R7, 4).
+				Add(isa.R5, isa.R5, isa.R7).
+				Add(isa.R20, isa.R20, isa.R5).
+				Addi(isa.R1, isa.R1, 1).
+				Jmp("loop").
+				Label("outer_next").
+				Addi(isa.R9, isa.R9, -1).
+				Jmp("outer").
+				Label("done").
+				Halt()
+			return b.Build()
+		},
+		Init: func(v *vm.VM, p Params) error {
+			r := rng("tblook", p)
+			return pokeWords(v, 0, words(p), func(i int) int32 {
+				return int32(r.Intn(65536))
+			})
+		},
+	}
+}
+
+// ttsprk emulates EEMBC ttsprk01: tooth-to-spark mapping through a chain of
+// three dependent calibration tables with data-dependent branching. Working
+// set ≈ 3 KB at scale 1, sitting between the 2 KB and 4 KB cores.
+func ttsprk() Kernel {
+	tw := func(p Params) int { return 256 * p.Scale } // words per table
+	return Kernel{
+		Name:        "ttsprk",
+		Description: "tooth-to-spark chained table lookups with branching",
+		MemBytes:    func(p Params) int { return 3*tw(p)*4 + 64 },
+		Program: func(p Params) (*isa.Program, error) {
+			n := int64(2560 * p.Scale)
+			w := int64(tw(p))
+			b := isa.NewBuilder("ttsprk").
+				Li(isa.R10, 0).   // advance table
+				Li(isa.R11, w*4). // dwell table
+				Li(isa.R12, w*8). // load comp table
+				Li(isa.R13, w).
+				Li(isa.R20, 0).
+				Li(isa.R9, int64(p.Iterations)).
+				Label("outer").
+				Beq(isa.R9, isa.R0, "done").
+				Li(isa.R1, 0).
+				Li(isa.R2, n).
+				Label("loop").
+				Bge(isa.R1, isa.R2, "outer_next").
+				// i1 = (i*13+5) mod w ; v1 = advance[i1]
+				Li(isa.R6, 13).
+				Mul(isa.R3, isa.R1, isa.R6).
+				Addi(isa.R3, isa.R3, 5).
+				Rem(isa.R3, isa.R3, isa.R13).
+				Shli(isa.R4, isa.R3, 2).
+				Add(isa.R4, isa.R4, isa.R10).
+				Lw(isa.R5, isa.R4, 0).
+				// i2 = v1 mod w ; v2 = dwell[i2]
+				Rem(isa.R3, isa.R5, isa.R13).
+				Shli(isa.R4, isa.R3, 2).
+				Add(isa.R4, isa.R4, isa.R11).
+				Lw(isa.R6, isa.R4, 0).
+				// i3 = (v1+v2) mod w ; v3 = comp[i3]
+				Add(isa.R7, isa.R5, isa.R6).
+				Rem(isa.R3, isa.R7, isa.R13).
+				Shli(isa.R4, isa.R3, 2).
+				Add(isa.R4, isa.R4, isa.R12).
+				Lw(isa.R7, isa.R4, 0).
+				// branch on magnitude: retard if v3 > 32768
+				Li(isa.R8, 32768).
+				Blt(isa.R7, isa.R8, "adv").
+				Sub(isa.R20, isa.R20, isa.R7).
+				Jmp("cont").
+				Label("adv").
+				Add(isa.R20, isa.R20, isa.R7).
+				Label("cont").
+				Addi(isa.R1, isa.R1, 1).
+				Jmp("loop").
+				Label("outer_next").
+				Addi(isa.R9, isa.R9, -1).
+				Jmp("outer").
+				Label("done").
+				Halt()
+			return b.Build()
+		},
+		Init: func(v *vm.VM, p Params) error {
+			r := rng("ttsprk", p)
+			return pokeWords(v, 0, 3*tw(p), func(i int) int32 {
+				return int32(r.Intn(65536))
+			})
+		},
+	}
+}

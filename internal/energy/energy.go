@@ -1,0 +1,187 @@
+// Package energy implements the paper's energy model (Figure 4) on top of
+// the CACTI-like per-access energies from internal/cacti:
+//
+//	E(total)   = E(sta) + E(dynamic)
+//	E(dynamic) = hits·E(hit) + misses·E(miss)
+//	E(miss)    = E(off-chip access) + stallCycles·E(CPU stall) + E(cache fill)
+//	MissCycles = misses·missLatency + misses·(lineSize/16)·bandwidthCycles
+//	E(sta)     = totalCycles · E(static per cycle)
+//	E(static per cycle) = E(per KB) · cacheSizeKB
+//	E(per KB)  = E(dyn of base cache) · 10 % / baseSizeKB
+//
+// following the paper's assumptions: a main-memory fetch takes 40× an L1
+// fetch and the memory bandwidth term is 50 % of the miss penalty.
+//
+// Two constants extend the model beyond the cache subsystem so that the
+// scheduler's idle/stall trade-offs are physical: a per-cycle core idle
+// energy and a per-cycle core active energy. The paper reasons about "idle
+// energy of core C2" without publishing the constant. The defaults make
+// core idle power equal to core active power — an ungated 0.18 µm embedded
+// core whose non-cache power is dominated by the always-running clock tree
+// and static, which is the regime the paper's Figure 6 arithmetic implies
+// (idle energy is a large share of total energy, so leaving cores idle is
+// genuinely expensive and the energy-advantageous decision has something to
+// trade). Busy cores additionally pay the cache's dynamic and stall energy.
+package energy
+
+import (
+	"fmt"
+
+	"hetsched/internal/cache"
+	"hetsched/internal/cacti"
+)
+
+// Params holds the model constants.
+type Params struct {
+	// MissLatencyCycles is the latency of a main-memory fetch relative to a
+	// 1-cycle L1 fetch. The paper assumes 40×.
+	MissLatencyCycles int
+	// BandwidthFactor expresses memory bandwidth cost as a fraction of the
+	// miss penalty: each 16-byte beat beyond the first costs
+	// BandwidthFactor·MissLatencyCycles cycles. The paper assumes 50 %.
+	BandwidthFactor float64
+	// BeatBytes is the off-chip transfer granule (16 B in the paper's
+	// lineSize/16 term).
+	BeatBytes int
+	// StallNJPerCycle is E(CPU stall): energy burned by the core per cycle
+	// it is stalled waiting for memory.
+	StallNJPerCycle float64
+	// CoreIdleNJPerCycle is the non-cache idle energy of a powered core per
+	// cycle (clock tree, leakage).
+	CoreIdleNJPerCycle float64
+	// CoreActiveNJPerCycle is the non-cache energy of a core per busy cycle.
+	CoreActiveNJPerCycle float64
+	// StaticFraction is the paper's 10 % rule for cache static energy.
+	StaticFraction float64
+	// BaseSizeKB is the size of the base cache the 10 % rule normalizes by.
+	BaseSizeKB int
+}
+
+// DefaultParams returns the paper's constants with calibrated core powers.
+func DefaultParams() Params {
+	return Params{
+		MissLatencyCycles:    40,
+		BandwidthFactor:      0.5,
+		BeatBytes:            16,
+		StallNJPerCycle:      0.12,
+		CoreIdleNJPerCycle:   0.22,
+		CoreActiveNJPerCycle: 0.22,
+		StaticFraction:       0.10,
+		BaseSizeKB:           cache.BaseConfig.SizeKB,
+	}
+}
+
+// Breakdown is the result of a total-energy evaluation, in nanojoules.
+type Breakdown struct {
+	Static  float64 // cache static (leakage) energy over the window
+	Dynamic float64 // hits·E(hit) + misses·E(miss)
+	Core    float64 // non-cache core active energy over busy cycles
+	Total   float64 // Static + Dynamic + Core
+}
+
+// Model evaluates Figure 4 for any Table 1 configuration.
+type Model struct {
+	p      Params
+	cm     *cacti.Model
+	ePerKB float64 // E(per KB): static nJ per cycle per KB
+}
+
+// New builds a model from explicit parameters and a CACTI model.
+func New(p Params, cm *cacti.Model) (*Model, error) {
+	if p.MissLatencyCycles <= 0 || p.BeatBytes <= 0 || p.BaseSizeKB <= 0 {
+		return nil, fmt.Errorf("energy: params not initialized: %+v", p)
+	}
+	if p.BandwidthFactor < 0 || p.StaticFraction <= 0 {
+		return nil, fmt.Errorf("energy: nonsensical factors in params: %+v", p)
+	}
+	if cm == nil {
+		return nil, fmt.Errorf("energy: nil cacti model")
+	}
+	m := &Model{p: p, cm: cm}
+	// E(per KB) = E(dyn of base cache) * StaticFraction / baseSizeKB.
+	m.ePerKB = cm.HitEnergy(cache.BaseConfig) * p.StaticFraction / float64(p.BaseSizeKB)
+	return m, nil
+}
+
+// NewDefault builds the model with DefaultParams and the default CACTI model.
+func NewDefault() *Model {
+	m, err := New(DefaultParams(), cacti.NewDefault())
+	if err != nil {
+		panic(err) // unreachable: defaults are valid
+	}
+	return m
+}
+
+// Params returns the model constants.
+func (m *Model) Params() Params { return m.p }
+
+// Cacti returns the underlying per-access energy model.
+func (m *Model) Cacti() *cacti.Model { return m.cm }
+
+// MissPenaltyCycles returns the stall cycles charged per miss for a given
+// configuration: missLatency plus the bandwidth term for each 16-byte beat
+// of the line.
+func (m *Model) MissPenaltyCycles(c cache.Config) uint64 {
+	beats := c.LineBytes / m.p.BeatBytes
+	if beats < 1 {
+		beats = 1
+	}
+	bw := float64(m.p.MissLatencyCycles) * m.p.BandwidthFactor
+	return uint64(m.p.MissLatencyCycles) + uint64(float64(beats)*bw)
+}
+
+// MissCycles evaluates the paper's MissCycles term for a miss count.
+func (m *Model) MissCycles(c cache.Config, misses uint64) uint64 {
+	return misses * m.MissPenaltyCycles(c)
+}
+
+// ExecCycles converts a benchmark's base (perfect-cache) cycle count and its
+// miss count under configuration c into total execution cycles.
+func (m *Model) ExecCycles(baseCycles uint64, c cache.Config, misses uint64) uint64 {
+	return baseCycles + m.MissCycles(c, misses)
+}
+
+// MissEnergy returns E(miss) for one miss: the off-chip access, the stall
+// energy over the per-miss penalty, and the line fill.
+func (m *Model) MissEnergy(c cache.Config) float64 {
+	stall := float64(m.MissPenaltyCycles(c)) * m.p.StallNJPerCycle
+	return m.cm.OffChipEnergy() + stall + m.cm.FillEnergy(c)
+}
+
+// DynamicEnergy returns E(dynamic) = hits·E(hit) + misses·E(miss).
+func (m *Model) DynamicEnergy(c cache.Config, hits, misses uint64) float64 {
+	return float64(hits)*m.cm.HitEnergy(c) + float64(misses)*m.MissEnergy(c)
+}
+
+// StaticPerCycle returns E(static per cycle) for a cache of sizeKB.
+func (m *Model) StaticPerCycle(sizeKB int) float64 {
+	return m.ePerKB * float64(sizeKB)
+}
+
+// StaticEnergy returns E(sta) over totalCycles for a cache of sizeKB.
+func (m *Model) StaticEnergy(sizeKB int, totalCycles uint64) float64 {
+	return m.StaticPerCycle(sizeKB) * float64(totalCycles)
+}
+
+// Total evaluates the full Figure 4 breakdown for an execution window of
+// totalCycles on a core whose L1 is configured as c.
+func (m *Model) Total(c cache.Config, hits, misses, totalCycles uint64) Breakdown {
+	b := Breakdown{
+		Static:  m.StaticEnergy(c.SizeKB, totalCycles),
+		Dynamic: m.DynamicEnergy(c, hits, misses),
+		Core:    float64(totalCycles) * m.p.CoreActiveNJPerCycle,
+	}
+	b.Total = b.Static + b.Dynamic + b.Core
+	return b
+}
+
+// IdlePerCycle returns the energy per cycle of an idle core whose L1 size is
+// sizeKB: the cache's static energy plus the core idle energy.
+func (m *Model) IdlePerCycle(sizeKB int) float64 {
+	return m.StaticPerCycle(sizeKB) + m.p.CoreIdleNJPerCycle
+}
+
+// IdleEnergy returns the idle energy of a core over a window of cycles.
+func (m *Model) IdleEnergy(sizeKB int, cycles uint64) float64 {
+	return m.IdlePerCycle(sizeKB) * float64(cycles)
+}

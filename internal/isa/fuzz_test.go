@@ -1,0 +1,27 @@
+package isa
+
+import "testing"
+
+// FuzzAssemble: the assembler must never panic, and everything it accepts
+// must validate and disassemble cleanly.
+func FuzzAssemble(f *testing.F) {
+	f.Add("halt")
+	f.Add("li r1, 42\nhalt")
+	f.Add("loop:\naddi r1, r1, 1\nbne r1, r0, loop\nhalt")
+	f.Add("lw r1, 8(r2)\nsw r1, 0(r2)\nhalt")
+	f.Add("fadd f1, f2, f3\nfblt f1, f2, @0\nhalt")
+	f.Add("; comment only")
+	f.Add("x: y: z:\nhalt")
+	f.Add("jmp @999")
+	f.Add("li r1, 0x7fffffffffffffff\nhalt")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted program fails validation: %v\n%s", err, src)
+		}
+		_ = p.Disassemble()
+	})
+}

@@ -1,0 +1,299 @@
+// Package isa defines a small RISC-style instruction set, a label-resolving
+// program builder and a disassembler. Together with internal/vm it replaces
+// the paper's use of SimpleScalar: benchmarks are written as programs for
+// this ISA, executed deterministically, and their data-memory accesses are
+// streamed into the cache models while hardware counters record the
+// execution statistics the ANN predictor consumes.
+package isa
+
+import "fmt"
+
+// Reg names one of the 32 integer registers. R0 is hardwired to zero.
+type Reg uint8
+
+// Integer register aliases.
+const (
+	R0 Reg = iota // always zero
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21
+	R22
+	R23
+	R24
+	R25
+	R26
+	R27
+	R28
+	R29
+	R30
+	R31
+)
+
+// NumRegs is the integer register-file size.
+const NumRegs = 32
+
+// FReg names one of the 16 floating-point registers.
+type FReg uint8
+
+// Floating-point register aliases.
+const (
+	F0 FReg = iota
+	F1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+	F8
+	F9
+	F10
+	F11
+	F12
+	F13
+	F14
+	F15
+)
+
+// NumFRegs is the floating-point register-file size.
+const NumFRegs = 16
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. The groups matter to the hardware counters: integer ALU,
+// multiply/divide, floating point, memory, and control flow are counted
+// separately, mirroring the execution statistics of Section IV.D.
+const (
+	NOP Op = iota
+	HALT
+
+	// Integer ALU (register-register).
+	ADD
+	SUB
+	MUL
+	DIV
+	REM
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+
+	// Integer ALU (immediate).
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SHLI
+	SHRI
+	LI // load 32-bit immediate into Rd
+
+	// Memory. Addresses are Rs1+Imm. LW/SW move 32-bit words between
+	// integer registers and data memory; FLW/FSW move 64-bit floats.
+	LW
+	SW
+	LB
+	SB
+	FLW
+	FSW
+
+	// Control flow. Targets are label-resolved instruction indices.
+	BEQ
+	BNE
+	BLT
+	BGE
+	JMP
+
+	// Floating point.
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FMOV
+	ITOF // Fd <- float64(Rs1)
+	FTOI // Rd <- int64(Fs1)
+	FBLT // branch if Fs1 < Fs2
+	FBGE // branch if Fs1 >= Fs2
+
+	opCount // sentinel
+)
+
+var opNames = map[Op]string{
+	NOP: "nop", HALT: "halt",
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", REM: "rem",
+	AND: "and", OR: "or", XOR: "xor", SHL: "shl", SHR: "shr",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SHLI: "shli", SHRI: "shri", LI: "li",
+	LW: "lw", SW: "sw", LB: "lb", SB: "sb", FLW: "flw", FSW: "fsw",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", JMP: "jmp",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv",
+	FMOV: "fmov", ITOF: "itof", FTOI: "ftoi", FBLT: "fblt", FBGE: "fbge",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class groups opcodes for the hardware counters.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassMulDiv
+	ClassFP
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassHalt
+)
+
+// ClassOf returns the counter class of an opcode.
+func ClassOf(o Op) Class {
+	switch o {
+	case NOP:
+		return ClassNop
+	case HALT:
+		return ClassHalt
+	case ADD, SUB, AND, OR, XOR, SHL, SHR,
+		ADDI, ANDI, ORI, XORI, SHLI, SHRI, LI:
+		return ClassIntALU
+	case MUL, DIV, REM:
+		return ClassMulDiv
+	case FADD, FSUB, FMUL, FDIV, FMOV, ITOF, FTOI:
+		return ClassFP
+	case LW, LB, FLW:
+		return ClassLoad
+	case SW, SB, FSW:
+		return ClassStore
+	case BEQ, BNE, BLT, BGE, JMP, FBLT, FBGE:
+		return ClassBranch
+	}
+	return ClassNop
+}
+
+// Instr is one decoded instruction. Fields are interpreted per opcode; unused
+// fields are zero.
+type Instr struct {
+	Op           Op
+	Rd, Rs1, Rs2 Reg
+	Fd, Fs1, Fs2 FReg
+	Imm          int64
+	Target       int // branch/jump target, resolved by the builder
+}
+
+// String disassembles the instruction.
+func (in Instr) String() string {
+	switch in.Op {
+	case NOP, HALT:
+		return in.Op.String()
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SHL, SHR:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case ADDI, ANDI, ORI, XORI, SHLI, SHRI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case LI:
+		return fmt.Sprintf("li r%d, %d", in.Rd, in.Imm)
+	case LW, LB:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case SW, SB:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case FLW:
+		return fmt.Sprintf("flw f%d, %d(r%d)", in.Fd, in.Imm, in.Rs1)
+	case FSW:
+		return fmt.Sprintf("fsw f%d, %d(r%d)", in.Fs1, in.Imm, in.Rs1)
+	case BEQ, BNE, BLT, BGE:
+		return fmt.Sprintf("%s r%d, r%d, @%d", in.Op, in.Rs1, in.Rs2, in.Target)
+	case JMP:
+		return fmt.Sprintf("jmp @%d", in.Target)
+	case FADD, FSUB, FMUL, FDIV:
+		return fmt.Sprintf("%s f%d, f%d, f%d", in.Op, in.Fd, in.Fs1, in.Fs2)
+	case FMOV:
+		return fmt.Sprintf("fmov f%d, f%d", in.Fd, in.Fs1)
+	case ITOF:
+		return fmt.Sprintf("itof f%d, r%d", in.Fd, in.Rs1)
+	case FTOI:
+		return fmt.Sprintf("ftoi r%d, f%d", in.Rd, in.Fs1)
+	case FBLT, FBGE:
+		return fmt.Sprintf("%s f%d, f%d, @%d", in.Op, in.Fs1, in.Fs2, in.Target)
+	}
+	return in.Op.String()
+}
+
+// Program is an executable sequence of instructions with resolved targets.
+type Program struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// Disassemble renders the whole program, one instruction per line with
+// instruction indices, for debugging and golden tests.
+func (p *Program) Disassemble() string {
+	out := ""
+	for i, in := range p.Instrs {
+		out += fmt.Sprintf("%4d: %s\n", i, in.String())
+	}
+	return out
+}
+
+// Mix returns the static instruction mix of the program by counter class —
+// the compile-time complement to the VM's dynamic counters.
+func (p *Program) Mix() map[Class]int {
+	mix := map[Class]int{}
+	for _, in := range p.Instrs {
+		mix[ClassOf(in.Op)]++
+	}
+	return mix
+}
+
+// Validate checks structural invariants: all branch targets in range, HALT
+// reachable as the final fall-through, register indices in range.
+func (p *Program) Validate() error {
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("isa: program %q is empty", p.Name)
+	}
+	for i, in := range p.Instrs {
+		if in.Op >= opCount {
+			return fmt.Errorf("isa: %q instr %d: bad opcode %d", p.Name, i, in.Op)
+		}
+		if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+			return fmt.Errorf("isa: %q instr %d: register out of range", p.Name, i)
+		}
+		if in.Fd >= NumFRegs || in.Fs1 >= NumFRegs || in.Fs2 >= NumFRegs {
+			return fmt.Errorf("isa: %q instr %d: fp register out of range", p.Name, i)
+		}
+		switch ClassOf(in.Op) {
+		case ClassBranch:
+			if in.Target < 0 || in.Target >= len(p.Instrs) {
+				return fmt.Errorf("isa: %q instr %d: branch target %d out of range", p.Name, i, in.Target)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,342 @@
+// Package mlbase implements the non-ANN predictor baselines used for the
+// paper's future-work comparison ("evaluating different machine learning
+// techniques", Section VIII): ridge-regularized linear regression, k-nearest
+// neighbours, and a single-feature decision stump. All three consume the
+// same normalized 10-feature vectors as the ANN and predict the best cache
+// size, so they drop into the scheduler via core.Predictor.
+package mlbase
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hetsched/internal/characterize"
+	"hetsched/internal/stats"
+)
+
+// sizeToTarget mirrors the ANN's encoding: log2(sizeKB) - 2.
+func sizeToTarget(sizeKB int) float64 {
+	return math.Log2(float64(sizeKB)) - 2
+}
+
+func targetToSize(y float64) int {
+	switch {
+	case y < -0.5:
+		return 2
+	case y < 0.5:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// trainingPool extracts normalized features and encoded targets from a DB.
+func trainingPool(db *characterize.DB) (xs [][]float64, ys []float64, norm *stats.Normalizer, err error) {
+	if db == nil || len(db.Records) == 0 {
+		return nil, nil, nil, fmt.Errorf("mlbase: empty characterization DB")
+	}
+	raw := make([][]float64, len(db.Records))
+	ys = make([]float64, len(db.Records))
+	for i := range db.Records {
+		raw[i] = db.Records[i].Features.Select()
+		ys[i] = sizeToTarget(db.Records[i].BestSizeKB())
+	}
+	norm, err = stats.FitNormalizer(raw)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	xs, err = norm.ApplyAll(raw)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return xs, ys, norm, nil
+}
+
+// ----------------------------------------------------------------------
+// Linear regression (ridge).
+// ----------------------------------------------------------------------
+
+// Linear is a ridge-regularized least-squares regressor over the selected
+// features.
+type Linear struct {
+	W    []float64 // weights, one per feature
+	B    float64   // intercept
+	Norm *stats.Normalizer
+}
+
+// TrainLinear fits the regressor with regularization strength lambda
+// (lambda <= 0 gets a small default to keep the normal equations
+// well-conditioned on 16-sample pools).
+func TrainLinear(db *characterize.DB, lambda float64) (*Linear, error) {
+	xs, ys, norm, err := trainingPool(db)
+	if err != nil {
+		return nil, err
+	}
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	d := len(xs[0])
+	// Augment with the bias column; solve (A^T A + lambda I) w = A^T y by
+	// Gaussian elimination with partial pivoting.
+	n := d + 1
+	ata := make([][]float64, n)
+	aty := make([]float64, n)
+	for i := range ata {
+		ata[i] = make([]float64, n)
+	}
+	row := make([]float64, n)
+	for s := range xs {
+		copy(row, xs[s])
+		row[d] = 1
+		for i := 0; i < n; i++ {
+			aty[i] += row[i] * ys[s]
+			for j := 0; j < n; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < d; i++ { // do not regularize the intercept
+		ata[i][i] += lambda
+	}
+	w, err := solve(ata, aty)
+	if err != nil {
+		return nil, fmt.Errorf("mlbase: linear fit: %v", err)
+	}
+	return &Linear{W: w[:d], B: w[d], Norm: norm}, nil
+}
+
+// solve performs in-place Gaussian elimination with partial pivoting.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("singular system at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// PredictSizeKB implements core.Predictor.
+func (l *Linear) PredictSizeKB(f stats.Features) (int, error) {
+	x, err := l.Norm.Apply(f.Select())
+	if err != nil {
+		return 0, err
+	}
+	y := l.B
+	for i, w := range l.W {
+		y += w * x[i]
+	}
+	return targetToSize(y), nil
+}
+
+// ----------------------------------------------------------------------
+// k-nearest neighbours.
+// ----------------------------------------------------------------------
+
+// KNN predicts the majority best size among the k nearest training samples
+// in normalized feature space (Euclidean distance).
+type KNN struct {
+	K    int
+	X    [][]float64
+	Size []int
+	Norm *stats.Normalizer
+}
+
+// TrainKNN memorizes the training pool.
+func TrainKNN(db *characterize.DB, k int) (*KNN, error) {
+	xs, ys, norm, err := trainingPool(db)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 || k > len(xs) {
+		return nil, fmt.Errorf("mlbase: k %d out of range [1,%d]", k, len(xs))
+	}
+	sizes := make([]int, len(ys))
+	for i, y := range ys {
+		sizes[i] = targetToSize(y)
+	}
+	return &KNN{K: k, X: xs, Size: sizes, Norm: norm}, nil
+}
+
+// PredictSizeKB implements core.Predictor.
+func (k *KNN) PredictSizeKB(f stats.Features) (int, error) {
+	x, err := k.Norm.Apply(f.Select())
+	if err != nil {
+		return 0, err
+	}
+	type cand struct {
+		dist float64
+		size int
+	}
+	cands := make([]cand, len(k.X))
+	for i := range k.X {
+		var d float64
+		for j := range x {
+			diff := x[j] - k.X[i][j]
+			d += diff * diff
+		}
+		cands[i] = cand{dist: d, size: k.Size[i]}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dist != cands[b].dist {
+			return cands[a].dist < cands[b].dist
+		}
+		return cands[a].size < cands[b].size
+	})
+	votes := map[int]int{}
+	for _, c := range cands[:k.K] {
+		votes[c.size]++
+	}
+	best, bestVotes := 0, -1
+	for _, size := range []int{2, 4, 8} { // deterministic tie-break
+		if votes[size] > bestVotes {
+			best, bestVotes = size, votes[size]
+		}
+	}
+	return best, nil
+}
+
+// ----------------------------------------------------------------------
+// Decision stump.
+// ----------------------------------------------------------------------
+
+// Stump is a depth-1 decision tree: it picks the single feature and two
+// thresholds that best separate the three size classes, ordering classes by
+// their mean feature value. It is the weakest sensible baseline.
+type Stump struct {
+	Feature int
+	// Cut1 < Cut2 split the feature axis into the three classes in
+	// SizeOrder.
+	Cut1, Cut2 float64
+	SizeOrder  [3]int
+	Norm       *stats.Normalizer
+}
+
+// TrainStump exhaustively searches features and threshold pairs.
+func TrainStump(db *characterize.DB) (*Stump, error) {
+	xs, ys, norm, err := trainingPool(db)
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int, len(ys))
+	for i, y := range ys {
+		sizes[i] = targetToSize(y)
+	}
+	best := &Stump{Norm: norm}
+	bestHits := -1
+	d := len(xs[0])
+	for f := 0; f < d; f++ {
+		vals := make([]float64, len(xs))
+		for i := range xs {
+			vals[i] = xs[i][f]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		// Candidate cuts: midpoints between consecutive distinct values.
+		var cuts []float64
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i] != sorted[i-1] {
+				cuts = append(cuts, (sorted[i]+sorted[i-1])/2)
+			}
+		}
+		orders := [][3]int{
+			{2, 4, 8}, {8, 4, 2}, {2, 8, 4}, {4, 2, 8}, {4, 8, 2}, {8, 2, 4},
+		}
+		for a := 0; a < len(cuts); a++ {
+			for b := a; b < len(cuts); b++ {
+				for _, ord := range orders {
+					hits := 0
+					for i := range vals {
+						var pred int
+						switch {
+						case vals[i] < cuts[a]:
+							pred = ord[0]
+						case vals[i] < cuts[b]:
+							pred = ord[1]
+						default:
+							pred = ord[2]
+						}
+						if pred == sizes[i] {
+							hits++
+						}
+					}
+					if hits > bestHits {
+						bestHits = hits
+						best.Feature = f
+						best.Cut1, best.Cut2 = cuts[a], cuts[b]
+						best.SizeOrder = ord
+					}
+				}
+			}
+		}
+	}
+	if bestHits < 0 {
+		return nil, fmt.Errorf("mlbase: no viable stump (constant features?)")
+	}
+	return best, nil
+}
+
+// PredictSizeKB implements core.Predictor.
+func (s *Stump) PredictSizeKB(f stats.Features) (int, error) {
+	x, err := s.Norm.Apply(f.Select())
+	if err != nil {
+		return 0, err
+	}
+	v := x[s.Feature]
+	switch {
+	case v < s.Cut1:
+		return s.SizeOrder[0], nil
+	case v < s.Cut2:
+		return s.SizeOrder[1], nil
+	default:
+		return s.SizeOrder[2], nil
+	}
+}
+
+// Accuracy evaluates a predictor's exact-best-size hit rate over a DB.
+func Accuracy(pred interface {
+	PredictSizeKB(stats.Features) (int, error)
+}, db *characterize.DB) (float64, error) {
+	if len(db.Records) == 0 {
+		return 0, fmt.Errorf("mlbase: empty DB")
+	}
+	hits := 0
+	for i := range db.Records {
+		got, err := pred.PredictSizeKB(db.Records[i].Features)
+		if err != nil {
+			return 0, err
+		}
+		if got == db.Records[i].BestSizeKB() {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(db.Records)), nil
+}

@@ -1,0 +1,165 @@
+package mlbase
+
+import (
+	"math"
+	"testing"
+
+	"hetsched/internal/characterize"
+	"hetsched/internal/stats"
+)
+
+func pool(t testing.TB) (*characterize.DB, *characterize.DB) {
+	t.Helper()
+	train, err := characterize.Augmented()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := characterize.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, eval
+}
+
+func TestLinearBeatsChance(t *testing.T) {
+	train, eval := pool(t)
+	lin, err := TrainLinear(train, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(lin, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("linear accuracy on canonical suite: %.2f", acc)
+	if acc < 0.40 {
+		t.Errorf("linear accuracy %.2f barely above chance (0.33)", acc)
+	}
+}
+
+func TestKNNHighTrainingAccuracy(t *testing.T) {
+	train, eval := pool(t)
+	knn, err := TrainKNN(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The canonical records appear (at scale 1, seed 1) inside the
+	// augmented pool, so 1-NN-ish retrieval should be strong.
+	acc, err := Accuracy(knn, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("kNN accuracy on canonical suite: %.2f", acc)
+	if acc < 0.6 {
+		t.Errorf("kNN accuracy %.2f unexpectedly low", acc)
+	}
+}
+
+func TestStumpWeakButAboveChance(t *testing.T) {
+	train, eval := pool(t)
+	st, err := TrainStump(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(st, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("stump (feature %d) accuracy: %.2f", st.Feature, acc)
+	if acc < 0.34 {
+		t.Errorf("stump accuracy %.2f at or below chance", acc)
+	}
+	if st.Cut1 > st.Cut2 {
+		t.Errorf("stump cuts out of order: %v > %v", st.Cut1, st.Cut2)
+	}
+}
+
+func TestTrainingValidation(t *testing.T) {
+	if _, err := TrainLinear(nil, 0); err == nil {
+		t.Error("TrainLinear(nil) succeeded")
+	}
+	if _, err := TrainKNN(nil, 3); err == nil {
+		t.Error("TrainKNN(nil) succeeded")
+	}
+	if _, err := TrainStump(nil); err == nil {
+		t.Error("TrainStump(nil) succeeded")
+	}
+	train, _ := pool(t)
+	if _, err := TrainKNN(train, 0); err == nil {
+		t.Error("TrainKNN(k=0) succeeded")
+	}
+	if _, err := TrainKNN(train, 10_000); err == nil {
+		t.Error("TrainKNN(k>n) succeeded")
+	}
+}
+
+func TestEncodingHelpers(t *testing.T) {
+	for _, size := range []int{2, 4, 8} {
+		if got := targetToSize(sizeToTarget(size)); got != size {
+			t.Errorf("round trip %d -> %d", size, got)
+		}
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5 ; x + 3y = 10 -> x = 1, y = 3.
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("solve = %v, want [1 3]", x)
+	}
+	// Singular system must error.
+	a2 := [][]float64{{1, 1}, {2, 2}}
+	if _, err := solve(a2, []float64{1, 2}); err == nil {
+		t.Error("singular system solved")
+	}
+}
+
+func TestPredictorsDeterministic(t *testing.T) {
+	train, eval := pool(t)
+	knn, err := TrainKNN(train, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := eval.Records[0].Features
+	a, err := knn.PredictSizeKB(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := knn.PredictSizeKB(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("kNN prediction not deterministic")
+	}
+}
+
+func TestAccuracyValidation(t *testing.T) {
+	train, _ := pool(t)
+	lin, err := TrainLinear(train, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Accuracy(lin, &characterize.DB{}); err == nil {
+		t.Error("Accuracy(empty DB) succeeded")
+	}
+}
+
+func TestPredictDimensionMismatch(t *testing.T) {
+	train, _ := pool(t)
+	lin, err := TrainLinear(train, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the normalizer to force an Apply error path.
+	lin.Norm = &stats.Normalizer{Mean: []float64{0}, Std: []float64{1}}
+	var f stats.Features
+	if _, err := lin.PredictSizeKB(f); err == nil {
+		t.Error("dimension mismatch not reported")
+	}
+}

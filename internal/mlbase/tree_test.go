@@ -1,0 +1,101 @@
+package mlbase
+
+import (
+	"testing"
+)
+
+func TestTrainTreeValidation(t *testing.T) {
+	train, _ := pool(t)
+	if _, err := TrainTree(nil, 4); err == nil {
+		t.Error("nil DB accepted")
+	}
+	if _, err := TrainTree(train, 1); err == nil {
+		t.Error("depth 1 accepted")
+	}
+	if _, err := TrainTree(train, 99); err == nil {
+		t.Error("depth 99 accepted")
+	}
+}
+
+func TestTreeBeatsStump(t *testing.T) {
+	train, eval := pool(t)
+	tree, err := TrainTree(train, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stump, err := TrainStump(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeAcc, err := Accuracy(tree, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stumpAcc, err := Accuracy(stump, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tree (depth %d, %d leaves) accuracy %.2f vs stump %.2f",
+		tree.Depth(), tree.Leaves(), treeAcc, stumpAcc)
+	if treeAcc < stumpAcc {
+		t.Errorf("a depth-%d tree (%.2f) should not lose to its own depth-1 case (%.2f)",
+			tree.MaxDepth, treeAcc, stumpAcc)
+	}
+}
+
+func TestTreeStructureSane(t *testing.T) {
+	train, _ := pool(t)
+	tree, err := TrainTree(train, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > tree.MaxDepth {
+		t.Errorf("realized depth %d exceeds max %d", tree.Depth(), tree.MaxDepth)
+	}
+	if tree.Leaves() < 2 {
+		t.Errorf("tree degenerated to %d leaves on a separable pool", tree.Leaves())
+	}
+	// Every leaf must predict a design-space size.
+	var walk func(n *TreeNode)
+	walk = func(n *TreeNode) {
+		if n == nil {
+			t.Fatal("nil node in tree")
+		}
+		if n.Leaf {
+			if n.SizeKB != 2 && n.SizeKB != 4 && n.SizeKB != 8 {
+				t.Errorf("leaf predicts %dKB", n.SizeKB)
+			}
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(tree.Root)
+}
+
+func TestTreeHighTrainingAccuracy(t *testing.T) {
+	// With depth 6 on the augmented pool the tree should nearly memorize
+	// its training data.
+	train, _ := pool(t)
+	tree, err := TrainTree(train, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(tree, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("depth-6 training accuracy %.2f; expected near-memorization", acc)
+	}
+}
+
+func TestSortFloats(t *testing.T) {
+	v := []float64{3, 1, 2, -5, 2}
+	sortFloats(v)
+	for i := 1; i < len(v); i++ {
+		if v[i-1] > v[i] {
+			t.Fatalf("not sorted: %v", v)
+		}
+	}
+}

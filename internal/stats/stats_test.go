@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hetsched/internal/vm"
+)
+
+func sampleCounters() vm.Counters {
+	return vm.Counters{
+		Instructions:  1000,
+		Cycles:        1500,
+		Loads:         200,
+		Stores:        100,
+		LoadBytes:     800,
+		StoreBytes:    400,
+		Branches:      150,
+		BranchesTaken: 90,
+		IntALU:        400,
+		MulDiv:        50,
+		FPOps:         100,
+	}
+}
+
+func TestFromExecutionFillsAllFeatures(t *testing.T) {
+	tr := &vm.Trace{}
+	tr.Access(0, false)
+	tr.Access(64, true)
+	tr.Access(16, false)
+	f := FromExecution(sampleCounters(), tr, 270, 30)
+	if f[FInstructions] != 1000 || f[FCycles] != 1500 {
+		t.Errorf("counter features wrong: %v", f)
+	}
+	if got := f[FMemIntensity]; math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("mem intensity = %v, want 0.3", got)
+	}
+	if got := f[FIPC]; math.Abs(got-1000.0/1500.0) > 1e-12 {
+		t.Errorf("IPC = %v", got)
+	}
+	if got := f[FBranchRatio]; math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("branch ratio = %v", got)
+	}
+	if f[FFootprint64] != 2 || f[FFootprint16] != 3 {
+		t.Errorf("footprints = %v/%v", f[FFootprint64], f[FFootprint16])
+	}
+	if got := f[FBaseMissRate]; math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("base miss rate = %v", got)
+	}
+}
+
+func TestFromExecutionZeroSafe(t *testing.T) {
+	f := FromExecution(vm.Counters{}, nil, 0, 0)
+	for i, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("feature %d (%s) = %v on zero input", i, FeatureNames()[i], v)
+		}
+	}
+}
+
+func TestFeatureNamesComplete(t *testing.T) {
+	names := FeatureNames()
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" {
+			t.Errorf("feature %d unnamed", i)
+		}
+		if seen[n] {
+			t.Errorf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestSelectKeepsTenFeatures(t *testing.T) {
+	var f Features
+	for i := range f {
+		f[i] = float64(i + 1)
+	}
+	sel := f.Select()
+	if len(sel) != NumSelected {
+		t.Fatalf("Select returned %d values", len(sel))
+	}
+	for i, idx := range SelectedIndices() {
+		if sel[i] != f[idx] {
+			t.Errorf("selected[%d] = %v, want feature %d = %v", i, sel[i], idx, f[idx])
+		}
+	}
+}
+
+func TestSelectedIndicesDistinctAndInRange(t *testing.T) {
+	seen := map[int]bool{}
+	for _, idx := range SelectedIndices() {
+		if idx < 0 || idx >= NumFeatures {
+			t.Errorf("selected index %d out of range", idx)
+		}
+		if seen[idx] {
+			t.Errorf("selected index %d repeated", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestNormalizerZeroMeanUnitVar(t *testing.T) {
+	samples := [][]float64{
+		{1, 10, 5},
+		{2, 20, 5},
+		{3, 30, 5},
+		{4, 40, 5},
+	}
+	n, err := FitNormalizer(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normed, err := n.ApplyAll(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		mean, varr := 0.0, 0.0
+		for _, s := range normed {
+			mean += s[j]
+		}
+		mean /= float64(len(normed))
+		for _, s := range normed {
+			varr += (s[j] - mean) * (s[j] - mean)
+		}
+		varr /= float64(len(normed))
+		if math.Abs(mean) > 1e-9 {
+			t.Errorf("dim %d mean %v after normalization", j, mean)
+		}
+		if math.Abs(varr-1) > 1e-9 {
+			t.Errorf("dim %d variance %v after normalization", j, varr)
+		}
+	}
+	// Constant dimension passes through as zeros.
+	for _, s := range normed {
+		if s[2] != 0 {
+			t.Errorf("constant dim normalized to %v, want 0", s[2])
+		}
+	}
+}
+
+func TestNormalizerErrors(t *testing.T) {
+	if _, err := FitNormalizer(nil); err == nil {
+		t.Error("FitNormalizer(nil) succeeded")
+	}
+	if _, err := FitNormalizer([][]float64{{}}); err == nil {
+		t.Error("FitNormalizer(zero-dim) succeeded")
+	}
+	if _, err := FitNormalizer([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("FitNormalizer(ragged) succeeded")
+	}
+	n, err := FitNormalizer([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Apply([]float64{1}); err == nil {
+		t.Error("Apply(dim mismatch) succeeded")
+	}
+}
+
+// Property: normalization is invertible (x == mean + std*z).
+func TestNormalizerRoundTripQuick(t *testing.T) {
+	samples := [][]float64{{1, -5, 100}, {2, 0, 200}, {8, 5, -100}, {3, 2, 0}}
+	n, err := FitNormalizer(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) ||
+			math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsInf(c, 0) {
+			return true
+		}
+		x := []float64{a, b, c}
+		z, err := n.Apply(x)
+		if err != nil {
+			return false
+		}
+		for j := range x {
+			back := n.Mean[j] + n.Std[j]*z[j]
+			if math.Abs(back-x[j]) > 1e-6*(1+math.Abs(x[j])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

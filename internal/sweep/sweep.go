@@ -1,0 +1,147 @@
+// Package sweep runs grids of scheduling experiments — across offered
+// load, arrival model and system — and renders the results as CSV. It is
+// the engine behind cmd/hmsweep and the load-sensitivity ablations.
+package sweep
+
+import (
+	"fmt"
+	"io"
+
+	"hetsched/internal/characterize"
+	"hetsched/internal/core"
+	"hetsched/internal/energy"
+)
+
+// Config is the sweep grid.
+type Config struct {
+	// Arrivals per experiment (default 1500).
+	Arrivals int
+	// Utilizations to sweep (default {0.5, 0.75, 0.9}).
+	Utilizations []float64
+	// Models to sweep (default {ArrivalUniform}).
+	Models []core.ArrivalModel
+	// Systems to run at each grid point (default core.SystemNames minus
+	// the ablation variant). "base" must be included for savings columns.
+	Systems []string
+	// Sim shapes the machine (default Figure 1 quad-core).
+	Sim core.SimConfig
+	// Seed drives workload generation.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Arrivals == 0 {
+		c.Arrivals = 1500
+	}
+	if len(c.Utilizations) == 0 {
+		c.Utilizations = []float64{0.5, 0.75, 0.9}
+	}
+	if len(c.Models) == 0 {
+		c.Models = []core.ArrivalModel{core.ArrivalUniform}
+	}
+	if len(c.Systems) == 0 {
+		c.Systems = []string{"base", "optimal", "energy-centric", "proposed"}
+	}
+	if len(c.Sim.CoreSizesKB) == 0 {
+		c.Sim = core.DefaultSimConfig()
+	}
+}
+
+// Point is one grid cell's outcome.
+type Point struct {
+	Utilization float64
+	Model       core.ArrivalModel
+	System      string
+	Metrics     core.Metrics
+	// SavingVsBasePct is the total-energy saving against the base system
+	// at the same grid point (0 for the base row itself).
+	SavingVsBasePct float64
+}
+
+// Run executes the grid. Within a grid point every system sees the
+// identical workload.
+func Run(db *characterize.DB, em *energy.Model, pred core.Predictor, cfg Config) ([]Point, error) {
+	cfg.fillDefaults()
+	if db == nil || em == nil {
+		return nil, fmt.Errorf("sweep: nil DB or energy model")
+	}
+	appIDs := core.AllAppIDs(db)
+	var points []Point
+	for _, util := range cfg.Utilizations {
+		horizon, err := core.HorizonForUtilization(db, appIDs, cfg.Arrivals, len(cfg.Sim.CoreSizesKB), util)
+		if err != nil {
+			return nil, err
+		}
+		for _, model := range cfg.Models {
+			jobs, err := core.GenerateWorkload(core.WorkloadConfig{
+				Arrivals:      cfg.Arrivals,
+				AppIDs:        appIDs,
+				HorizonCycles: horizon,
+				Model:         model,
+				Seed:          cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			var baseTotal float64
+			for _, name := range cfg.Systems {
+				pol, needsPred, err := core.NewPolicy(name)
+				if err != nil {
+					return nil, err
+				}
+				var p core.Predictor
+				if needsPred {
+					if pred == nil {
+						return nil, fmt.Errorf("sweep: system %q needs a predictor", name)
+					}
+					p = pred
+				}
+				sc := cfg.Sim
+				sc.CoreSizesKB = core.CoreSizesFor(name, cfg.Sim.CoreSizesKB)
+				sim, err := core.NewSimulator(db, em, pol, p, sc)
+				if err != nil {
+					return nil, err
+				}
+				m, err := sim.Run(jobs)
+				if err != nil {
+					return nil, err
+				}
+				pt := Point{
+					Utilization: util,
+					Model:       model,
+					System:      name,
+					Metrics:     m,
+				}
+				if name == "base" {
+					baseTotal = m.TotalEnergy()
+				}
+				if baseTotal > 0 {
+					pt.SavingVsBasePct = 100 * (1 - m.TotalEnergy()/baseTotal)
+				}
+				points = append(points, pt)
+			}
+		}
+	}
+	return points, nil
+}
+
+// WriteCSV renders the points with a header row.
+func WriteCSV(w io.Writer, points []Point) error {
+	if _, err := fmt.Fprintln(w,
+		"utilization,arrival_model,system,total_nj,idle_nj,dynamic_nj,"+
+			"turnaround_cycles,p50_cycles,p99_cycles,stalls,nonbest,saving_vs_base_pct"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		m := p.Metrics
+		if _, err := fmt.Fprintf(w, "%.2f,%s,%s,%.0f,%.0f,%.0f,%d,%d,%d,%d,%d,%.2f\n",
+			p.Utilization, p.Model, p.System,
+			m.TotalEnergy(), m.IdleEnergy, m.DynamicEnergy,
+			m.TurnaroundCycles,
+			m.TurnaroundPercentile(50), m.TurnaroundPercentile(99),
+			m.StallDecisions, m.NonBestPlacements, p.SavingVsBasePct); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package tuner_test
+
+import (
+	"fmt"
+
+	"hetsched/internal/cache"
+	"hetsched/internal/tuner"
+)
+
+// Example walks the Figure 5 heuristic against a synthetic energy oracle in
+// which 2-way/32-byte is the best configuration on an 8 KB core.
+func Example() {
+	energyOf := func(c cache.Config) float64 {
+		e := 100.0
+		e += float64((c.Ways - 2) * (c.Ways - 2) * 10)
+		e += float64((c.LineBytes - 32) * (c.LineBytes - 32) / 64)
+		return e
+	}
+	tn := tuner.MustNew(8)
+	for !tn.Done() {
+		cfg, _ := tn.Next()
+		if err := tn.Observe(cfg, energyOf(cfg)); err != nil {
+			panic(err)
+		}
+	}
+	best, _, _ := tn.Best()
+	fmt.Printf("explored %d configs, best %s\n", len(tn.Explored()), best)
+	// Output: explored 5 configs, best 8KB_2W_32B
+}

@@ -1,0 +1,239 @@
+package tuner
+
+import (
+	"testing"
+
+	"hetsched/internal/cache"
+	"hetsched/internal/characterize"
+)
+
+// drive runs the tuner to completion against an energy oracle.
+func drive(t *testing.T, tn *Tuner, energyOf func(cache.Config) float64) {
+	t.Helper()
+	for steps := 0; !tn.Done(); steps++ {
+		if steps > 20 {
+			t.Fatal("tuner did not terminate")
+		}
+		cfg, ok := tn.Next()
+		if !ok {
+			t.Fatal("Next returned !ok before Done")
+		}
+		if err := tn.Observe(cfg, energyOf(cfg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStartsAtSmallestConfig(t *testing.T) {
+	tn := MustNew(8)
+	cfg, ok := tn.Next()
+	if !ok {
+		t.Fatal("fresh tuner has no next config")
+	}
+	want := cache.Config{SizeKB: 8, Ways: 1, LineBytes: 16}
+	if cfg != want {
+		t.Errorf("first candidate %s, want %s", cfg, want)
+	}
+}
+
+func TestExploresAssocThenLine(t *testing.T) {
+	// Oracle: 2-way is best associativity, 32B is best line.
+	oracle := func(c cache.Config) float64 {
+		e := 100.0
+		switch c.Ways {
+		case 1:
+			e += 10
+		case 2:
+			e += 0
+		case 4:
+			e += 20
+		}
+		switch c.LineBytes {
+		case 16:
+			e += 5
+		case 32:
+			e += 0
+		case 64:
+			e += 15
+		}
+		return e
+	}
+	tn := MustNew(8)
+	drive(t, tn, oracle)
+	best, _, ok := tn.Best()
+	if !ok {
+		t.Fatal("no best after exploration")
+	}
+	want := cache.Config{SizeKB: 8, Ways: 2, LineBytes: 32}
+	if best != want {
+		t.Errorf("best = %s, want %s (explored %v)", best, want, tn.Explored())
+	}
+	// Expected order: 1W16, 2W16, 4W16 (worse: stop assoc), 2W32, 2W64
+	// (worse: stop).
+	wantOrder := []string{"8KB_1W_16B", "8KB_2W_16B", "8KB_4W_16B", "8KB_2W_32B", "8KB_2W_64B"}
+	got := tn.Explored()
+	if len(got) != len(wantOrder) {
+		t.Fatalf("explored %d configs %v, want %d", len(got), got, len(wantOrder))
+	}
+	for i := range wantOrder {
+		if got[i].String() != wantOrder[i] {
+			t.Errorf("explored[%d] = %s, want %s", i, got[i], wantOrder[i])
+		}
+	}
+}
+
+func TestEarlyTerminationMinimalExploration(t *testing.T) {
+	// Monotonically worse in both parameters: smallest config wins.
+	oracle := func(c cache.Config) float64 {
+		return float64(c.Ways*100 + c.LineBytes)
+	}
+	tn := MustNew(8)
+	drive(t, tn, oracle)
+	best, _, _ := tn.Best()
+	want := cache.Config{SizeKB: 8, Ways: 1, LineBytes: 16}
+	if best != want {
+		t.Errorf("best = %s, want %s", best, want)
+	}
+	if got := len(tn.Explored()); got != 3 {
+		t.Errorf("explored %d configs, want 3 (min for 8KB)", got)
+	}
+}
+
+func TestMaxExplorationBound(t *testing.T) {
+	// Monotonically better in both parameters: full climb.
+	oracle := func(c cache.Config) float64 {
+		return 1000 - float64(c.Ways*100+c.LineBytes)
+	}
+	tn := MustNew(8)
+	drive(t, tn, oracle)
+	best, _, _ := tn.Best()
+	want := cache.Config{SizeKB: 8, Ways: 4, LineBytes: 64}
+	if best != want {
+		t.Errorf("best = %s, want %s", best, want)
+	}
+	if got, max := len(tn.Explored()), tn.MaxExplorations(); got != max {
+		t.Errorf("explored %d, want max %d", got, max)
+	}
+}
+
+func TestDirectMappedCoreSkipsAssocPhaseClimb(t *testing.T) {
+	// 2KB cores only offer 1-way: exploration is 1 assoc config + line climb.
+	oracle := func(c cache.Config) float64 {
+		return float64(c.LineBytes) // smaller line better
+	}
+	tn := MustNew(2)
+	drive(t, tn, oracle)
+	best, _, _ := tn.Best()
+	want := cache.Config{SizeKB: 2, Ways: 1, LineBytes: 16}
+	if best != want {
+		t.Errorf("best = %s, want %s", best, want)
+	}
+	if got := len(tn.Explored()); got != 2 {
+		t.Errorf("explored %d configs, want 2", got)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	tn := MustNew(4)
+	wrong := cache.Config{SizeKB: 4, Ways: 2, LineBytes: 64}
+	if err := tn.Observe(wrong, 10); err == nil {
+		t.Error("Observe(wrong config) succeeded")
+	}
+	cfg, _ := tn.Next()
+	if err := tn.Observe(cfg, -1); err == nil {
+		t.Error("Observe(negative energy) succeeded")
+	}
+}
+
+func TestObserveAfterDone(t *testing.T) {
+	tn := MustNew(2)
+	drive(t, tn, func(c cache.Config) float64 { return 1 })
+	if _, ok := tn.Next(); ok {
+		t.Error("Next ok after done")
+	}
+	if err := tn.Observe(cache.Config{SizeKB: 2, Ways: 1, LineBytes: 16}, 1); err == nil {
+		t.Error("Observe after done succeeded")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(64); err == nil {
+		t.Error("New(64KB) succeeded; not in design space")
+	}
+}
+
+// Against real characterization data, the heuristic must stay within the
+// paper's exploration budget (≤6 configurations observed in the paper; our
+// hard bound is assoc+lines-1 = 5 per core) and find a configuration within
+// a modest margin of the per-size oracle.
+func TestHeuristicOnRealBenchmarks(t *testing.T) {
+	db, err := characterize.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstGap := 0.0
+	for i := range db.Records {
+		r := &db.Records[i]
+		for _, size := range cache.Sizes() {
+			tn := MustNew(size)
+			for !tn.Done() {
+				cfg, _ := tn.Next()
+				cr, err := r.Result(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tn.Observe(cfg, cr.Energy.Total); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := len(tn.Explored()); got > 6 {
+				t.Errorf("%s/%dKB: explored %d configs, paper observed <=6", r.Kernel, size, got)
+			}
+			best, bestE, _ := tn.Best()
+			oracle, err := r.BestConfigForSize(size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gap := bestE/oracle.Energy.Total - 1
+			if gap > worstGap {
+				worstGap = gap
+			}
+			if gap > 0.15 {
+				t.Errorf("%s/%dKB: heuristic best %s is %.1f%% above per-size oracle %s",
+					r.Kernel, size, best, 100*gap, oracle.Config)
+			}
+		}
+	}
+	t.Logf("worst heuristic-vs-oracle gap: %.2f%%", 100*worstGap)
+}
+
+func TestExplorationBounds(t *testing.T) {
+	if got := MustNew(8).MaxExplorations(); got != 5 {
+		t.Errorf("8KB max explorations = %d, want 5", got)
+	}
+	if got := MustNew(2).MaxExplorations(); got != 3 {
+		t.Errorf("2KB max explorations = %d, want 3", got)
+	}
+	if got := MustNew(8).MinExplorations(); got != 3 {
+		t.Errorf("8KB min explorations = %d, want 3", got)
+	}
+	if got := MustNew(2).MinExplorations(); got != 2 {
+		t.Errorf("2KB min explorations = %d, want 2", got)
+	}
+}
+
+func BenchmarkTunerFullExploration(b *testing.B) {
+	oracle := func(c cache.Config) float64 {
+		return 1000 - float64(c.Ways*100+c.LineBytes)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tn := MustNew(8)
+		for !tn.Done() {
+			cfg, _ := tn.Next()
+			if err := tn.Observe(cfg, oracle(cfg)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadTrace: arbitrary bytes must never panic the loader or make it
+// allocate unboundedly; accepted traces must re-save and re-load to the
+// same access stream.
+func FuzzLoadTrace(f *testing.F) {
+	seed := func(t *Trace) []byte {
+		var buf bytes.Buffer
+		if err := t.Save(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	tr := &Trace{}
+	tr.Access(0, false)
+	tr.Access(1<<40, true)
+	tr.Access(64, false)
+	f.Add(seed(tr))
+	f.Add(seed(&Trace{}))
+	f.Add([]byte{})
+	f.Add([]byte("HTRC"))
+	f.Add([]byte("HTRC\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := LoadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatalf("accepted trace does not re-save: %v", err)
+		}
+		again, err := LoadTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-saved trace does not re-load: %v", err)
+		}
+		if again.Len() != tr.Len() {
+			t.Fatalf("round trip changed length %d -> %d", tr.Len(), again.Len())
+		}
+		for i := range tr.Accesses {
+			if tr.Accesses[i] != again.Accesses[i] {
+				t.Fatalf("round trip changed access %d", i)
+			}
+		}
+	})
+}

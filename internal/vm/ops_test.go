@@ -1,0 +1,206 @@
+package vm
+
+import (
+	"testing"
+
+	"hetsched/internal/isa"
+)
+
+// runProg executes a fresh program on a small VM and returns it for
+// register inspection.
+func runProg(t *testing.T, p *isa.Program) *VM {
+	t.Helper()
+	v := MustNew(4096, nil)
+	if _, err := v.Run(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestIntegerALUSemantics(t *testing.T) {
+	p := isa.NewBuilder("alu").
+		Li(isa.R1, 13).
+		Li(isa.R2, 5).
+		Sub(isa.R3, isa.R1, isa.R2).   // 8
+		Mul(isa.R4, isa.R1, isa.R2).   // 65
+		Div(isa.R5, isa.R1, isa.R2).   // 2
+		Rem(isa.R6, isa.R1, isa.R2).   // 3
+		And(isa.R7, isa.R1, isa.R2).   // 5
+		Or(isa.R8, isa.R1, isa.R2).    // 13
+		Xor(isa.R9, isa.R1, isa.R2).   // 8
+		Shl(isa.R10, isa.R1, isa.R2).  // 13<<5 = 416
+		Shr(isa.R11, isa.R10, isa.R2). // 416>>5 = 13
+		Andi(isa.R12, isa.R1, 6).      // 4
+		Ori(isa.R13, isa.R1, 2).       // 15
+		Xori(isa.R14, isa.R1, 1).      // 12
+		Shli(isa.R15, isa.R2, 2).      // 20
+		Shri(isa.R16, isa.R1, 1).      // 6
+		Halt().
+		MustBuild()
+	v := runProg(t, p)
+	want := map[isa.Reg]int64{
+		isa.R3: 8, isa.R4: 65, isa.R5: 2, isa.R6: 3,
+		isa.R7: 5, isa.R8: 13, isa.R9: 8, isa.R10: 416, isa.R11: 13,
+		isa.R12: 4, isa.R13: 15, isa.R14: 12, isa.R15: 20, isa.R16: 6,
+	}
+	for r, w := range want {
+		if v.Regs[r] != w {
+			t.Errorf("r%d = %d, want %d", r, v.Regs[r], w)
+		}
+	}
+}
+
+func TestByteLoadSignExtends(t *testing.T) {
+	v := MustNew(64, nil)
+	if err := v.PokeByte(10, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	p := isa.NewBuilder("lb").
+		Lb(isa.R1, isa.R0, 10).
+		Halt().
+		MustBuild()
+	if _, err := v.Run(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v.Regs[isa.R1] != -1 {
+		t.Errorf("lb 0xFF = %d, want -1 (sign extension)", v.Regs[isa.R1])
+	}
+}
+
+func TestStoreByteTruncates(t *testing.T) {
+	v := MustNew(64, nil)
+	p := isa.NewBuilder("sb").
+		Li(isa.R1, 0x1234).
+		Sb(isa.R1, isa.R0, 5).
+		Lb(isa.R2, isa.R0, 5).
+		Halt().
+		MustBuild()
+	if _, err := v.Run(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v.Regs[isa.R2] != 0x34 {
+		t.Errorf("sb/lb round trip = %#x, want 0x34", v.Regs[isa.R2])
+	}
+}
+
+func TestFPConversionsAndCompares(t *testing.T) {
+	p := isa.NewBuilder("fpc").
+		Li(isa.R1, -7).
+		Itof(isa.F1, isa.R1). // -7.0
+		Ftoi(isa.R2, isa.F1). // -7
+		Li(isa.R3, 3).
+		Itof(isa.F2, isa.R3).         // 3.0
+		Fsub(isa.F3, isa.F2, isa.F1). // 10.0
+		Fdiv(isa.F4, isa.F3, isa.F2). // 10/3
+		Fmov(isa.F5, isa.F4).
+		Li(isa.R4, 0).
+		Fblt(isa.F1, isa.F2, "lt"). // -7 < 3: taken
+		Li(isa.R4, 99).
+		Label("lt").
+		Li(isa.R5, 0).
+		Fbge(isa.F2, isa.F1, "ge"). // 3 >= -7: taken
+		Li(isa.R5, 99).
+		Label("ge").
+		Halt().
+		MustBuild()
+	v := runProg(t, p)
+	if v.Regs[isa.R2] != -7 {
+		t.Errorf("ftoi(itof(-7)) = %d", v.Regs[isa.R2])
+	}
+	if v.Regs[isa.R4] != 0 || v.Regs[isa.R5] != 0 {
+		t.Errorf("fp branches not taken: r4=%d r5=%d", v.Regs[isa.R4], v.Regs[isa.R5])
+	}
+	if v.FRegs[isa.F5] != 10.0/3.0 {
+		t.Errorf("f5 = %v", v.FRegs[isa.F5])
+	}
+}
+
+func TestBranchSemantics(t *testing.T) {
+	// Exercise the not-taken side of every branch.
+	p := isa.NewBuilder("br").
+		Li(isa.R1, 1).
+		Li(isa.R2, 2).
+		Li(isa.R9, 0).
+		Beq(isa.R1, isa.R2, "bad"). // not taken
+		Bne(isa.R1, isa.R1, "bad"). // not taken
+		Blt(isa.R2, isa.R1, "bad"). // not taken
+		Bge(isa.R1, isa.R2, "bad"). // not taken
+		Itof(isa.F1, isa.R1).
+		Itof(isa.F2, isa.R2).
+		Fblt(isa.F2, isa.F1, "bad"). // not taken
+		Fbge(isa.F1, isa.F2, "bad"). // not taken
+		Li(isa.R9, 7).
+		Jmp("end").
+		Label("bad").
+		Li(isa.R9, -1).
+		Label("end").
+		Halt().
+		MustBuild()
+	v := runProg(t, p)
+	if v.Regs[isa.R9] != 7 {
+		t.Errorf("branch fallthrough chain broken: r9 = %d", v.Regs[isa.R9])
+	}
+}
+
+func TestNopAndSinkSwap(t *testing.T) {
+	v := MustNew(64, nil)
+	p := isa.NewBuilder("nop").Nop().Nop().Halt().MustBuild()
+	ctr, err := v.Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Instructions != 3 {
+		t.Errorf("instructions = %d", ctr.Instructions)
+	}
+	// SetSink(nil) must install the null sink, not nil-panic.
+	v.SetSink(nil)
+	v.ResetCounters()
+	if v.Counters().Instructions != 0 {
+		t.Error("ResetCounters did not zero")
+	}
+	p2 := isa.NewBuilder("st").Sw(isa.R0, isa.R0, 0).Halt().MustBuild()
+	if _, err := v.Run(p2, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemHelperBounds(t *testing.T) {
+	v := MustNew(16, nil)
+	if err := v.PokeWord(14, 1); err == nil {
+		t.Error("PokeWord past end accepted")
+	}
+	if _, err := v.PeekWord(14); err == nil {
+		t.Error("PeekWord past end accepted")
+	}
+	if err := v.PokeFloat(9, 1); err == nil {
+		t.Error("PokeFloat past end accepted")
+	}
+	if _, err := v.PeekFloat(9); err == nil {
+		t.Error("PeekFloat past end accepted")
+	}
+	if err := v.PokeByte(16, 1); err == nil {
+		t.Error("PokeByte past end accepted")
+	}
+	if v.MemSize() != 16 {
+		t.Errorf("MemSize = %d", v.MemSize())
+	}
+}
+
+func TestOutOfRangeByteOps(t *testing.T) {
+	for _, build := range []func() *isa.Program{
+		func() *isa.Program {
+			return isa.NewBuilder("lb").Li(isa.R1, 1<<20).Lb(isa.R2, isa.R1, 0).Halt().MustBuild()
+		},
+		func() *isa.Program {
+			return isa.NewBuilder("sb").Li(isa.R1, 1<<20).Sb(isa.R2, isa.R1, 0).Halt().MustBuild()
+		},
+		func() *isa.Program {
+			return isa.NewBuilder("fsw").Li(isa.R1, 1<<20).Fsw(isa.F1, isa.R1, 0).Halt().MustBuild()
+		},
+	} {
+		v := MustNew(64, nil)
+		if _, err := v.Run(build(), 0); err == nil {
+			t.Error("out-of-range access did not error")
+		}
+	}
+}

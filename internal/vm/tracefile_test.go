@@ -1,0 +1,162 @@
+package vm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	tr := &Trace{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10_000; i++ {
+		tr.Access(uint64(rng.Intn(1<<20)), rng.Intn(3) == 0)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round trip %d accesses, want %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Accesses {
+		if got.Accesses[i] != tr.Accesses[i] {
+			t.Fatalf("access %d differs: %+v vs %+v", i, got.Accesses[i], tr.Accesses[i])
+		}
+	}
+}
+
+func TestTraceCompression(t *testing.T) {
+	// A sequential trace (the common kernel pattern) must compress far
+	// below the 16 bytes/access of the in-memory form.
+	tr := &Trace{}
+	for i := 0; i < 10_000; i++ {
+		tr.Access(uint64(i*4), false)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	perAccess := float64(buf.Len()) / float64(tr.Len())
+	if perAccess > 2.0 {
+		t.Errorf("sequential trace costs %.2f bytes/access; delta coding broken", perAccess)
+	}
+}
+
+func TestTraceEmptyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Trace{}).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("empty trace round-tripped to %d accesses", got.Len())
+	}
+}
+
+func TestLoadTraceRejectsCorruption(t *testing.T) {
+	tr := &Trace{}
+	tr.Access(100, true)
+	tr.Access(200, false)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad magic":     append([]byte("XXXX"), good[4:]...),
+		"bad version":   append(append([]byte{}, good[:4]...), append([]byte{99}, good[5:]...)...),
+		"truncated":     good[:len(good)-1],
+		"header only":   good[:5],
+		"count no data": append(append([]byte{}, good[:5]...), 200, 1),
+	}
+	for name, data := range cases {
+		if _, err := LoadTrace(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestZigzagRoundTripQuick(t *testing.T) {
+	f := func(v int64) bool {
+		return unzigzag(zigzag(v)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: arbitrary traces survive the round trip.
+func TestTraceRoundTripQuick(t *testing.T) {
+	f := func(addrs []uint32, writeBits []bool) bool {
+		tr := &Trace{}
+		for i, a := range addrs {
+			w := i < len(writeBits) && writeBits[i]
+			tr.Access(uint64(a), w)
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			return false
+		}
+		got, err := LoadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.Accesses {
+			if got.Accesses[i] != tr.Accesses[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTraceSave(b *testing.B) {
+	tr := &Trace{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		tr.Access(uint64(rng.Intn(1<<16)), rng.Intn(4) == 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceLoad(b *testing.B) {
+	tr := &Trace{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		tr.Access(uint64(rng.Intn(1<<16)), rng.Intn(4) == 0)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadTrace(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

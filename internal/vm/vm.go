@@ -1,0 +1,394 @@
+// Package vm executes internal/isa programs deterministically, maintaining
+// the hardware counters the paper's profiler reads and streaming every
+// data-memory access to an attached sink (typically a cache hierarchy or a
+// trace recorder). It stands in for SimpleScalar's sim-cache.
+//
+// The cycle model is in-order single-issue with a perfect L1: each
+// instruction costs its class latency and memory stall cycles are charged
+// afterwards by the Figure 4 energy model from per-configuration miss
+// counts, exactly as the paper post-processes SimpleScalar statistics.
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hetsched/internal/isa"
+)
+
+// MemSink receives every data-memory access the program performs.
+type MemSink interface {
+	// Access is invoked once per memory instruction with the byte address
+	// and direction.
+	Access(addr uint64, write bool)
+}
+
+// NullSink discards accesses (pure counter runs).
+type NullSink struct{}
+
+// Access implements MemSink.
+func (NullSink) Access(addr uint64, write bool) {}
+
+// Counters are the raw hardware counters maintained during execution. These
+// are the measurement substrate for the paper's 18 execution statistics.
+type Counters struct {
+	Instructions  uint64 // total committed instructions
+	Cycles        uint64 // base cycles assuming a perfect L1
+	Loads         uint64
+	Stores        uint64
+	LoadBytes     uint64
+	StoreBytes    uint64
+	Branches      uint64
+	BranchesTaken uint64
+	IntALU        uint64
+	MulDiv        uint64
+	FPOps         uint64
+}
+
+// MemOps returns loads+stores.
+func (c Counters) MemOps() uint64 { return c.Loads + c.Stores }
+
+// latency per opcode class; branch-taken adds one redirect cycle.
+func opCycles(op isa.Op) uint64 {
+	switch op {
+	case isa.MUL:
+		return 3
+	case isa.DIV, isa.REM:
+		return 10
+	case isa.FADD, isa.FSUB:
+		return 2
+	case isa.FMUL:
+		return 4
+	case isa.FDIV:
+		return 12
+	case isa.ITOF, isa.FTOI:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// VM is a single-core execution engine. Construct with New, load data with
+// the memory helpers, then Run.
+type VM struct {
+	Regs  [isa.NumRegs]int64
+	FRegs [isa.NumFRegs]float64
+
+	mem  []byte
+	sink MemSink
+	ctr  Counters
+}
+
+// New builds a VM with memBytes of zeroed data memory and the given sink.
+// A nil sink is replaced by NullSink.
+func New(memBytes int, sink MemSink) (*VM, error) {
+	if memBytes <= 0 {
+		return nil, fmt.Errorf("vm: memory size must be positive, got %d", memBytes)
+	}
+	if sink == nil {
+		sink = NullSink{}
+	}
+	return &VM{mem: make([]byte, memBytes), sink: sink}, nil
+}
+
+// MustNew is New panicking on error.
+func MustNew(memBytes int, sink MemSink) *VM {
+	v, err := New(memBytes, sink)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// MemSize returns the data-memory size in bytes.
+func (v *VM) MemSize() int { return len(v.mem) }
+
+// Counters returns the counters accumulated so far.
+func (v *VM) Counters() Counters { return v.ctr }
+
+// ResetCounters zeroes the counters (memory and registers are preserved).
+func (v *VM) ResetCounters() { v.ctr = Counters{} }
+
+// SetSink replaces the memory-access sink.
+func (v *VM) SetSink(s MemSink) {
+	if s == nil {
+		s = NullSink{}
+	}
+	v.sink = s
+}
+
+// --- memory helpers (initialization; not counted as program accesses) ---
+
+// PokeWord writes a 32-bit word during setup.
+func (v *VM) PokeWord(addr uint64, val int32) error {
+	if addr+4 > uint64(len(v.mem)) {
+		return fmt.Errorf("vm: poke word at %#x out of range", addr)
+	}
+	binary.LittleEndian.PutUint32(v.mem[addr:], uint32(val))
+	return nil
+}
+
+// PeekWord reads a 32-bit word during teardown/verification.
+func (v *VM) PeekWord(addr uint64) (int32, error) {
+	if addr+4 > uint64(len(v.mem)) {
+		return 0, fmt.Errorf("vm: peek word at %#x out of range", addr)
+	}
+	return int32(binary.LittleEndian.Uint32(v.mem[addr:])), nil
+}
+
+// PokeFloat writes a float64 during setup.
+func (v *VM) PokeFloat(addr uint64, val float64) error {
+	if addr+8 > uint64(len(v.mem)) {
+		return fmt.Errorf("vm: poke float at %#x out of range", addr)
+	}
+	binary.LittleEndian.PutUint64(v.mem[addr:], floatBits(val))
+	return nil
+}
+
+// PeekFloat reads a float64.
+func (v *VM) PeekFloat(addr uint64) (float64, error) {
+	if addr+8 > uint64(len(v.mem)) {
+		return 0, fmt.Errorf("vm: peek float at %#x out of range", addr)
+	}
+	return floatFrom(binary.LittleEndian.Uint64(v.mem[addr:])), nil
+}
+
+// PokeByte writes one byte during setup.
+func (v *VM) PokeByte(addr uint64, val byte) error {
+	if addr >= uint64(len(v.mem)) {
+		return fmt.Errorf("vm: poke byte at %#x out of range", addr)
+	}
+	v.mem[addr] = val
+	return nil
+}
+
+// --- execution ---
+
+// ErrBudget is returned when Run exceeds its instruction budget, which
+// indicates a runaway program (every benchmark must halt).
+type ErrBudget struct {
+	Program string
+	Budget  uint64
+}
+
+func (e ErrBudget) Error() string {
+	return fmt.Sprintf("vm: program %q exceeded budget of %d instructions", e.Program, e.Budget)
+}
+
+// Run executes the program from instruction 0 until HALT, returning the
+// counters. maxInstr bounds execution (0 means a 500M-instruction default).
+func (v *VM) Run(p *isa.Program, maxInstr uint64) (Counters, error) {
+	if err := p.Validate(); err != nil {
+		return v.ctr, err
+	}
+	if maxInstr == 0 {
+		maxInstr = 500_000_000
+	}
+	pc := 0
+	for v.ctr.Instructions < maxInstr {
+		in := &p.Instrs[pc]
+		v.ctr.Instructions++
+		v.ctr.Cycles += opCycles(in.Op)
+		next := pc + 1
+
+		switch in.Op {
+		case isa.NOP:
+		case isa.HALT:
+			return v.ctr, nil
+
+		case isa.ADD:
+			v.setReg(in.Rd, v.Regs[in.Rs1]+v.Regs[in.Rs2])
+			v.ctr.IntALU++
+		case isa.SUB:
+			v.setReg(in.Rd, v.Regs[in.Rs1]-v.Regs[in.Rs2])
+			v.ctr.IntALU++
+		case isa.MUL:
+			v.setReg(in.Rd, v.Regs[in.Rs1]*v.Regs[in.Rs2])
+			v.ctr.MulDiv++
+		case isa.DIV:
+			v.setReg(in.Rd, safeDiv(v.Regs[in.Rs1], v.Regs[in.Rs2]))
+			v.ctr.MulDiv++
+		case isa.REM:
+			v.setReg(in.Rd, safeRem(v.Regs[in.Rs1], v.Regs[in.Rs2]))
+			v.ctr.MulDiv++
+		case isa.AND:
+			v.setReg(in.Rd, v.Regs[in.Rs1]&v.Regs[in.Rs2])
+			v.ctr.IntALU++
+		case isa.OR:
+			v.setReg(in.Rd, v.Regs[in.Rs1]|v.Regs[in.Rs2])
+			v.ctr.IntALU++
+		case isa.XOR:
+			v.setReg(in.Rd, v.Regs[in.Rs1]^v.Regs[in.Rs2])
+			v.ctr.IntALU++
+		case isa.SHL:
+			v.setReg(in.Rd, v.Regs[in.Rs1]<<uint(v.Regs[in.Rs2]&63))
+			v.ctr.IntALU++
+		case isa.SHR:
+			v.setReg(in.Rd, v.Regs[in.Rs1]>>uint(v.Regs[in.Rs2]&63))
+			v.ctr.IntALU++
+
+		case isa.ADDI:
+			v.setReg(in.Rd, v.Regs[in.Rs1]+in.Imm)
+			v.ctr.IntALU++
+		case isa.ANDI:
+			v.setReg(in.Rd, v.Regs[in.Rs1]&in.Imm)
+			v.ctr.IntALU++
+		case isa.ORI:
+			v.setReg(in.Rd, v.Regs[in.Rs1]|in.Imm)
+			v.ctr.IntALU++
+		case isa.XORI:
+			v.setReg(in.Rd, v.Regs[in.Rs1]^in.Imm)
+			v.ctr.IntALU++
+		case isa.SHLI:
+			v.setReg(in.Rd, v.Regs[in.Rs1]<<uint(in.Imm&63))
+			v.ctr.IntALU++
+		case isa.SHRI:
+			v.setReg(in.Rd, v.Regs[in.Rs1]>>uint(in.Imm&63))
+			v.ctr.IntALU++
+		case isa.LI:
+			v.setReg(in.Rd, in.Imm)
+			v.ctr.IntALU++
+
+		case isa.LW:
+			addr := uint64(v.Regs[in.Rs1] + in.Imm)
+			if addr+4 > uint64(len(v.mem)) {
+				return v.ctr, fmt.Errorf("vm: %q pc=%d: load at %#x out of range", p.Name, pc, addr)
+			}
+			v.setReg(in.Rd, int64(int32(binary.LittleEndian.Uint32(v.mem[addr:]))))
+			v.sink.Access(addr, false)
+			v.ctr.Loads++
+			v.ctr.LoadBytes += 4
+		case isa.SW:
+			addr := uint64(v.Regs[in.Rs1] + in.Imm)
+			if addr+4 > uint64(len(v.mem)) {
+				return v.ctr, fmt.Errorf("vm: %q pc=%d: store at %#x out of range", p.Name, pc, addr)
+			}
+			binary.LittleEndian.PutUint32(v.mem[addr:], uint32(v.Regs[in.Rs2]))
+			v.sink.Access(addr, true)
+			v.ctr.Stores++
+			v.ctr.StoreBytes += 4
+		case isa.LB:
+			addr := uint64(v.Regs[in.Rs1] + in.Imm)
+			if addr >= uint64(len(v.mem)) {
+				return v.ctr, fmt.Errorf("vm: %q pc=%d: load byte at %#x out of range", p.Name, pc, addr)
+			}
+			v.setReg(in.Rd, int64(int8(v.mem[addr])))
+			v.sink.Access(addr, false)
+			v.ctr.Loads++
+			v.ctr.LoadBytes++
+		case isa.SB:
+			addr := uint64(v.Regs[in.Rs1] + in.Imm)
+			if addr >= uint64(len(v.mem)) {
+				return v.ctr, fmt.Errorf("vm: %q pc=%d: store byte at %#x out of range", p.Name, pc, addr)
+			}
+			v.mem[addr] = byte(v.Regs[in.Rs2])
+			v.sink.Access(addr, true)
+			v.ctr.Stores++
+			v.ctr.StoreBytes++
+		case isa.FLW:
+			addr := uint64(v.Regs[in.Rs1] + in.Imm)
+			if addr+8 > uint64(len(v.mem)) {
+				return v.ctr, fmt.Errorf("vm: %q pc=%d: fp load at %#x out of range", p.Name, pc, addr)
+			}
+			v.FRegs[in.Fd] = floatFrom(binary.LittleEndian.Uint64(v.mem[addr:]))
+			v.sink.Access(addr, false)
+			v.ctr.Loads++
+			v.ctr.LoadBytes += 8
+		case isa.FSW:
+			addr := uint64(v.Regs[in.Rs1] + in.Imm)
+			if addr+8 > uint64(len(v.mem)) {
+				return v.ctr, fmt.Errorf("vm: %q pc=%d: fp store at %#x out of range", p.Name, pc, addr)
+			}
+			binary.LittleEndian.PutUint64(v.mem[addr:], floatBits(v.FRegs[in.Fs1]))
+			v.sink.Access(addr, true)
+			v.ctr.Stores++
+			v.ctr.StoreBytes += 8
+
+		case isa.BEQ:
+			next = v.branch(v.Regs[in.Rs1] == v.Regs[in.Rs2], in.Target, next)
+		case isa.BNE:
+			next = v.branch(v.Regs[in.Rs1] != v.Regs[in.Rs2], in.Target, next)
+		case isa.BLT:
+			next = v.branch(v.Regs[in.Rs1] < v.Regs[in.Rs2], in.Target, next)
+		case isa.BGE:
+			next = v.branch(v.Regs[in.Rs1] >= v.Regs[in.Rs2], in.Target, next)
+		case isa.JMP:
+			next = v.branch(true, in.Target, next)
+		case isa.FBLT:
+			next = v.branch(v.FRegs[in.Fs1] < v.FRegs[in.Fs2], in.Target, next)
+		case isa.FBGE:
+			next = v.branch(v.FRegs[in.Fs1] >= v.FRegs[in.Fs2], in.Target, next)
+
+		case isa.FADD:
+			v.FRegs[in.Fd] = v.FRegs[in.Fs1] + v.FRegs[in.Fs2]
+			v.ctr.FPOps++
+		case isa.FSUB:
+			v.FRegs[in.Fd] = v.FRegs[in.Fs1] - v.FRegs[in.Fs2]
+			v.ctr.FPOps++
+		case isa.FMUL:
+			v.FRegs[in.Fd] = v.FRegs[in.Fs1] * v.FRegs[in.Fs2]
+			v.ctr.FPOps++
+		case isa.FDIV:
+			v.FRegs[in.Fd] = safeFDiv(v.FRegs[in.Fs1], v.FRegs[in.Fs2])
+			v.ctr.FPOps++
+		case isa.FMOV:
+			v.FRegs[in.Fd] = v.FRegs[in.Fs1]
+			v.ctr.FPOps++
+		case isa.ITOF:
+			v.FRegs[in.Fd] = float64(v.Regs[in.Rs1])
+			v.ctr.FPOps++
+		case isa.FTOI:
+			v.setReg(in.Rd, int64(v.FRegs[in.Fs1]))
+			v.ctr.FPOps++
+
+		default:
+			return v.ctr, fmt.Errorf("vm: %q pc=%d: unimplemented opcode %v", p.Name, pc, in.Op)
+		}
+		pc = next
+	}
+	return v.ctr, ErrBudget{Program: p.Name, Budget: maxInstr}
+}
+
+func (v *VM) branch(taken bool, target, fallthrough_ int) int {
+	v.ctr.Branches++
+	if taken {
+		v.ctr.BranchesTaken++
+		v.ctr.Cycles++ // redirect penalty
+		return target
+	}
+	return fallthrough_
+}
+
+// setReg writes rd, keeping R0 hardwired to zero.
+func (v *VM) setReg(rd isa.Reg, val int64) {
+	if rd != isa.R0 {
+		v.Regs[rd] = val
+	}
+}
+
+func safeDiv(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func safeRem(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	return a % b
+}
+
+func safeFDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// floatBits/floatFrom are the IEEE-754 bit casts.
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }
