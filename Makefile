@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench cover fuzz reproduce sweep clean
+.PHONY: all check build vet test test-short test-race bench cover fuzz reproduce serve loadtest sweep clean
 
-all: build vet test
+all: check
+
+# The default gate: compile, vet, full test suite, and the concurrency
+# subsystem under the race detector.
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -14,6 +18,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The daemon's worker pool / queue / shutdown paths are where data races
+# would live; run that package (and the stats sketch it leans on) with -race.
+test-race:
+	$(GO) test -race ./internal/server/... ./internal/stats/...
 
 test-short:
 	$(GO) test -short ./...
@@ -34,6 +43,14 @@ fuzz:
 # The paper's full evaluation (Figures 6 & 7 at 5000 arrivals).
 reproduce:
 	$(GO) run ./cmd/hmsim -arrivals 5000
+
+# Run the scheduling daemon on the default ports (API :8080, pprof :6060).
+serve:
+	$(GO) run ./cmd/hetschedd
+
+# Hammer an in-process daemon: 256 requests, 64 in flight, 4 workers.
+loadtest:
+	$(GO) run ./cmd/hetschedbench -requests 256 -concurrency 64 -workers 4
 
 sweep:
 	$(GO) run ./cmd/hmsweep -arrivals 1500 > sweep.csv

@@ -63,7 +63,12 @@ func sweepTrace(path string) error {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cachetune: ")
+	if err := run(); err != nil {
+		log.Fatal(err) // exit code 1 on every error path, so scripts can rely on $?
+	}
+}
 
+func run() error {
 	kernel := flag.String("kernel", "tblook", "benchmark to explore")
 	scale := flag.Int("scale", 1, "dataset scale")
 	seed := flag.Int64("seed", 1, "data seed")
@@ -74,19 +79,16 @@ func main() {
 
 	if *space {
 		fmt.Print(hetsched.FormatDesignSpace())
-		return
+		return nil
 	}
 	if *list {
 		for _, k := range eembc.AllKernels() {
 			fmt.Printf("%-8s %s\n", k.Name, k.Description)
 		}
-		return
+		return nil
 	}
 	if *fromTrace != "" {
-		if err := sweepTrace(*fromTrace); err != nil {
-			log.Fatal(err)
-		}
-		return
+		return sweepTrace(*fromTrace)
 	}
 
 	params := eembc.Params{Scale: *scale, Iterations: 4, Seed: *seed}
@@ -95,7 +97,7 @@ func main() {
 		energy.NewDefault(),
 	)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rec := &db.Records[0]
 
@@ -123,20 +125,21 @@ func main() {
 			cfg, _ := tn.Next()
 			cr, err := rec.Result(cfg)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if err := tn.Observe(cfg, cr.Energy.Total); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 		bestCfg, bestE, _ := tn.Best()
 		oracle, err := rec.BestConfigForSize(size)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		gap := 100 * (bestE/oracle.Energy.Total - 1)
 		fmt.Printf("  %dKB core: explored %d of %d configs -> %s (%.0f nJ, %.1f%% above per-size oracle %s)\n",
 			size, len(tn.Explored()), len(cache.ConfigsForSize(size)),
 			bestCfg, bestE, gap, oracle.Config)
 	}
+	return nil
 }

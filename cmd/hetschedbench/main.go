@@ -1,0 +1,192 @@
+// Command hetschedbench hammers a hetschedd daemon with concurrent
+// POST /v1/schedule requests and reports scheduling-service throughput,
+// latency percentiles and backpressure behaviour — the "heavy traffic"
+// benchmark for the serving path.
+//
+// With -addr it targets a running daemon; without it, it starts a daemon
+// in-process on a loopback port (training the predictor first), so
+//
+//	go run ./cmd/hetschedbench -requests 256 -concurrency 64 -workers 4
+//
+// is a self-contained load test: 64 in-flight requests against a 4-worker
+// pool, with 429s counted as correct backpressure rather than failures.
+//
+// Exit status is non-zero when any request fails with a status other than
+// 200 or 429, so the benchmark is scriptable in CI.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetsched"
+	"hetsched/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hetschedbench: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "", "target daemon base URL (e.g. http://localhost:8080); empty starts one in-process")
+	requests := flag.Int("requests", 256, "total schedule requests to issue")
+	concurrency := flag.Int("concurrency", 64, "in-flight request cap")
+	arrivals := flag.Int("arrivals", 200, "workload length per request")
+	util := flag.Float64("util", 0.9, "offered load per request")
+	system := flag.String("system", "proposed", "system to schedule with")
+	predictor := flag.String("predictor", "oracle", "in-process predictor (oracle avoids ANN training)")
+	workers := flag.Int("workers", 4, "in-process worker pool size")
+	queue := flag.Int("queue", 32, "in-process queue depth (small enough to exercise 429s)")
+	flag.Parse()
+
+	if *requests < 1 || *concurrency < 1 {
+		return fmt.Errorf("requests and concurrency must be >= 1")
+	}
+
+	base := *addr
+	if base == "" {
+		kind, err := hetsched.ParsePredictorKind(*predictor)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "starting in-process daemon (%s predictor, %d workers, queue %d)...\n",
+			kind, *workers, *queue)
+		sys, err := hetsched.New(hetsched.Options{Predictor: kind})
+		if err != nil {
+			return err
+		}
+		srv, err := server.New(sys, server.Config{
+			Workers:    *workers,
+			QueueDepth: *queue,
+			Logger:     log.New(io.Discard, "", 0),
+		})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go http.Serve(ln, srv.Handler())
+		defer ln.Close()
+		base = "http://" + ln.Addr().String()
+	}
+
+	payload, err := json.Marshal(map[string]any{
+		"system":      *system,
+		"arrivals":    *arrivals,
+		"utilization": *util,
+	})
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	var (
+		next      atomic.Int64
+		ok        atomic.Int64
+		rejected  atomic.Int64
+		failed    atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration // successful requests only
+	)
+	fmt.Fprintf(os.Stderr, "firing %d requests (%d in flight) at %s ...\n",
+		*requests, *concurrency, base)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(seedBase int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(*requests) {
+					return
+				}
+				// Vary the seed per request so runs aren't byte-identical.
+				body := bytes.Replace(payload, []byte(`"system"`),
+					[]byte(fmt.Sprintf(`"seed":%d,"system"`, i+1)), 1)
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/schedule", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+					mu.Lock()
+					latencies = append(latencies, time.Since(t0))
+					mu.Unlock()
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("requests:    %d total, %d ok, %d backpressured (429), %d failed\n",
+		*requests, ok.Load(), rejected.Load(), failed.Load())
+	fmt.Printf("wall time:   %.2fs\n", elapsed.Seconds())
+	fmt.Printf("throughput:  %.1f scheduled workloads/s (%.0f simulated arrivals/s)\n",
+		float64(ok.Load())/elapsed.Seconds(),
+		float64(ok.Load())*float64(*arrivals)/elapsed.Seconds())
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) time.Duration {
+			idx := int(p/100*float64(len(latencies))+0.9999) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(latencies) {
+				idx = len(latencies) - 1
+			}
+			return latencies[idx]
+		}
+		fmt.Printf("latency:     p50 %.1fms  p95 %.1fms  p99 %.1fms  max %.1fms\n",
+			ms(pct(50)), ms(pct(95)), ms(pct(99)), ms(latencies[len(latencies)-1]))
+	}
+
+	// Pull the daemon's own view of the run.
+	if resp, err := client.Get(base + "/metrics"); err == nil {
+		var snap server.Snapshot
+		if json.NewDecoder(resp.Body).Decode(&snap) == nil {
+			ep := snap.Endpoints["schedule"]
+			fmt.Printf("server view: accepted=%d rejected=%d p95=%.1fms queue_wait_p95=%.1fms workers=%d\n",
+				snap.JobsAccepted, snap.JobsRejected, ep.P95Ms, ep.QueueWaitP95, snap.Workers)
+		}
+		resp.Body.Close()
+	}
+
+	if failed.Load() > 0 {
+		return fmt.Errorf("%d requests failed", failed.Load())
+	}
+	if ok.Load() == 0 {
+		return fmt.Errorf("no request succeeded")
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

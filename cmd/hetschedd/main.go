@@ -1,0 +1,98 @@
+// Command hetschedd is the scheduling-as-a-service daemon: it characterizes
+// the benchmark suite, trains the configured predictor once, and then serves
+// scheduling requests over HTTP through a bounded queue and a fixed worker
+// pool (one simulator per worker at a time; see internal/server).
+//
+// Endpoints (JSON; see DESIGN.md for schemas):
+//
+//	POST /v1/predict      {"kernel": "tblook"}
+//	POST /v1/schedule     {"system": "proposed", "arrivals": 500, ...}
+//	POST /v1/tune         {"kernel": "tblook", "size_kb": 8}
+//	GET  /v1/designspace
+//	GET  /healthz
+//	GET  /metrics
+//
+// A second, internal-only debug listener serves /debug/pprof/* and
+// /debug/vars, e.g.:
+//
+//	go tool pprof http://localhost:6060/debug/pprof/profile
+//
+// Usage:
+//
+//	hetschedd [-addr :8080] [-debug-addr :6060] [-workers 4] [-queue 64]
+//	          [-timeout 2m] [-max-arrivals 20000] [-predictor ann] [-seed 42]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hetsched"
+	"hetsched/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hetschedd: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "API listen address")
+	debugAddr := flag.String("debug-addr", ":6060", "pprof/expvar listen address (empty disables)")
+	workers := flag.Int("workers", 4, "simulation worker pool size")
+	queue := flag.Int("queue", 64, "bounded job-queue depth (full queue answers 429)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request service timeout, queue wait included")
+	maxArrivals := flag.Int("max-arrivals", 20000, "largest workload one schedule request may ask for")
+	predictor := flag.String("predictor", "ann", "best-size predictor: ann|oracle|linear|knn|stump|tree")
+	seed := flag.Int64("seed", 42, "predictor training seed")
+	flag.Parse()
+
+	kind, err := hetsched.ParsePredictorKind(*predictor)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "hetschedd: characterizing suite and training %s predictor...\n", kind)
+	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Seed: *seed})
+	if err != nil {
+		return err
+	}
+
+	srv, err := server.New(sys, server.Config{
+		Addr:           *addr,
+		DebugAddr:      *debugAddr,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		MaxArrivals:    *maxArrivals,
+	})
+	if err != nil {
+		return err
+	}
+	srv.Metrics().PublishExpvar()
+
+	// SIGINT/SIGTERM drain gracefully: stop accepting, finish queued and
+	// in-flight jobs, then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "hetschedd: signal received, draining in-flight jobs...")
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "hetschedd: shutdown: %v\n", err)
+		}
+	}()
+
+	return srv.ListenAndServe()
+}

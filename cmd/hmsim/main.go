@@ -6,6 +6,9 @@
 // Usage:
 //
 //	hmsim [-arrivals 5000] [-util 0.9] [-seed 1] [-predictor ann|oracle|linear|knn|stump]
+//
+// Every error path exits non-zero so the command can be scripted (see
+// cmd/hetschedbench and the Makefile targets).
 package main
 
 import (
@@ -20,7 +23,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hmsim: ")
+	if err := run(); err != nil {
+		log.Fatal(err) // exit code 1
+	}
+}
 
+func run() error {
 	arrivals := flag.Int("arrivals", 5000, "number of benchmark arrivals (paper: 5000)")
 	util := flag.Float64("util", 0.90, "offered load on the quad-core machine")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -29,15 +37,15 @@ func main() {
 	timeline := flag.Int("timeline", 0, "also print the first N proposed-system schedule events")
 	flag.Parse()
 
-	kind, err := parsePredictor(*predictor)
+	kind, err := hetsched.ParsePredictorKind(*predictor)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Fprintf(os.Stderr, "characterizing suite and training %s predictor...\n", kind)
 	sys, err := hetsched.New(hetsched.Options{Predictor: kind})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	cfg := hetsched.DefaultExperimentConfig()
@@ -49,19 +57,19 @@ func main() {
 		cfg.Arrivals, cfg.Utilization)
 	res, err := sys.Experiment(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Print(hetsched.FormatFigures(res))
 
 	if *perApp || *timeline > 0 {
 		jobs, err := sys.Workload(cfg.Arrivals, cfg.Utilization, cfg.Seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		m, err := sys.RunSystem("proposed", jobs,
 			hetsched.SimConfig{RecordSchedule: *timeline > 0})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if *perApp {
 			fmt.Println()
@@ -72,22 +80,5 @@ func main() {
 			fmt.Print(hetsched.FormatSchedule(sys, m, *timeline))
 		}
 	}
-}
-
-func parsePredictor(s string) (hetsched.PredictorKind, error) {
-	switch s {
-	case "ann":
-		return hetsched.PredictANN, nil
-	case "oracle":
-		return hetsched.PredictOracle, nil
-	case "linear":
-		return hetsched.PredictLinear, nil
-	case "knn":
-		return hetsched.PredictKNN, nil
-	case "stump":
-		return hetsched.PredictStump, nil
-	case "tree":
-		return hetsched.PredictTree, nil
-	}
-	return 0, fmt.Errorf("unknown predictor %q (want ann|oracle|linear|knn|stump|tree)", s)
+	return nil
 }

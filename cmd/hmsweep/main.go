@@ -25,7 +25,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hmsweep: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	arrivals := flag.Int("arrivals", 1500, "arrivals per experiment")
 	utilsFlag := flag.String("utils", "0.5,0.75,0.9", "comma-separated utilizations")
 	modelsFlag := flag.String("models", "uniform", "comma-separated arrival models (uniform|poisson|bursty)")
@@ -36,21 +41,21 @@ func main() {
 
 	utils, err := parseFloats(*utilsFlag)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	models, err := parseModels(*modelsFlag)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	kind, err := parsePredictor(*predictor)
+	kind, err := hetsched.ParsePredictorKind(*predictor)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Fprintf(os.Stderr, "setting up (%s predictor)...\n", kind)
 	sys, err := hetsched.New(hetsched.Options{Predictor: kind})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	points, err := sweep.Run(sys.Eval, sys.Energy, sys.Pred, sweep.Config{
@@ -61,11 +66,9 @@ func main() {
 		Seed:         *seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if err := sweep.WriteCSV(os.Stdout, points); err != nil {
-		log.Fatal(err)
-	}
+	return sweep.WriteCSV(os.Stdout, points)
 }
 
 func parseFloats(s string) ([]float64, error) {
@@ -95,22 +98,4 @@ func parseModels(s string) ([]core.ArrivalModel, error) {
 		}
 	}
 	return out, nil
-}
-
-func parsePredictor(s string) (hetsched.PredictorKind, error) {
-	switch s {
-	case "ann":
-		return hetsched.PredictANN, nil
-	case "oracle":
-		return hetsched.PredictOracle, nil
-	case "linear":
-		return hetsched.PredictLinear, nil
-	case "knn":
-		return hetsched.PredictKNN, nil
-	case "stump":
-		return hetsched.PredictStump, nil
-	case "tree":
-		return hetsched.PredictTree, nil
-	}
-	return 0, fmt.Errorf("unknown predictor %q", s)
 }

@@ -111,6 +111,27 @@ const (
 	PredictTree
 )
 
+// ParsePredictorKind parses a predictor name as printed by
+// PredictorKind.String — the shared flag/API vocabulary of the CLIs and the
+// hetschedd daemon.
+func ParsePredictorKind(s string) (PredictorKind, error) {
+	switch s {
+	case "ann":
+		return PredictANN, nil
+	case "oracle":
+		return PredictOracle, nil
+	case "linear":
+		return PredictLinear, nil
+	case "knn":
+		return PredictKNN, nil
+	case "stump":
+		return PredictStump, nil
+	case "tree":
+		return PredictTree, nil
+	}
+	return 0, fmt.Errorf("hetsched: unknown predictor %q (want ann|oracle|linear|knn|stump|tree)", s)
+}
+
 // String names the predictor kind.
 func (k PredictorKind) String() string {
 	switch k {
@@ -157,6 +178,18 @@ type Options struct {
 
 // System bundles everything needed to run the paper's experiments: the
 // characterization ground truth, the energy model and a trained predictor.
+//
+// Goroutine safety: a System is immutable after New and safe for concurrent
+// use — every method reads the characterization DBs, energy model and
+// trained predictor without mutating them, and workload/priority generation
+// takes explicit seeds instead of storing RNG state. One trained System can
+// therefore be shared read-only across a worker pool (see internal/server).
+// The discrete-event Simulator underneath RunSystem/Experiment is the
+// opposite: single-use and NOT goroutine-safe; these methods construct a
+// fresh private simulator per call, so concurrency is safe as long as
+// callers do not reach into internal/core and share a Simulator themselves.
+// Callers must not mutate the exported Eval/Train/Energy/Pred fields after
+// the System is shared.
 type System struct {
 	// Eval is the characterization the experiments draw workloads from:
 	// the canonical 16 automotive kernels, or 20 with IncludeTelecom.

@@ -1,0 +1,115 @@
+package server
+
+// JSON request/response schemas for the /v1 API. Field names are the wire
+// contract documented in DESIGN.md; unknown request fields are rejected so
+// client typos fail loudly instead of silently using defaults.
+
+// PredictRequest asks the trained predictor for one kernel's best cache
+// size.
+type PredictRequest struct {
+	// Kernel is the EEMBC-style benchmark name (see GET /v1/designspace for
+	// configs, `cachetune -list` for kernels).
+	Kernel string `json:"kernel"`
+}
+
+// PredictResponse reports the predicted and ground-truth best sizes.
+type PredictResponse struct {
+	Kernel      string `json:"kernel"`
+	Predictor   string `json:"predictor"`
+	PredictedKB int    `json:"predicted_kb"`
+	OracleKB    int    `json:"oracle_kb"`
+	Match       bool   `json:"match"`
+}
+
+// ScheduleRequest runs one named system over a generated workload.
+type ScheduleRequest struct {
+	// System names the scheduling system (default "proposed"); see
+	// core.SystemNames.
+	System string `json:"system,omitempty"`
+	// Arrivals is the workload length (default 500, capped by the server's
+	// MaxArrivals).
+	Arrivals int `json:"arrivals,omitempty"`
+	// Utilization is the offered load (default 0.9).
+	Utilization float64 `json:"utilization,omitempty"`
+	// Seed drives workload generation (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Kernels optionally weights the application mix by name (repeat a name
+	// to weight it); empty means the whole suite uniformly.
+	Kernels []string `json:"kernels,omitempty"`
+	// PriorityLevels > 0 assigns uniform random priorities in [0, levels)
+	// and enables priority scheduling.
+	PriorityLevels int `json:"priority_levels,omitempty"`
+	// Preemptive additionally lets high-priority arrivals preempt (only
+	// meaningful with PriorityLevels > 0).
+	Preemptive bool `json:"preemptive,omitempty"`
+	// DeadlineSlack > 0 assigns each job a deadline of arrival +
+	// slack × best-config execution time; misses are reported.
+	DeadlineSlack float64 `json:"deadline_slack,omitempty"`
+}
+
+// ScheduleResponse summarizes the run's Metrics. Per-job timelines are
+// deliberately omitted from the wire format — they grow with Arrivals; the
+// percentiles below carry the tail-latency signal instead.
+type ScheduleResponse struct {
+	System    string `json:"system"`
+	Jobs      int    `json:"jobs"`
+	Completed int    `json:"completed"`
+
+	MakespanCycles   uint64 `json:"makespan_cycles"`
+	TurnaroundCycles uint64 `json:"turnaround_cycles"`
+	TurnaroundP50    uint64 `json:"turnaround_p50_cycles"`
+	TurnaroundP95    uint64 `json:"turnaround_p95_cycles"`
+	TurnaroundP99    uint64 `json:"turnaround_p99_cycles"`
+
+	TotalEnergyNJ     float64 `json:"total_energy_nj"`
+	IdleEnergyNJ      float64 `json:"idle_energy_nj"`
+	DynamicEnergyNJ   float64 `json:"dynamic_energy_nj"`
+	StaticEnergyNJ    float64 `json:"static_energy_nj"`
+	CoreEnergyNJ      float64 `json:"core_energy_nj"`
+	ProfilingEnergyNJ float64 `json:"profiling_energy_nj"`
+
+	ProfilingRuns     int `json:"profiling_runs"`
+	TuningRuns        int `json:"tuning_runs"`
+	NonBestPlacements int `json:"non_best_placements"`
+	StallDecisions    int `json:"stall_decisions"`
+	ResourceStalls    int `json:"resource_stalls"`
+	MaxQueueDepth     int `json:"max_queue_depth"`
+
+	Preemptions    int `json:"preemptions,omitempty"`
+	DeadlinesTotal int `json:"deadlines_total,omitempty"`
+	DeadlineMisses int `json:"deadline_misses,omitempty"`
+}
+
+// TuneRequest walks the Figure 5 tuning heuristic for one kernel on one
+// core size.
+type TuneRequest struct {
+	Kernel string `json:"kernel"`
+	// SizeKB is the core's cache size (one of the design-space sizes).
+	SizeKB int `json:"size_kb"`
+}
+
+// TuneResponse lists the heuristic's exploration order and final choice.
+type TuneResponse struct {
+	Kernel   string   `json:"kernel"`
+	SizeKB   int      `json:"size_kb"`
+	Explored []string `json:"explored"`
+	Best     string   `json:"best"`
+}
+
+// DesignSpaceResponse lists the Table 1 cache configurations.
+type DesignSpaceResponse struct {
+	Configs []string `json:"configs"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status        string `json:"status"`
+	Predictor     string `json:"predictor"`
+	Workers       int    `json:"workers"`
+	QueueCapacity int    `json:"queue_capacity"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

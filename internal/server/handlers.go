@@ -1,0 +1,311 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"hetsched"
+	"hetsched/internal/cache"
+	"hetsched/internal/core"
+)
+
+// maxBodyBytes bounds request bodies; every /v1 request is a small JSON
+// object, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+// statusClientClosedRequest is the de-facto (nginx) status for "client went
+// away before we answered"; the stdlib defines no name for it.
+const statusClientClosedRequest = 499
+
+// badRequestError marks job errors caused by the request payload (unknown
+// kernel, bad mix) so they map to 400 instead of 500.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return badRequestError{err: err} }
+
+// writeJSON encodes v with status; encoding errors are ignored (the header
+// is already committed).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError emits the uniform error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeStrict parses the body into v, rejecting unknown fields and
+// trailing garbage.
+func decodeStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("bad request body: trailing data")
+	}
+	return nil
+}
+
+// serveJob pushes fn through the worker pool and maps the outcome onto
+// HTTP semantics: 200 with the job's value, 429 + Retry-After under
+// backpressure, 503 while draining, 504 on request timeout, 499 when the
+// client disconnected, 400 for payload-caused failures, 500 otherwise.
+func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, endpoint string, fn func(ctx context.Context) (any, error)) {
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	v, wait, err := s.pool.Submit(ctx, fn)
+	if !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrDraining) {
+		// Instant rejections are counted by the pool, not here: they carry
+		// no service time and would drag the latency percentiles down.
+		s.met.ObserveService(endpoint, time.Since(start), wait, err != nil)
+	}
+
+	var bad badRequestError
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, v)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"job queue full (%d queued, %d workers busy); retry later",
+			s.pool.QueueDepth(), s.pool.Busy())
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout,
+			"request exceeded the %s service timeout", s.cfg.RequestTimeout)
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosedRequest, "client closed request")
+	case errors.As(err, &bad):
+		writeError(w, http.StatusBadRequest, "%s", bad.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "%s", err)
+	}
+}
+
+// handlePredict serves POST /v1/predict.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	if req.Kernel == "" {
+		writeError(w, http.StatusBadRequest, "missing field: kernel")
+		return
+	}
+	if _, err := hetsched.KernelByName(req.Kernel); err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	s.serveJob(w, r, "predict", func(context.Context) (any, error) {
+		pred, oracle, err := s.sys.PredictBestSize(req.Kernel)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		return PredictResponse{
+			Kernel:      req.Kernel,
+			Predictor:   s.sys.PredictorName(),
+			PredictedKB: pred,
+			OracleKB:    oracle,
+			Match:       pred == oracle,
+		}, nil
+	})
+}
+
+// handleSchedule serves POST /v1/schedule.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	req := ScheduleRequest{
+		System:      "proposed",
+		Arrivals:    500,
+		Utilization: 0.9,
+		Seed:        1,
+	}
+	if err := decodeStrict(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	if _, _, err := core.NewPolicy(req.System); err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	if req.Arrivals < 1 || req.Arrivals > s.cfg.MaxArrivals {
+		writeError(w, http.StatusBadRequest,
+			"arrivals %d out of range [1, %d]", req.Arrivals, s.cfg.MaxArrivals)
+		return
+	}
+	if req.Utilization <= 0 || req.Utilization > 1.5 {
+		writeError(w, http.StatusBadRequest,
+			"utilization %v out of range (0, 1.5]", req.Utilization)
+		return
+	}
+	if req.PriorityLevels < 0 || req.DeadlineSlack < 0 {
+		writeError(w, http.StatusBadRequest, "negative priority_levels or deadline_slack")
+		return
+	}
+	for _, k := range req.Kernels {
+		if _, err := hetsched.KernelByName(k); err != nil {
+			writeError(w, http.StatusBadRequest, "%s", err)
+			return
+		}
+	}
+	s.serveJob(w, r, "schedule", func(ctx context.Context) (any, error) {
+		return s.runSchedule(ctx, req)
+	})
+}
+
+// runSchedule executes one schedule job on a worker: generate the workload,
+// decorate it, simulate, summarize. The context is checked between stages;
+// a single simulation is not interruptible mid-run.
+func (s *Server) runSchedule(ctx context.Context, req ScheduleRequest) (any, error) {
+	var (
+		jobs []hetsched.Job
+		err  error
+	)
+	if len(req.Kernels) > 0 {
+		jobs, err = s.sys.WeightedWorkload(req.Kernels, req.Arrivals, req.Utilization, req.Seed)
+	} else {
+		jobs, err = s.sys.Workload(req.Arrivals, req.Utilization, req.Seed)
+	}
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sim := hetsched.SimConfig{}
+	if req.PriorityLevels > 0 {
+		s.sys.AssignPriorities(jobs, req.PriorityLevels, req.Seed+1)
+		sim.PriorityScheduling = true
+		sim.Preemptive = req.Preemptive
+	}
+	if req.DeadlineSlack > 0 {
+		if err := s.sys.AssignDeadlines(jobs, req.DeadlineSlack); err != nil {
+			return nil, badRequest(err)
+		}
+	}
+	m, err := s.sys.RunSystem(req.System, jobs, sim)
+	if err != nil {
+		return nil, err
+	}
+	return summarize(m), nil
+}
+
+// summarize projects a Metrics onto the wire schema.
+func summarize(m hetsched.Metrics) ScheduleResponse {
+	return ScheduleResponse{
+		System:    m.System,
+		Jobs:      m.Jobs,
+		Completed: m.Completed,
+
+		MakespanCycles:   m.Makespan,
+		TurnaroundCycles: m.TurnaroundCycles,
+		TurnaroundP50:    m.TurnaroundPercentile(50),
+		TurnaroundP95:    m.TurnaroundPercentile(95),
+		TurnaroundP99:    m.TurnaroundPercentile(99),
+
+		TotalEnergyNJ:     m.TotalEnergy(),
+		IdleEnergyNJ:      m.IdleEnergy,
+		DynamicEnergyNJ:   m.DynamicEnergy,
+		StaticEnergyNJ:    m.StaticEnergy,
+		CoreEnergyNJ:      m.CoreEnergy,
+		ProfilingEnergyNJ: m.ProfilingEnergy,
+
+		ProfilingRuns:     m.ProfilingRuns,
+		TuningRuns:        m.TuningRuns,
+		NonBestPlacements: m.NonBestPlacements,
+		StallDecisions:    m.StallDecisions,
+		ResourceStalls:    m.ResourceStalls,
+		MaxQueueDepth:     m.MaxQueueDepth,
+
+		Preemptions:    m.Preemptions,
+		DeadlinesTotal: m.DeadlinesTotal,
+		DeadlineMisses: m.DeadlineMisses,
+	}
+}
+
+// handleTune serves POST /v1/tune.
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	var req TuneRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	if req.Kernel == "" {
+		writeError(w, http.StatusBadRequest, "missing field: kernel")
+		return
+	}
+	if _, err := hetsched.KernelByName(req.Kernel); err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	validSize := false
+	for _, sz := range cache.Sizes() {
+		if sz == req.SizeKB {
+			validSize = true
+		}
+	}
+	if !validSize {
+		writeError(w, http.StatusBadRequest,
+			"size_kb %d not in the design space %v", req.SizeKB, cache.Sizes())
+		return
+	}
+	s.serveJob(w, r, "tune", func(context.Context) (any, error) {
+		explored, best, err := s.sys.TuneKernel(req.Kernel, req.SizeKB)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		resp := TuneResponse{
+			Kernel: req.Kernel,
+			SizeKB: req.SizeKB,
+			Best:   best.String(),
+		}
+		for _, cfg := range explored {
+			resp.Explored = append(resp.Explored, cfg.String())
+		}
+		return resp, nil
+	})
+}
+
+// handleDesignSpace serves GET /v1/designspace.
+func (s *Server) handleDesignSpace(w http.ResponseWriter, _ *http.Request) {
+	var resp DesignSpaceResponse
+	for _, cfg := range hetsched.DesignSpace() {
+		resp.Configs = append(resp.Configs, cfg.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Predictor:     s.sys.PredictorName(),
+		Workers:       s.pool.Workers(),
+		QueueCapacity: s.pool.QueueCapacity(),
+	})
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.Snapshot())
+}

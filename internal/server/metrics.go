@@ -1,0 +1,167 @@
+package server
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetsched/internal/stats"
+)
+
+// latencyReservoirCap bounds each endpoint's latency sample. 2048 samples
+// hold p99 of a heavy stream to within a few percent while keeping the
+// /metrics handler O(cap log cap).
+const latencyReservoirCap = 2048
+
+// Metrics aggregates the daemon's service-level counters: request totals by
+// endpoint and status class, queue/worker gauges wired to the pool, and
+// streaming service-latency percentiles per compute endpoint.
+type Metrics struct {
+	start time.Time
+	pool  *Pool // gauge source (queue depth, busy workers); nil in tests
+
+	requests  atomic.Int64    // every HTTP request through the logging middleware
+	responses [6]atomic.Int64 // indexed by status class (1xx..5xx)
+
+	mu  sync.Mutex
+	lat map[string]*latencySeries
+}
+
+// latencySeries is one endpoint's service-time distribution.
+type latencySeries struct {
+	count     int64
+	errors    int64
+	res       *stats.Reservoir // milliseconds, end-to-end (queue wait + run)
+	queueWait *stats.Reservoir // milliseconds spent queued
+}
+
+// NewMetrics builds the metrics layer; pool supplies the live gauges and may
+// be nil for tests.
+func NewMetrics(pool *Pool) *Metrics {
+	return &Metrics{
+		start: time.Now(),
+		pool:  pool,
+		lat:   map[string]*latencySeries{},
+	}
+}
+
+// series returns (creating if needed) the endpoint's latency series.
+func (m *Metrics) series(endpoint string, seed int64) *latencySeries {
+	s, ok := m.lat[endpoint]
+	if !ok {
+		res, _ := stats.NewReservoir(latencyReservoirCap, seed)
+		qw, _ := stats.NewReservoir(latencyReservoirCap, seed+1)
+		s = &latencySeries{res: res, queueWait: qw}
+		m.lat[endpoint] = s
+	}
+	return s
+}
+
+// ObserveRequest counts one HTTP request and its response status class.
+func (m *Metrics) ObserveRequest(status int) {
+	m.requests.Add(1)
+	if c := status / 100; c >= 1 && c <= 5 {
+		m.responses[c].Add(1)
+	}
+}
+
+// ObserveService records one compute job's end-to-end service time and
+// queue wait for an endpoint; failed marks jobs that returned an error.
+func (m *Metrics) ObserveService(endpoint string, total, queueWait time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.series(endpoint, int64(len(m.lat))*7919+1)
+	s.count++
+	if failed {
+		s.errors++
+	}
+	s.res.Observe(float64(total) / float64(time.Millisecond))
+	s.queueWait.Observe(float64(queueWait) / float64(time.Millisecond))
+}
+
+// EndpointSnapshot is one endpoint's latency summary in milliseconds.
+type EndpointSnapshot struct {
+	Count        int64   `json:"count"`
+	Errors       int64   `json:"errors"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	QueueWaitP95 float64 `json:"queue_wait_p95_ms"`
+}
+
+// Snapshot is the full /metrics payload.
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Requests  int64 `json:"requests_total"`
+	Status2xx int64 `json:"responses_2xx"`
+	Status4xx int64 `json:"responses_4xx"`
+	Status5xx int64 `json:"responses_5xx"`
+
+	Workers      int   `json:"workers"`
+	WorkersBusy  int64 `json:"workers_busy"`
+	QueueDepth   int   `json:"queue_depth"`
+	QueueCap     int   `json:"queue_capacity"`
+	JobsAccepted int64 `json:"jobs_accepted"`
+	JobsRejected int64 `json:"jobs_rejected"` // queue-full backpressure
+	JobsCanceled int64 `json:"jobs_canceled"` // context died while queued
+	JobPanics    int64 `json:"job_panics"`
+
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// Snapshot captures the current counters and percentile estimates.
+func (m *Metrics) Snapshot() Snapshot {
+	snap := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      m.requests.Load(),
+		Status2xx:     m.responses[2].Load(),
+		Status4xx:     m.responses[4].Load(),
+		Status5xx:     m.responses[5].Load(),
+		Endpoints:     map[string]EndpointSnapshot{},
+	}
+	if m.pool != nil {
+		snap.Workers = m.pool.Workers()
+		snap.WorkersBusy = m.pool.Busy()
+		snap.QueueDepth = m.pool.QueueDepth()
+		snap.QueueCap = m.pool.QueueCapacity()
+		snap.JobsAccepted = m.pool.submitted.Load()
+		snap.JobsRejected = m.pool.rejected.Load()
+		snap.JobsCanceled = m.pool.canceled.Load()
+		snap.JobPanics = m.pool.panics.Load()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, s := range m.lat {
+		qs, err := s.res.Quantiles(0.50, 0.95, 0.99)
+		if err != nil {
+			continue
+		}
+		qw, err := s.queueWait.Quantile(0.95)
+		if err != nil {
+			continue
+		}
+		snap.Endpoints[name] = EndpointSnapshot{
+			Count:        s.count,
+			Errors:       s.errors,
+			P50Ms:        qs[0],
+			P95Ms:        qs[1],
+			P99Ms:        qs[2],
+			QueueWaitP95: qw,
+		}
+	}
+	return snap
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the snapshot under the process-wide expvar map as
+// "hetschedd" (served by the debug mux at /debug/vars). Safe to call more
+// than once; only the first caller's Metrics is published, matching
+// expvar's one-namespace-per-process model.
+func (m *Metrics) PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("hetschedd", expvar.Func(func() any { return m.Snapshot() }))
+	})
+}

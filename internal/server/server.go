@@ -1,0 +1,212 @@
+package server
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	"hetsched"
+)
+
+// Config shapes the daemon.
+type Config struct {
+	// Addr is the API listen address (default ":8080").
+	Addr string
+	// DebugAddr serves pprof and expvar on a separate mux (default
+	// ":6060"; empty disables the debug server under ListenAndServe).
+	DebugAddr string
+	// Workers is the simulation worker-pool size (default 4). Each worker
+	// runs at most one simulator at a time.
+	Workers int
+	// QueueDepth bounds the job queue; a full queue answers 429 (default
+	// 64).
+	QueueDepth int
+	// RequestTimeout bounds one job end-to-end, queue wait included
+	// (default 2 minutes; 0 disables).
+	RequestTimeout time.Duration
+	// MaxArrivals caps a schedule request's workload length (default
+	// 20000) so a single request cannot monopolize a worker for minutes.
+	MaxArrivals int
+	// Logger receives one structured line per request (default stderr).
+	Logger *log.Logger
+}
+
+// fillDefaults normalizes the zero Config.
+func (c *Config) fillDefaults() {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 2 * time.Minute
+	}
+	if c.MaxArrivals == 0 {
+		c.MaxArrivals = 20000
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(os.Stderr, "hetschedd ", log.LstdFlags|log.Lmsgprefix)
+	}
+}
+
+// Server is the scheduling-as-a-service daemon: HTTP API, worker pool,
+// metrics and debug endpoints over one shared immutable *hetsched.System.
+type Server struct {
+	cfg  Config
+	sys  *hetsched.System
+	pool *Pool
+	met  *Metrics
+
+	handler http.Handler
+	api     *http.Server
+	debug   *http.Server
+}
+
+// New assembles a server over an already-built System. The System must not
+// be mutated afterwards; all request paths use it read-only.
+func New(sys *hetsched.System, cfg Config) (*Server, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("server: nil system")
+	}
+	cfg.fillDefaults()
+	if cfg.Workers < 1 || cfg.Workers > 256 {
+		return nil, fmt.Errorf("server: %d workers out of range [1, 256]", cfg.Workers)
+	}
+	pool, err := NewPool(cfg.Workers, cfg.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:  cfg,
+		sys:  sys,
+		pool: pool,
+		met:  NewMetrics(pool),
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("POST /v1/tune", s.handleTune)
+	mux.HandleFunc("GET /v1/designspace", s.handleDesignSpace)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = s.logRequests(mux)
+	return s, nil
+}
+
+// Handler returns the API handler (logging + routing); it is what
+// ListenAndServe binds and what httptest servers should wrap.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics exposes the metrics layer (the daemon publishes it to expvar).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// DebugHandler returns the debug mux: /debug/pprof/* and /debug/vars.
+// Serve it on an internal-only address; profiles expose internals.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// ListenAndServe runs the API (and, when configured, debug) servers until
+// Shutdown. It returns the first fatal listener error.
+func (s *Server) ListenAndServe() error {
+	errc := make(chan error, 2)
+	s.api = &http.Server{Addr: s.cfg.Addr, Handler: s.handler}
+	if s.cfg.DebugAddr != "" {
+		s.debug = &http.Server{Addr: s.cfg.DebugAddr, Handler: s.DebugHandler()}
+		go func() {
+			if err := s.debug.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				errc <- fmt.Errorf("server: debug listener: %w", err)
+			}
+		}()
+		s.cfg.Logger.Printf("msg=debug-listening addr=%s", s.cfg.DebugAddr)
+	}
+	s.cfg.Logger.Printf("msg=listening addr=%s workers=%d queue=%d predictor=%s",
+		s.cfg.Addr, s.cfg.Workers, s.cfg.QueueDepth, s.sys.PredictorName())
+	go func() {
+		err := s.api.ListenAndServe()
+		if err != nil && err != http.ErrServerClosed {
+			errc <- fmt.Errorf("server: api listener: %w", err)
+			return
+		}
+		errc <- nil // graceful Shutdown
+	}()
+	return <-errc
+}
+
+// Shutdown drains gracefully: stop accepting connections, wait for active
+// handlers (and therefore their queued/running jobs) to finish, then stop
+// the workers and the debug server. Bounded by ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var first error
+	if s.api != nil {
+		if err := s.api.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := s.pool.Drain(ctx); err != nil && first == nil {
+		first = err
+	}
+	if s.debug != nil {
+		if err := s.debug.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.cfg.Logger.Printf("msg=shutdown-complete err=%v", first)
+	return first
+}
+
+// statusRecorder captures the response status for logging/metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// logRequests is the structured request-logging + request-counting
+// middleware: one key=value line per request.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.met.ObserveRequest(rec.status)
+		s.cfg.Logger.Printf("method=%s path=%s status=%d bytes=%d dur_ms=%.2f queue=%d busy=%d",
+			r.Method, r.URL.Path, rec.status, rec.bytes,
+			float64(time.Since(start))/float64(time.Millisecond),
+			s.pool.QueueDepth(), s.pool.Busy())
+	})
+}

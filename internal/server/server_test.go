@@ -1,0 +1,396 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hetsched"
+)
+
+// testSystem builds (once per process) a System with the training-free
+// oracle predictor — the characterization is cached process-wide, so every
+// test shares the same read-only ground truth.
+var (
+	sysOnce sync.Once
+	sysVal  *hetsched.System
+	sysErr  error
+)
+
+func testSystem(t *testing.T) *hetsched.System {
+	t.Helper()
+	sysOnce.Do(func() {
+		sysVal, sysErr = hetsched.New(hetsched.Options{Predictor: hetsched.PredictOracle})
+	})
+	if sysErr != nil {
+		t.Fatalf("building test system: %v", sysErr)
+	}
+	return sysVal
+}
+
+// quietConfig silences request logging and fills small test defaults.
+func quietConfig(c Config) Config {
+	c.Logger = log.New(io.Discard, "", 0)
+	return c
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(testSystem(t), quietConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestHealthAndDesignSpace(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || h.Workers != 2 || h.Predictor != "oracle" {
+		t.Errorf("health = %+v", h)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/designspace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ds DesignSpaceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ds); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(ds.Configs) != 18 {
+		t.Errorf("design space has %d configs, want 18 (Table 1)", len(ds.Configs))
+	}
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, body := postJSON(t, ts.URL+"/v1/predict", `{"kernel": "tblook"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: status %d, body %s", resp.StatusCode, body)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	// The oracle predictor must agree with itself.
+	if !pr.Match || pr.PredictedKB != pr.OracleKB || pr.PredictedKB == 0 {
+		t.Errorf("oracle predict = %+v", pr)
+	}
+
+	for name, body := range map[string]string{
+		"unknown kernel": `{"kernel": "nosuch"}`,
+		"missing field":  `{}`,
+		"unknown field":  `{"kernel": "tblook", "bogus": 1}`,
+		"garbage":        `{{{`,
+	} {
+		resp, _ := postJSON(t, ts.URL+"/v1/predict", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	// Method routing: GET on a POST route is rejected.
+	resp2, err := http.Get(ts.URL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/predict: status %d, want 405", resp2.StatusCode)
+	}
+}
+
+func TestScheduleEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, body := postJSON(t, ts.URL+"/v1/schedule",
+		`{"system": "proposed", "arrivals": 60, "utilization": 0.9, "seed": 3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: status %d, body %s", resp.StatusCode, body)
+	}
+	var sr ScheduleResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.System != "proposed" || sr.Jobs != 60 || sr.Completed != 60 {
+		t.Errorf("schedule summary = %+v", sr)
+	}
+	if sr.TotalEnergyNJ <= 0 || sr.TurnaroundP95 < sr.TurnaroundP50 {
+		t.Errorf("implausible metrics: %+v", sr)
+	}
+
+	// A weighted mix with real-time decoration exercises the full knob set.
+	resp, body = postJSON(t, ts.URL+"/v1/schedule",
+		`{"arrivals": 40, "kernels": ["tblook", "tblook", "a2time"],
+		  "priority_levels": 3, "deadline_slack": 4.0}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("weighted schedule: status %d, body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.DeadlinesTotal != 40 {
+		t.Errorf("deadlines_total = %d, want 40", sr.DeadlinesTotal)
+	}
+
+	for name, payload := range map[string]string{
+		"bad system":      `{"system": "nosuch"}`,
+		"zero arrivals":   `{"arrivals": -1}`,
+		"huge arrivals":   `{"arrivals": 999999999}`,
+		"bad utilization": `{"utilization": 9.5}`,
+		"bad kernel mix":  `{"kernels": ["nosuch"]}`,
+	} {
+		resp, _ := postJSON(t, ts.URL+"/v1/schedule", payload)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestTuneEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/tune", `{"kernel": "tblook", "size_kb": 8}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tune: status %d, body %s", resp.StatusCode, body)
+	}
+	var tr TuneResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Explored) == 0 || tr.Best == "" {
+		t.Errorf("tune = %+v", tr)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/v1/tune", `{"kernel": "tblook", "size_kb": 3}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad size: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestScheduleBackpressure verifies the 429 + Retry-After contract: with the
+// one worker parked and the one queue slot taken, an HTTP schedule request
+// must bounce instead of waiting.
+func TestScheduleBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	release := make(chan struct{})
+	defer close(release)
+	busyFn, started := blockingJob(release)
+	go s.pool.Submit(context.Background(), busyFn)
+	<-started
+	queuedFn, _ := blockingJob(release)
+	go s.pool.Submit(context.Background(), queuedFn)
+	waitFor(t, func() bool { return s.pool.QueueDepth() == 1 })
+
+	resp, body := postJSON(t, ts.URL+"/v1/schedule", `{"arrivals": 20}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue: status %d, body %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+		t.Errorf("429 body = %s", body)
+	}
+
+	snap := s.met.Snapshot()
+	if snap.JobsRejected < 1 {
+		t.Errorf("jobs_rejected = %d, want >= 1", snap.JobsRejected)
+	}
+}
+
+// TestRequestTimeout verifies a request that cannot be served within the
+// configured timeout returns 504 while the queue is wedged.
+func TestRequestTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, RequestTimeout: 50 * time.Millisecond})
+
+	release := make(chan struct{})
+	defer close(release)
+	busyFn, started := blockingJob(release)
+	go s.pool.Submit(context.Background(), busyFn)
+	<-started
+
+	resp, body := postJSON(t, ts.URL+"/v1/schedule", `{"arrivals": 20}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out request: status %d, body %s, want 504", resp.StatusCode, body)
+	}
+}
+
+// TestShutdownDrains verifies graceful shutdown: a schedule request that is
+// already queued when shutdown begins still completes with 200, while later
+// submissions are refused with 503. The single worker is parked on a
+// controllable blocker so the request is provably in flight when Shutdown
+// starts.
+func TestShutdownDrains(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+
+	release := make(chan struct{})
+	busyFn, started := blockingJob(release)
+	go s.pool.Submit(context.Background(), busyFn)
+	<-started
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	results := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/schedule", "application/json",
+			strings.NewReader(`{"arrivals": 100}`))
+		if err != nil {
+			results <- result{status: -1}
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		results <- result{status: resp.StatusCode, body: b}
+	}()
+	waitFor(t, func() bool { return s.pool.QueueDepth() == 1 })
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	// Give the drain a moment to begin, then unblock the worker so it can
+	// finish the blocker and the queued request.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	r := <-results
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request during shutdown: status %d, body %s", r.status, r.body)
+	}
+	var sr ScheduleResponse
+	if err := json.Unmarshal(r.body, &sr); err != nil || sr.Completed != 100 {
+		t.Errorf("drained request result: %s", r.body)
+	}
+
+	resp, _ := postJSON(t, ts.URL+"/v1/schedule", `{"arrivals": 10}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown request: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestConcurrentSchedules is the race-detector workload: many concurrent
+// POST /v1/schedule requests against a small pool. Run with -race (wired
+// into `make check`); every response must be a well-formed 200 or a 429.
+func TestConcurrentSchedules(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 16})
+
+	const inFlight = 64
+	statuses := make([]int, inFlight)
+	bodies := make([][]byte, inFlight)
+	var wg sync.WaitGroup
+	for i := 0; i < inFlight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := fmt.Sprintf(`{"system": "proposed", "arrivals": 30, "seed": %d}`, i)
+			resp, err := http.Post(ts.URL+"/v1/schedule", "application/json",
+				bytes.NewReader([]byte(payload)))
+			if err != nil {
+				statuses[i] = -1
+				return
+			}
+			bodies[i], _ = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+
+	ok := 0
+	for i, st := range statuses {
+		switch st {
+		case http.StatusOK:
+			ok++
+			var sr ScheduleResponse
+			if err := json.Unmarshal(bodies[i], &sr); err != nil || sr.Completed != 30 {
+				t.Errorf("request %d: bad 200 body %s", i, bodies[i])
+			}
+		case http.StatusTooManyRequests:
+			// Correct backpressure under overload.
+		default:
+			t.Errorf("request %d: status %d, body %s", i, st, bodies[i])
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no request succeeded")
+	}
+
+	snap := s.met.Snapshot()
+	ep := snap.Endpoints["schedule"]
+	if ep.Count != int64(ok) {
+		t.Errorf("schedule latency count = %d, want %d successes", ep.Count, ok)
+	}
+	if ok > 1 && ep.P95Ms < ep.P50Ms {
+		t.Errorf("p95 %v < p50 %v", ep.P95Ms, ep.P50Ms)
+	}
+	if snap.Requests != int64(inFlight) {
+		t.Errorf("requests_total = %d, want %d", snap.Requests, inFlight)
+	}
+}
+
+// TestMetricsEndpoint spot-checks the /metrics JSON contract.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3, QueueDepth: 5})
+	postJSON(t, ts.URL+"/v1/predict", `{"kernel": "tblook"}`)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Workers != 3 || snap.QueueCap != 5 {
+		t.Errorf("snapshot gauges = %+v", snap)
+	}
+	if snap.Endpoints["predict"].Count != 1 {
+		t.Errorf("predict count = %d, want 1", snap.Endpoints["predict"].Count)
+	}
+}

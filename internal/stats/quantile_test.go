@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestReservoirExactWhileSmall(t *testing.T) {
+	r, err := NewReservoir(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 99; i++ {
+		r.Observe(float64(i))
+	}
+	if r.Count() != 99 {
+		t.Fatalf("count = %d, want 99", r.Count())
+	}
+	q50, err := r.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q50 != 50 {
+		t.Errorf("p50 = %v, want 50 (exact while under capacity)", q50)
+	}
+	q0, _ := r.Quantile(0)
+	q1, _ := r.Quantile(1)
+	if q0 != 1 || q1 != 99 {
+		t.Errorf("min/max = %v/%v, want 1/99", q0, q1)
+	}
+}
+
+func TestReservoirInterpolates(t *testing.T) {
+	r, _ := NewReservoir(10, 1)
+	r.Observe(0)
+	r.Observe(10)
+	got, err := r.Quantile(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("p25 over {0,10} = %v, want 2.5", got)
+	}
+}
+
+func TestReservoirEmptyAndBadInputs(t *testing.T) {
+	if _, err := NewReservoir(0, 1); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	r, _ := NewReservoir(8, 1)
+	if v, err := r.Quantile(0.5); err != nil || v != 0 {
+		t.Errorf("empty quantile = %v, %v; want 0, nil", v, err)
+	}
+	if _, err := r.Quantile(1.5); err == nil {
+		t.Error("quantile 1.5 accepted")
+	}
+	if _, err := r.Quantile(math.NaN()); err == nil {
+		t.Error("NaN quantile accepted")
+	}
+	r.Observe(math.NaN())
+	if r.Count() != 0 {
+		t.Error("NaN observation counted")
+	}
+}
+
+func TestReservoirConvergesPastCapacity(t *testing.T) {
+	// 50k uniform [0,1000) draws through a 512-slot reservoir: the sampled
+	// quantiles must land near the true ones.
+	r, _ := NewReservoir(512, 7)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 50000; i++ {
+		r.Observe(rng.Float64() * 1000)
+	}
+	qs, err := r.Quantiles(0.5, 0.95, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{500, 950, 990}
+	for i, got := range qs {
+		if math.Abs(got-want[i]) > 60 {
+			t.Errorf("quantile %d: got %v, want ~%v", i, got, want[i])
+		}
+	}
+	if r.Count() != 50000 {
+		t.Errorf("count = %d", r.Count())
+	}
+}
+
+func TestReservoirReset(t *testing.T) {
+	r, _ := NewReservoir(4, 1)
+	for i := 0; i < 10; i++ {
+		r.Observe(float64(i))
+	}
+	r.Reset()
+	if r.Count() != 0 {
+		t.Error("count survives reset")
+	}
+	if v, _ := r.Quantile(0.5); v != 0 {
+		t.Error("values survive reset")
+	}
+}
