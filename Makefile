@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race bench cover fuzz reproduce serve loadtest sweep clean
+.PHONY: all check build vet test test-short test-race bench bench-baseline cover fuzz reproduce serve loadtest sweep clean
 
 all: check
 
@@ -19,10 +19,13 @@ vet:
 test:
 	$(GO) test ./...
 
-# The daemon's worker pool / queue / shutdown paths are where data races
-# would live; run that package (and the stats sketch it leans on) with -race.
+# Every package with a worker pool or parallel fan-out runs under the race
+# detector: the daemon's queue/shutdown paths, the stats sketch behind its
+# metrics, the parallel characterization engine and its disk cache, the
+# sweep grid, and the ensemble trainer/vote.
 test-race:
-	$(GO) test -race ./internal/server/... ./internal/stats/...
+	$(GO) test -race ./internal/server/... ./internal/stats/... \
+		./internal/characterize/... ./internal/sweep/... ./internal/ann/...
 
 test-short:
 	$(GO) test -short ./...
@@ -30,6 +33,15 @@ test-short:
 # Regenerate every paper table/figure plus the ablations and extensions.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Snapshot the hot-path microbenchmarks (L1 access, characterization at 1-8
+# workers, kernel execution, one proposed-system simulation, ANN forward
+# pass) as committed JSON, for before/after comparison across PRs.
+bench-baseline:
+	$(GO) test -run=NONE -bench='BenchmarkL1Access|BenchmarkHierarchyAccess|BenchmarkCharacterizeWorkers|BenchmarkCharacterizeOneKernel|BenchmarkKernelExecution|BenchmarkProposedSimulation|BenchmarkForward' \
+		-benchmem ./internal/cache/ ./internal/characterize/ ./internal/eembc/ ./internal/core/ ./internal/ann/ \
+		| $(GO) run ./cmd/benchjson > BENCH_core.json
+	@echo wrote BENCH_core.json
 
 cover:
 	$(GO) test -cover ./internal/...

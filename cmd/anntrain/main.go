@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	anntrain [-members 30] [-seed 42] [-o predictor.json] [-compare]
+//	anntrain [-members 30] [-seed 42] [-o predictor.json] [-compare] [-j N] [-cache-dir auto]
+//
+// Characterization replays and ensemble members both fan out across -j
+// workers, and with -cache-dir auto the characterization pools persist on
+// disk, so a repeat run goes straight to training.
 package main
 
 import (
@@ -14,9 +18,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
+	"hetsched"
 	"hetsched/internal/ann"
 	"hetsched/internal/characterize"
+	"hetsched/internal/energy"
 	"hetsched/internal/mlbase"
 )
 
@@ -29,21 +36,34 @@ func main() {
 	out := flag.String("o", "", "write the trained predictor JSON to this file")
 	compare := flag.Bool("compare", false, "also train and score the non-ANN baselines")
 	cv := flag.Int("cv", 0, "additionally run k-fold cross-validation (0 = off)")
+	jobs := flag.Int("j", runtime.NumCPU(), "parallel workers for characterization and training")
+	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")
 	flag.Parse()
 
-	fmt.Fprintln(os.Stderr, "characterizing training pool (16 kernels x scales x seeds)...")
-	train, err := characterize.Augmented()
+	dir, err := hetsched.ResolveCacheDir(*cacheDir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	eval, err := characterize.Default()
+	em := energy.NewDefault()
+	copts := characterize.Options{Workers: *jobs}
+
+	fmt.Fprintln(os.Stderr, "characterizing training pool (16 kernels x scales x seeds)...")
+	train, warm, err := characterize.CharacterizeCached(characterize.AugmentedVariants(), em, copts, dir)
 	if err != nil {
 		log.Fatal(err)
+	}
+	eval, _, err := characterize.CharacterizeCached(characterize.CanonicalVariants(), em, copts, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if warm {
+		fmt.Fprintln(os.Stderr, "characterization served from cache (no kernel replay)")
 	}
 
 	fmt.Fprintf(os.Stderr, "training %d bagged networks...\n", *members)
 	pred, rep, err := ann.TrainSizePredictor(train, ann.PredictorConfig{
 		Seed:     *seed,
+		Workers:  *jobs,
 		Ensemble: ann.EnsembleConfig{Members: *members},
 	})
 	if err != nil {
@@ -123,6 +143,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "running %d-fold cross-validation...\n", *cv)
 		res, err := ann.CrossValidate(train, *cv, ann.PredictorConfig{
 			Seed:     *seed,
+			Workers:  *jobs,
 			Ensemble: ann.EnsembleConfig{Members: *members},
 		})
 		if err != nil {

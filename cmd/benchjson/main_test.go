@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: hetsched/internal/cache
+cpu: Imaginary CPU @ 2.00GHz
+BenchmarkL1Access/direct-8         	 5000000	       250.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkL1Access/4KB-2way-64B-8   	 3000000	       400 ns/op
+BenchmarkThroughput-8              	 1000000	      1000 ns/op	        64.00 MB/s
+PASS
+ok  	hetsched/internal/cache	3.210s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.CPU != "Imaginary CPU @ 2.00GHz" {
+		t.Errorf("context lines misparsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkL1Access/direct-8" || b.Package != "hetsched/internal/cache" {
+		t.Errorf("first benchmark misparsed: %+v", b)
+	}
+	if b.Iterations != 5000000 || b.NsPerOp != 250.5 || b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
+		t.Errorf("first benchmark values: %+v", b)
+	}
+
+	// Without -benchmem the memory columns must read as absent, not zero.
+	if b := rep.Benchmarks[1]; b.BytesPerOp != -1 || b.AllocsPerOp != -1 {
+		t.Errorf("missing -benchmem columns not marked absent: %+v", b)
+	}
+
+	// Extra units land in the metrics map.
+	if got := rep.Benchmarks[2].Metrics["MB/s"]; got != 64 {
+		t.Errorf("MB/s metric = %v, want 64", got)
+	}
+}
+
+func TestParseRejectsChatter(t *testing.T) {
+	chatter := `BenchmarkFoo was mentioned in a log line
+Benchmark
+BenchmarkBar-8 notanumber 12 ns/op
+`
+	rep, err := parse(bufio.NewScanner(strings.NewReader(chatter)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("chatter parsed as benchmarks: %+v", rep.Benchmarks)
+	}
+}

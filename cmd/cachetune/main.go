@@ -117,29 +117,43 @@ func run() error {
 	best := rec.BestConfig()
 	fmt.Printf("\noracle best configuration: %s (%.0f nJ)\n\n", best.Config, best.Energy.Total)
 
-	// Figure 5 heuristic on each core size.
+	// Figure 5 heuristic on each core size. One size failing must not
+	// discard the others' results: finish the walk, then report the first
+	// error through the non-zero exit.
 	fmt.Println("tuning heuristic (Figure 5), one execution per step:")
+	var firstErr error
 	for _, size := range cache.Sizes() {
-		tn := tuner.MustNew(size)
-		for !tn.Done() {
-			cfg, _ := tn.Next()
-			cr, err := rec.Result(cfg)
-			if err != nil {
-				return err
-			}
-			if err := tn.Observe(cfg, cr.Energy.Total); err != nil {
-				return err
+		if err := tuneSize(rec, size); err != nil {
+			fmt.Printf("  %dKB core: %v\n", size, err)
+			if firstErr == nil {
+				firstErr = err
 			}
 		}
-		bestCfg, bestE, _ := tn.Best()
-		oracle, err := rec.BestConfigForSize(size)
+	}
+	return firstErr
+}
+
+// tuneSize walks the heuristic for one core size and prints its row.
+func tuneSize(rec *characterize.Record, size int) error {
+	tn := tuner.MustNew(size)
+	for !tn.Done() {
+		cfg, _ := tn.Next()
+		cr, err := rec.Result(cfg)
 		if err != nil {
 			return err
 		}
-		gap := 100 * (bestE/oracle.Energy.Total - 1)
-		fmt.Printf("  %dKB core: explored %d of %d configs -> %s (%.0f nJ, %.1f%% above per-size oracle %s)\n",
-			size, len(tn.Explored()), len(cache.ConfigsForSize(size)),
-			bestCfg, bestE, gap, oracle.Config)
+		if err := tn.Observe(cfg, cr.Energy.Total); err != nil {
+			return err
+		}
 	}
+	bestCfg, bestE, _ := tn.Best()
+	oracle, err := rec.BestConfigForSize(size)
+	if err != nil {
+		return err
+	}
+	gap := 100 * (bestE/oracle.Energy.Total - 1)
+	fmt.Printf("  %dKB core: explored %d of %d configs -> %s (%.0f nJ, %.1f%% above per-size oracle %s)\n",
+		size, len(tn.Explored()), len(cache.ConfigsForSize(size)),
+		bestCfg, bestE, gap, oracle.Config)
 	return nil
 }

@@ -21,6 +21,12 @@
 //
 //	hetschedd [-addr :8080] [-debug-addr :6060] [-workers 4] [-queue 64]
 //	          [-timeout 2m] [-max-arrivals 20000] [-predictor ann] [-seed 42]
+//	          [-j N] [-cache-dir auto]
+//
+// Cold start characterizes the suite across -j workers; with -cache-dir
+// auto (the default) the characterization persists under the user cache
+// directory, so every restart after the first skips kernel replay and the
+// daemon is serving in roughly the time ANN training takes.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -54,18 +61,27 @@ func run() error {
 	maxArrivals := flag.Int("max-arrivals", 20000, "largest workload one schedule request may ask for")
 	predictor := flag.String("predictor", "ann", "best-size predictor: ann|oracle|linear|knn|stump|tree")
 	seed := flag.Int64("seed", 42, "predictor training seed")
+	jobs := flag.Int("j", runtime.NumCPU(), "parallel workers for characterization and training")
+	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")
 	flag.Parse()
 
 	kind, err := hetsched.ParsePredictorKind(*predictor)
 	if err != nil {
 		return err
 	}
-
-	fmt.Fprintf(os.Stderr, "hetschedd: characterizing suite and training %s predictor...\n", kind)
-	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Seed: *seed})
+	dir, err := hetsched.ResolveCacheDir(*cacheDir)
 	if err != nil {
 		return err
 	}
+
+	fmt.Fprintf(os.Stderr, "hetschedd: characterizing suite and training %s predictor...\n", kind)
+	start := time.Now()
+	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Seed: *seed, Workers: *jobs, CacheDir: dir})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hetschedd: setup done in %s (characterization cache: eval=%v train=%v)\n",
+		time.Since(start).Round(time.Millisecond), sys.Setup.EvalFromCache, sys.Setup.TrainFromCache)
 
 	srv, err := server.New(sys, server.Config{
 		Addr:           *addr,

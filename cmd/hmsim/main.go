@@ -6,6 +6,7 @@
 // Usage:
 //
 //	hmsim [-arrivals 5000] [-util 0.9] [-seed 1] [-predictor ann|oracle|linear|knn|stump]
+//	      [-j N] [-cache-dir auto]
 //
 // Every error path exits non-zero so the command can be scripted (see
 // cmd/hetschedbench and the Makefile targets).
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"hetsched"
 )
@@ -35,17 +37,26 @@ func run() error {
 	predictor := flag.String("predictor", "ann", "best-core predictor: ann|oracle|linear|knn|stump|tree")
 	perApp := flag.Bool("perapp", false, "also print the proposed system's per-benchmark energy table")
 	timeline := flag.Int("timeline", 0, "also print the first N proposed-system schedule events")
+	jobs := flag.Int("j", runtime.NumCPU(), "parallel workers for characterization and training")
+	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")
 	flag.Parse()
 
 	kind, err := hetsched.ParsePredictorKind(*predictor)
 	if err != nil {
 		return err
 	}
-
-	fmt.Fprintf(os.Stderr, "characterizing suite and training %s predictor...\n", kind)
-	sys, err := hetsched.New(hetsched.Options{Predictor: kind})
+	dir, err := hetsched.ResolveCacheDir(*cacheDir)
 	if err != nil {
 		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "characterizing suite and training %s predictor...\n", kind)
+	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Workers: *jobs, CacheDir: dir})
+	if err != nil {
+		return err
+	}
+	if sys.Setup.EvalFromCache && sys.Setup.TrainFromCache {
+		fmt.Fprintln(os.Stderr, "characterization served from cache (no kernel replay)")
 	}
 
 	cfg := hetsched.DefaultExperimentConfig()

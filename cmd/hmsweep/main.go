@@ -6,7 +6,14 @@
 //
 //	hmsweep [-arrivals 1500] [-utils 0.5,0.75,0.9] [-models uniform,poisson,bursty]
 //	        [-systems base,optimal,sat,energy-centric,proposed]
-//	        [-predictor ann] [-seed 1] > sweep.csv
+//	        [-predictor ann] [-seed 1] [-j N] [-cache-dir auto] > sweep.csv
+//
+// Grid cells simulate in parallel across -j workers (default: all CPUs);
+// the CSV is point-for-point identical for any worker count. With
+// -cache-dir auto the characterization DB persists under the user cache
+// directory, so a second run skips kernel replay entirely. If a grid point
+// errors the completed rows are still flushed to stdout before the
+// non-zero exit.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -37,6 +45,8 @@ func run() error {
 	systemsFlag := flag.String("systems", "base,optimal,energy-centric,proposed", "comma-separated systems")
 	predictor := flag.String("predictor", "ann", "predictor: ann|oracle|linear|knn|stump|tree")
 	seed := flag.Int64("seed", 1, "workload seed")
+	jobs := flag.Int("j", runtime.NumCPU(), "parallel workers for setup and grid simulation")
+	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")
 	flag.Parse()
 
 	utils, err := parseFloats(*utilsFlag)
@@ -51,11 +61,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
-
-	fmt.Fprintf(os.Stderr, "setting up (%s predictor)...\n", kind)
-	sys, err := hetsched.New(hetsched.Options{Predictor: kind})
+	dir, err := hetsched.ResolveCacheDir(*cacheDir)
 	if err != nil {
 		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "setting up (%s predictor, %d workers)...\n", kind, *jobs)
+	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Workers: *jobs, CacheDir: dir})
+	if err != nil {
+		return err
+	}
+	if sys.Setup.EvalFromCache && sys.Setup.TrainFromCache {
+		fmt.Fprintln(os.Stderr, "characterization served from cache (no kernel replay)")
 	}
 
 	points, err := sweep.Run(sys.Eval, sys.Energy, sys.Pred, sweep.Config{
@@ -64,11 +81,18 @@ func run() error {
 		Models:       models,
 		Systems:      strings.Split(*systemsFlag, ","),
 		Seed:         *seed,
+		Workers:      *jobs,
 	})
+	// A grid-point failure must not discard finished work: flush every
+	// completed row before reporting the error.
+	if werr := sweep.WriteCSV(os.Stdout, points); werr != nil {
+		return werr
+	}
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "partial results: %d completed grid points written\n", len(points))
 		return err
 	}
-	return sweep.WriteCSV(os.Stdout, points)
+	return nil
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -174,6 +174,23 @@ type Options struct {
 	// Section IV.D's "multiple ANNs each ... specialized for a different
 	// domain".
 	MultiDomainANN bool
+	// Workers bounds the setup worker pools: (kernel × configuration)
+	// characterization replays and ANN member training. 0 means
+	// runtime.GOMAXPROCS(0); the count never changes results.
+	Workers int
+	// CacheDir enables the persistent characterization cache: DBs are
+	// content-keyed (design space, energy constants, variant list) and
+	// stored under this directory, so repeated runs skip kernel replay
+	// entirely. Empty disables; characterize.DefaultCacheDir() is the
+	// conventional location.
+	CacheDir string
+}
+
+// SetupInfo reports how New obtained its characterization DBs.
+type SetupInfo struct {
+	// EvalFromCache and TrainFromCache are true when the corresponding DB
+	// was loaded from the persistent cache instead of replayed.
+	EvalFromCache, TrainFromCache bool
 }
 
 // System bundles everything needed to run the paper's experiments: the
@@ -200,6 +217,8 @@ type System struct {
 	Energy *energy.Model
 	// Pred is the trained best-size predictor.
 	Pred Predictor
+	// Setup reports whether the DBs came from the persistent cache.
+	Setup SetupInfo
 
 	kind PredictorKind
 }
@@ -221,44 +240,46 @@ func New(opts Options) (*System, error) {
 		evalVariants = characterize.ExtendedVariants()
 		trainVariants = characterize.AugmentedExtendedVariants()
 	}
-	var (
-		eval, train *DB
-		err         error
-	)
-	switch {
-	case opts.WithL2:
+	copts := characterize.Options{Workers: opts.Workers}
+	if opts.WithL2 {
 		// The L2 extension changes every per-configuration outcome;
 		// characterize under the two-level model.
-		l2, err2 := energy.NewL2(em, energy.DefaultL2Params())
-		if err2 != nil {
-			return nil, err2
-		}
-		copts := characterize.Options{L2: l2}
-		eval, err = characterize.CharacterizeWithOptions(evalVariants, em, copts)
+		l2, err := energy.NewL2(em, energy.DefaultL2Params())
 		if err != nil {
 			return nil, err
 		}
-		train, err = characterize.CharacterizeWithOptions(trainVariants, em, copts)
-	case opts.EnergyParams != nil || opts.IncludeTelecom:
-		// A changed ground truth (custom energy constants or an extended
-		// kernel population) requires recharacterizing.
-		eval, err = characterize.Characterize(evalVariants, em)
-		if err != nil {
-			return nil, err
-		}
-		train, err = characterize.Characterize(trainVariants, em)
-	default:
+		copts.L2 = l2
+	}
+	// A changed ground truth (custom energy constants, the L2 model, or an
+	// extended kernel population) requires recharacterizing; the content
+	// key covers all of it, so the persistent cache still applies.
+	custom := opts.WithL2 || opts.EnergyParams != nil || opts.IncludeTelecom
+
+	var (
+		eval, train *DB
+		setup       SetupInfo
+		err         error
+	)
+	if opts.CacheDir == "" && !custom {
+		// Canonical setup without a disk cache: share the process-wide
+		// DBs.
 		eval, err = characterize.Default()
 		if err != nil {
 			return nil, err
 		}
 		train, err = characterize.Augmented()
+	} else {
+		eval, setup.EvalFromCache, err = characterize.CharacterizeCached(evalVariants, em, copts, opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		train, setup.TrainFromCache, err = characterize.CharacterizeCached(trainVariants, em, copts, opts.CacheDir)
 	}
 	if err != nil {
 		return nil, err
 	}
 
-	sys := &System{Eval: eval, Train: train, Energy: em, kind: opts.Predictor}
+	sys := &System{Eval: eval, Train: train, Energy: em, Setup: setup, kind: opts.Predictor}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 42
@@ -267,7 +288,7 @@ func New(opts Options) (*System, error) {
 		if !opts.IncludeTelecom || opts.Predictor != PredictANN {
 			return nil, fmt.Errorf("hetsched: MultiDomainANN requires IncludeTelecom and PredictANN")
 		}
-		md, err := trainMultiDomain(em, opts, seed)
+		md, err := trainMultiDomain(em, copts, opts, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -284,7 +305,7 @@ func New(opts Options) (*System, error) {
 			}
 			sys.Pred = p
 		} else {
-			p, _, err := ann.TrainSizePredictor(train, ann.PredictorConfig{Seed: seed})
+			p, _, err := ann.TrainSizePredictor(train, ann.PredictorConfig{Seed: seed, Workers: opts.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -324,6 +345,21 @@ func New(opts Options) (*System, error) {
 
 // PredictorName reports which predictor the system schedules with.
 func (s *System) PredictorName() string { return s.kind.String() }
+
+// ResolveCacheDir maps the CLIs' shared -cache-dir flag vocabulary to an
+// Options.CacheDir value: "auto" resolves to the per-user cache directory
+// ($XDG_CACHE_HOME/hetsched or equivalent), "off" and "" disable the
+// persistent cache, anything else is used as the directory itself.
+func ResolveCacheDir(flagVal string) (string, error) {
+	switch flagVal {
+	case "", "off", "none":
+		return "", nil
+	case "auto":
+		return characterize.DefaultCacheDir()
+	default:
+		return flagVal, nil
+	}
+}
 
 // Experiment runs the paper's four-system comparison (Section V) on one
 // workload: base, optimal, energy-centric and proposed.
@@ -469,16 +505,8 @@ func (s *System) PredictBestSize(kernel string) (predicted, oracle int, err erro
 
 // trainMultiDomain builds the Section IV.D per-domain predictor: one
 // bagged ensemble per application domain over its own augmented pool.
-func trainMultiDomain(em *energy.Model, opts Options, seed int64) (Predictor, error) {
-	var copts characterize.Options
-	if opts.WithL2 {
-		l2, err := energy.NewL2(em, energy.DefaultL2Params())
-		if err != nil {
-			return nil, err
-		}
-		copts.L2 = l2
-	}
-	autoPool, err := characterize.CharacterizeWithOptions(characterize.AugmentedVariants(), em, copts)
+func trainMultiDomain(em *energy.Model, copts characterize.Options, opts Options, seed int64) (Predictor, error) {
+	autoPool, _, err := characterize.CharacterizeCached(characterize.AugmentedVariants(), em, copts, opts.CacheDir)
 	if err != nil {
 		return nil, err
 	}
@@ -489,13 +517,13 @@ func trainMultiDomain(em *energy.Model, opts Options, seed int64) (Predictor, er
 			teleVariants = append(teleVariants, v)
 		}
 	}
-	telePool, err := characterize.CharacterizeWithOptions(teleVariants, em, copts)
+	telePool, _, err := characterize.CharacterizeCached(teleVariants, em, copts, opts.CacheDir)
 	if err != nil {
 		return nil, err
 	}
 	return ann.TrainMultiDomain(
 		[]string{"automotive", "telecom"},
 		map[string]*characterize.DB{"automotive": autoPool, "telecom": telePool},
-		ann.PredictorConfig{Seed: seed},
+		ann.PredictorConfig{Seed: seed, Workers: opts.Workers},
 	)
 }

@@ -3,6 +3,9 @@ package hetsched
 import (
 	"strings"
 	"testing"
+
+	"hetsched/internal/characterize"
+	"hetsched/internal/energy"
 )
 
 func oracleSystem(t testing.TB) *System {
@@ -427,5 +430,74 @@ func TestFormatMetricsMentionsEverything(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("FormatMetrics missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestNewWarmStartFromCache is the end-to-end acceptance test for the
+// persistent characterization cache: with a pre-warmed cache directory,
+// New must load both DBs from disk (Setup flags set) without replaying a
+// single kernel.
+func TestNewWarmStartFromCache(t *testing.T) {
+	dir := t.TempDir()
+	em := energy.NewDefault()
+
+	// Pre-warm the directory from the process-wide DBs — the same content
+	// New characterizes — so the only open question is whether New takes
+	// the loader path.
+	for _, tc := range []struct {
+		variants []characterize.Variant
+		build    func() (*characterize.DB, error)
+	}{
+		{characterize.CanonicalVariants(), characterize.Default},
+		{characterize.AugmentedVariants(), characterize.Augmented},
+	} {
+		key, err := characterize.CacheKey(tc.variants, em, characterize.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := tc.build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := characterize.SaveCached(dir, key, db); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := characterize.ReplayCount()
+	sys, err := New(Options{Predictor: PredictOracle, CacheDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Setup.EvalFromCache || !sys.Setup.TrainFromCache {
+		t.Fatalf("warm start not detected: %+v", sys.Setup)
+	}
+	if got := characterize.ReplayCount(); got != before {
+		t.Fatalf("warm start replayed kernels: ReplayCount %d -> %d", before, got)
+	}
+	if _, _, err := sys.PredictBestSize("matrix"); err != nil {
+		t.Fatalf("warm-started system does not serve predictions: %v", err)
+	}
+}
+
+// TestResolveCacheDir pins the -cache-dir flag vocabulary shared by every
+// CLI.
+func TestResolveCacheDir(t *testing.T) {
+	for _, off := range []string{"", "off", "none"} {
+		dir, err := ResolveCacheDir(off)
+		if err != nil || dir != "" {
+			t.Errorf("ResolveCacheDir(%q) = %q, %v; want disabled", off, dir, err)
+		}
+	}
+	dir, err := ResolveCacheDir("auto")
+	if err != nil {
+		t.Fatalf("ResolveCacheDir(auto): %v", err)
+	}
+	if dir == "" {
+		t.Error("auto resolved to the disabled cache")
+	}
+	dir, err = ResolveCacheDir("/tmp/explicit")
+	if err != nil || dir != "/tmp/explicit" {
+		t.Errorf("explicit path mangled: %q, %v", dir, err)
 	}
 }

@@ -24,6 +24,10 @@ type EnsembleConfig struct {
 	BagFraction float64
 	// Seed drives member initialization and bootstrap sampling.
 	Seed int64
+	// Workers bounds the goroutines training members (default
+	// runtime.GOMAXPROCS(0)). Training is deterministic for a fixed Seed
+	// at any worker count: each member derives its own seeded rng.
+	Workers int
 }
 
 func (c *EnsembleConfig) fillDefaults(inputDim, outputDim int) {
@@ -61,9 +65,13 @@ func TrainEnsemble(train, val Dataset, cfg EnsembleConfig) (*Ensemble, error) {
 	if cfg.Sizes[len(cfg.Sizes)-1] != len(train.Y[0]) {
 		return nil, fmt.Errorf("ann: topology output %d != data %d", cfg.Sizes[len(cfg.Sizes)-1], len(train.Y[0]))
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	ens := &Ensemble{Nets: make([]*Network, cfg.Members)}
 	errs := make([]error, cfg.Members)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for m := 0; m < cfg.Members; m++ {
 		wg.Add(1)
@@ -106,17 +114,25 @@ func TrainEnsemble(train, val Dataset, cfg EnsembleConfig) (*Ensemble, error) {
 	return ens, nil
 }
 
-// Predict averages member outputs.
+// parallelVoteMin is the ensemble size below which the vote stays serial:
+// forward passes through the paper's tiny {10, 18, 5, 1} topology are so
+// cheap that goroutine fan-out only pays off once a few dozen members
+// amortize it (the paper's 30-member ensemble qualifies).
+const parallelVoteMin = 16
+
+// Predict averages member outputs. Members ≥ parallelVoteMin vote in
+// parallel; the per-member outputs are always reduced in member order, so
+// the result is bit-identical to a serial vote on any machine.
 func (e *Ensemble) Predict(x []float64) ([]float64, error) {
 	if len(e.Nets) == 0 {
 		return nil, fmt.Errorf("ann: empty ensemble")
 	}
 	out := make([]float64, e.Nets[0].OutputDim())
-	for _, n := range e.Nets {
-		y, err := n.Forward(x)
-		if err != nil {
-			return nil, err
-		}
+	ys, err := e.memberVotes(x)
+	if err != nil {
+		return nil, err
+	}
+	for _, y := range ys {
 		for o, v := range y {
 			out[o] += v
 		}
@@ -126,6 +142,55 @@ func (e *Ensemble) Predict(x []float64) ([]float64, error) {
 		out[o] *= inv
 	}
 	return out, nil
+}
+
+// memberVotes runs every member's forward pass, fanning across CPUs when
+// the ensemble is large enough to amortize the goroutines. The slice is
+// indexed by member, so any reduction over it is order-deterministic.
+func (e *Ensemble) memberVotes(x []float64) ([][]float64, error) {
+	ys := make([][]float64, len(e.Nets))
+	workers := runtime.GOMAXPROCS(0)
+	if len(e.Nets) < parallelVoteMin || workers < 2 {
+		for m, n := range e.Nets {
+			y, err := n.Forward(x)
+			if err != nil {
+				return nil, err
+			}
+			ys[m] = y
+		}
+		return ys, nil
+	}
+	if workers > 4 {
+		workers = 4 // a handful of chunks already hides the latency
+	}
+	errs := make([]error, workers)
+	chunk := (len(e.Nets) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, len(e.Nets))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for m := lo; m < hi; m++ {
+				y, err := e.Nets[m].Forward(x)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				ys[m] = y
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ys, nil
 }
 
 // MSE evaluates the ensemble's mean squared error over a dataset.

@@ -48,6 +48,9 @@ type PredictorConfig struct {
 	TrainFrac, ValFrac float64
 	// Seed drives the split shuffle.
 	Seed int64
+	// Workers bounds the member-training pool (default
+	// runtime.GOMAXPROCS(0)); it never changes the trained model.
+	Workers int
 }
 
 func (c *PredictorConfig) fillDefaults() {
@@ -110,6 +113,9 @@ func TrainSizePredictor(db *characterize.DB, cfg PredictorConfig) (*SizePredicto
 	}
 	ecfg := cfg.Ensemble
 	ecfg.Seed = cfg.Seed
+	if ecfg.Workers == 0 {
+		ecfg.Workers = cfg.Workers
+	}
 	ens, err := TrainEnsemble(train, val, ecfg)
 	if err != nil {
 		return nil, PredictorReport{}, err

@@ -126,16 +126,17 @@ type L1Options struct {
 // are counted as writebacks), matching the paper's cache tuner, which must
 // flush on any parameter change.
 type L1 struct {
-	cfg     Config
-	opts    L1Options
-	sets    int
-	ways    int
-	shift   uint // log2(lineBytes)
-	setMask uint64
-	lines   []line // sets*ways, way-major within a set
-	clock   uint64
-	rngs    uint64 // xorshift state for Random replacement
-	stats   Stats
+	cfg      Config
+	opts     L1Options
+	sets     int
+	ways     int
+	shift    uint // log2(lineBytes)
+	tagShift uint // log2(sets): block-address bits consumed by the index
+	setMask  uint64
+	lines    []line // sets*ways, way-major within a set
+	clock    uint64
+	rngs     uint64 // xorshift state for Random replacement
+	stats    Stats
 }
 
 // NewL1 builds an L1 cache in the given configuration with default
@@ -182,6 +183,7 @@ func (c *L1) configure(cfg Config) {
 	c.sets = cfg.Sets()
 	c.ways = cfg.Ways
 	c.shift = uint(log2(cfg.LineBytes))
+	c.tagShift = uint(log2(c.sets))
 	c.setMask = uint64(c.sets - 1)
 	c.lines = make([]line, c.sets*c.ways)
 	c.clock = 0
@@ -262,58 +264,63 @@ func (c *L1) Access(addr uint64, write bool) AccessResult {
 	c.clock++
 	blockAddr := addr >> c.shift
 	set := blockAddr & c.setMask
-	tag := blockAddr >> uint(log2(c.sets))
-	base := int(set) * c.ways
+	tag := blockAddr >> c.tagShift
 	through := write && c.opts.Write == WriteThrough
 
-	// Hit path.
-	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+w]
-		if l.valid && l.tag == tag {
-			if c.opts.Replacement == LRU {
-				l.lru = c.clock
-			}
-			res := AccessResult{Hit: true}
-			if write {
-				c.stats.WriteHits++
-				if through {
-					c.stats.Writethroughs++
-					res.WroteThrough = true
-				} else {
-					l.dirty = true
-				}
-			} else {
-				c.stats.ReadHits++
-			}
-			c.stats.Hits++
-			return res
+	// Hit scan first, with nothing but the tag compare in the loop — hits
+	// dominate trace replay, so the hit path must stay as tight as the
+	// hardware's parallel tag match. The slice is hoisted once so the
+	// compiler drops the per-way bounds checks.
+	ways := c.lines[int(set)*c.ways : int(set)*c.ways+c.ways]
+	for w := range ways {
+		l := &ways[w]
+		if !l.valid || l.tag != tag {
+			continue
 		}
+		if c.opts.Replacement == LRU {
+			l.lru = c.clock
+		}
+		res := AccessResult{Hit: true}
+		if write {
+			c.stats.WriteHits++
+			if through {
+				c.stats.Writethroughs++
+				res.WroteThrough = true
+			} else {
+				l.dirty = true
+			}
+		} else {
+			c.stats.ReadHits++
+		}
+		c.stats.Hits++
+		return res
 	}
 
-	// Miss: find victim — an invalid way first, else per policy.
+	// Miss: one victim pass — an invalid way first, else the per-policy
+	// choice (smallest timestamp for LRU/FIFO).
 	victim := -1
-	for w := 0; w < c.ways; w++ {
-		if !c.lines[base+w].valid {
-			victim = base + w
+	oldestIdx, oldest := 0, ^uint64(0)
+	for w := range ways {
+		l := &ways[w]
+		if !l.valid {
+			victim = w
 			break
+		}
+		if l.lru < oldest {
+			oldest = l.lru
+			oldestIdx = w
 		}
 	}
 	if victim < 0 {
 		switch c.opts.Replacement {
 		case Random:
-			victim = base + int(c.xorshift()%uint64(c.ways))
-		default: // LRU and FIFO: smallest timestamp wins
-			var oldest uint64 = ^uint64(0)
-			for w := 0; w < c.ways; w++ {
-				if l := &c.lines[base+w]; l.lru < oldest {
-					oldest = l.lru
-					victim = base + w
-				}
-			}
+			victim = int(c.xorshift() % uint64(c.ways))
+		default:
+			victim = oldestIdx
 		}
 	}
 	res := AccessResult{}
-	v := &c.lines[victim]
+	v := &ways[victim]
 	if v.valid {
 		c.stats.Evictions++
 		res.Evicted = true
@@ -348,35 +355,35 @@ func (c *L1) Access(addr uint64, write bool) AccessResult {
 // blocks are left untouched.
 func (c *L1) prefetch(blockAddr uint64) {
 	set := blockAddr & c.setMask
-	tag := blockAddr >> uint(log2(c.sets))
-	base := int(set) * c.ways
-	for w := 0; w < c.ways; w++ {
-		if l := &c.lines[base+w]; l.valid && l.tag == tag {
+	tag := blockAddr >> c.tagShift
+	ways := c.lines[int(set)*c.ways : int(set)*c.ways+c.ways]
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
 			return // already resident
 		}
 	}
 	victim := -1
-	for w := 0; w < c.ways; w++ {
-		if !c.lines[base+w].valid {
-			victim = base + w
+	oldestIdx, oldest := 0, ^uint64(0)
+	for w := range ways {
+		l := &ways[w]
+		if !l.valid {
+			victim = w
 			break
+		}
+		if l.lru < oldest {
+			oldest = l.lru
+			oldestIdx = w
 		}
 	}
 	if victim < 0 {
 		switch c.opts.Replacement {
 		case Random:
-			victim = base + int(c.xorshift()%uint64(c.ways))
+			victim = int(c.xorshift() % uint64(c.ways))
 		default:
-			var oldest uint64 = ^uint64(0)
-			for w := 0; w < c.ways; w++ {
-				if l := &c.lines[base+w]; l.lru < oldest {
-					oldest = l.lru
-					victim = base + w
-				}
-			}
+			victim = oldestIdx
 		}
 	}
-	v := &c.lines[victim]
+	v := &ways[victim]
 	if v.valid {
 		c.stats.Evictions++
 		if v.dirty {
@@ -393,7 +400,7 @@ func (c *L1) prefetch(blockAddr uint64) {
 }
 
 func (c *L1) reconstructAddr(tag, set uint64) uint64 {
-	return ((tag << uint(log2(c.sets))) | set) << c.shift
+	return ((tag << c.tagShift) | set) << c.shift
 }
 
 // Contains reports whether addr currently hits without touching LRU state or
@@ -401,7 +408,7 @@ func (c *L1) reconstructAddr(tag, set uint64) uint64 {
 func (c *L1) Contains(addr uint64) bool {
 	blockAddr := addr >> c.shift
 	set := blockAddr & c.setMask
-	tag := blockAddr >> uint(log2(c.sets))
+	tag := blockAddr >> c.tagShift
 	base := int(set) * c.ways
 	for w := 0; w < c.ways; w++ {
 		l := c.lines[base+w]

@@ -18,6 +18,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hetsched/internal/cache"
 	"hetsched/internal/eembc"
@@ -208,16 +209,42 @@ type Options struct {
 	// replay through the private L2 and energies/cycles use the L2-aware
 	// model. Nil reproduces the paper.
 	L2 *energy.L2Model
+	// Workers bounds the worker pool that records traces and replays
+	// (variant × configuration) pairs. 0 means runtime.GOMAXPROCS(0); 1
+	// runs the whole build serially. Workers never changes results — the
+	// DB is assembled slot-by-slot in variant and design-space order.
+	Workers int
 }
 
+// replays counts trace replays (one per (variant, configuration) pair)
+// performed by this process. The disk-cache tests assert a warm load does
+// not move it.
+var replays atomic.Uint64
+
+// ReplayCount reports the number of (variant × configuration) trace
+// replays performed by this process so far. A characterization served from
+// the persistent cache performs none.
+func ReplayCount() uint64 { return replays.Load() }
+
 // Characterize builds the database for the given variants under the energy
-// model, running variants in parallel across CPUs. Records appear in
-// variant order and are assigned IDs matching their index.
+// model, fanning (variant × configuration) replay pairs across a worker
+// pool. Records appear in variant order and are assigned IDs matching
+// their index; results are identical for any worker count.
 func Characterize(variants []Variant, em *energy.Model) (*DB, error) {
 	return CharacterizeWithOptions(variants, em, Options{})
 }
 
 // CharacterizeWithOptions is Characterize with extension knobs.
+//
+// Concurrency layout: a pool of opts.Workers goroutines executes every
+// CPU-bound job — kernel recording and per-configuration trace replay —
+// while one lightweight driver per in-flight variant records its trace,
+// enqueues one replay job per design-space configuration, and assembles
+// the Record once all replies land. In-flight variants are bounded by the
+// worker count so at most that many full memory traces are live at once.
+// Each replay job builds its own private cache hierarchy; nothing mutable
+// is shared, and every result is written to a pre-assigned slot, so the
+// output is byte-identical to a serial build.
 func CharacterizeWithOptions(variants []Variant, em *energy.Model, opts Options) (*DB, error) {
 	if em == nil {
 		return nil, fmt.Errorf("characterize: nil energy model")
@@ -225,17 +252,37 @@ func CharacterizeWithOptions(variants []Variant, em *energy.Model, opts Options)
 	if len(variants) == 0 {
 		return nil, fmt.Errorf("characterize: no variants")
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// The job pool: drivers submit closures, pool goroutines run them.
+	// Drivers never occupy a pool slot themselves, so waiting for a
+	// sub-job cannot deadlock.
+	jobs := make(chan func())
+	var poolWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		poolWG.Add(1)
+		go func() {
+			defer poolWG.Done()
+			for f := range jobs {
+				f()
+			}
+		}()
+	}
+
 	records := make([]Record, len(variants))
 	errs := make([]error, len(variants))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
+	inflight := make(chan struct{}, workers) // bounds live traces
+	var driverWG sync.WaitGroup
 	for i, v := range variants {
-		wg.Add(1)
+		driverWG.Add(1)
 		go func(i int, v Variant) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rec, err := characterizeOne(v, em, opts)
+			defer driverWG.Done()
+			inflight <- struct{}{}
+			defer func() { <-inflight }()
+			rec, err := characterizeOne(v, em, opts, jobs)
 			if err != nil {
 				errs[i] = err
 				return
@@ -244,7 +291,9 @@ func CharacterizeWithOptions(variants []Variant, em *energy.Model, opts Options)
 			records[i] = rec
 		}(i, v)
 	}
-	wg.Wait()
+	driverWG.Wait()
+	close(jobs)
+	poolWG.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -253,14 +302,31 @@ func CharacterizeWithOptions(variants []Variant, em *energy.Model, opts Options)
 	return &DB{Records: records}, nil
 }
 
-func characterizeOne(v Variant, em *energy.Model, opts Options) (Record, error) {
+// submit runs f on the pool and returns a completion channel.
+func submit(jobs chan func(), f func()) <-chan struct{} {
+	done := make(chan struct{})
+	jobs <- func() {
+		defer close(done)
+		f()
+	}
+	return done
+}
+
+func characterizeOne(v Variant, em *energy.Model, opts Options, jobs chan func()) (Record, error) {
 	k, err := eembc.ByName(v.Kernel)
 	if err != nil {
 		return Record{}, err
 	}
-	ctr, tr, err := eembc.Record(k, v.Params)
-	if err != nil {
-		return Record{}, err
+	// Record the kernel's trace on the pool (it is as CPU-bound as a
+	// replay), then fan the per-configuration replays out as one job each.
+	var (
+		ctr    vm.Counters
+		tr     *vm.Trace
+		recErr error
+	)
+	<-submit(jobs, func() { ctr, tr, recErr = eembc.Record(k, v.Params) })
+	if recErr != nil {
+		return Record{}, recErr
 	}
 	rec := Record{
 		Kernel:     v.Kernel,
@@ -269,21 +335,32 @@ func characterizeOne(v Variant, em *energy.Model, opts Options) (Record, error) 
 		Accesses:   uint64(tr.Len()),
 	}
 	space := cache.DesignSpace()
-	rec.Configs = make([]ConfigResult, 0, len(space))
-	var baseHits, baseMisses uint64
-	for _, cfg := range space {
-		var cr ConfigResult
-		if opts.L2 != nil {
-			cr, err = replayL2(tr, cfg, ctr.Cycles, opts.L2)
-		} else {
-			cr, err = replayL1(tr, cfg, ctr.Cycles, em)
-		}
+	rec.Configs = make([]ConfigResult, len(space))
+	replayErrs := make([]error, len(space))
+	var wg sync.WaitGroup
+	for j, cfg := range space {
+		wg.Add(1)
+		jobs <- func(j int, cfg cache.Config) func() {
+			return func() {
+				defer wg.Done()
+				if opts.L2 != nil {
+					rec.Configs[j], replayErrs[j] = replayL2(tr, cfg, ctr.Cycles, opts.L2)
+				} else {
+					rec.Configs[j], replayErrs[j] = replayL1(tr, cfg, ctr.Cycles, em)
+				}
+			}
+		}(j, cfg)
+	}
+	wg.Wait()
+	for _, err := range replayErrs {
 		if err != nil {
 			return Record{}, err
 		}
-		rec.Configs = append(rec.Configs, cr)
+	}
+	var baseHits, baseMisses uint64
+	for j, cfg := range space {
 		if cfg == cache.BaseConfig {
-			baseHits, baseMisses = cr.Hits, cr.Misses
+			baseHits, baseMisses = rec.Configs[j].Hits, rec.Configs[j].Misses
 		}
 	}
 	rec.Features = stats.FromExecution(ctr, tr, baseHits, baseMisses)
@@ -292,6 +369,7 @@ func characterizeOne(v Variant, em *energy.Model, opts Options) (Record, error) 
 
 // replayL1 is the paper's mode: every L1 miss pays the off-chip penalty.
 func replayL1(tr *vm.Trace, cfg cache.Config, baseCycles uint64, em *energy.Model) (ConfigResult, error) {
+	replays.Add(1)
 	l1, err := cache.NewL1(cfg)
 	if err != nil {
 		return ConfigResult{}, err
@@ -314,6 +392,7 @@ func replayL1(tr *vm.Trace, cfg cache.Config, baseCycles uint64, em *energy.Mode
 // replayL2 is the extension mode: the trace runs through the two-level
 // hierarchy and misses split into L2 hits and true off-chip accesses.
 func replayL2(tr *vm.Trace, cfg cache.Config, baseCycles uint64, em *energy.L2Model) (ConfigResult, error) {
+	replays.Add(1)
 	h, err := cache.NewHierarchyL2(cfg, em.L2Params().Config)
 	if err != nil {
 		return ConfigResult{}, err

@@ -1,0 +1,100 @@
+package characterize
+
+import (
+	"reflect"
+	"testing"
+
+	"hetsched/internal/eembc"
+	"hetsched/internal/energy"
+)
+
+// smallVariants keeps the determinism tests fast: three kernels at two
+// scales is still enough work to exercise the pair-level fan-out.
+func smallVariants() []Variant {
+	var out []Variant
+	for _, name := range []string{"a2time", "tblook", "cacheb"} {
+		for _, sc := range []int{1, 2} {
+			out = append(out, Variant{Kernel: name, Params: eembc.Params{Scale: sc, Iterations: 4, Seed: 1}})
+		}
+	}
+	return out
+}
+
+// The tentpole invariant: the worker count shapes only the schedule, never
+// the data. A serial build and a heavily parallel build must be deeply
+// equal, record for record and configuration for configuration.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	em := energy.NewDefault()
+	variants := smallVariants()
+	serial, err := CharacterizeWithOptions(variants, em, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		parallel, err := CharacterizeWithOptions(variants, em, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("DB built with %d workers differs from serial build", workers)
+		}
+	}
+}
+
+// The L2 extension path replays through a different hierarchy; it must be
+// just as worker-count-independent.
+func TestParallelBuildMatchesSerialL2(t *testing.T) {
+	em := energy.NewDefault()
+	l2, err := energy.NewL2(em, energy.DefaultL2Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := smallVariants()[:2]
+	serial, err := CharacterizeWithOptions(variants, em, Options{Workers: 1, L2: l2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := CharacterizeWithOptions(variants, em, Options{Workers: 6, L2: l2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("L2-mode DB differs between serial and parallel builds")
+	}
+}
+
+// An unknown kernel must fail the whole build regardless of where it sits
+// in the variant list, and must not wedge the worker pool.
+func TestParallelBuildPropagatesErrors(t *testing.T) {
+	em := energy.NewDefault()
+	variants := append(smallVariants(), Variant{Kernel: "nope", Params: eembc.DefaultParams()})
+	if _, err := CharacterizeWithOptions(variants, em, Options{Workers: 4}); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func BenchmarkCharacterizeWorkers(b *testing.B) {
+	em := energy.NewDefault()
+	variants := smallVariants()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := CharacterizeWithOptions(variants, em, Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var d []byte
+	for v > 0 {
+		d = append([]byte{byte('0' + v%10)}, d...)
+		v /= 10
+	}
+	return string(d)
+}

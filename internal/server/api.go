@@ -107,6 +107,9 @@ type HealthResponse struct {
 	Predictor     string `json:"predictor"`
 	Workers       int    `json:"workers"`
 	QueueCapacity int    `json:"queue_capacity"`
+	// WarmStart reports whether this process's characterization DBs were
+	// loaded from the persistent cache (no kernel replay at startup).
+	WarmStart bool `json:"warm_start"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

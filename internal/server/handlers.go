@@ -302,6 +302,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Predictor:     s.sys.PredictorName(),
 		Workers:       s.pool.Workers(),
 		QueueCapacity: s.pool.QueueCapacity(),
+		WarmStart:     s.sys.Setup.EvalFromCache && s.sys.Setup.TrainFromCache,
 	})
 }
 

@@ -1,11 +1,20 @@
 // Package sweep runs grids of scheduling experiments — across offered
 // load, arrival model and system — and renders the results as CSV. It is
 // the engine behind cmd/hmsweep and the load-sensitivity ablations.
+//
+// The grid is embarrassingly parallel and Run exploits that: every
+// (utilization, model, system) cell simulates on its own goroutine under a
+// bounded worker pool, each cell's workload derives from its own
+// deterministic per-cell seed, and results land in pre-assigned slots — so
+// the output is point-for-point identical for any worker count, including
+// the serial Workers=1 build.
 package sweep
 
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"hetsched/internal/characterize"
 	"hetsched/internal/core"
@@ -25,8 +34,14 @@ type Config struct {
 	Systems []string
 	// Sim shapes the machine (default Figure 1 quad-core).
 	Sim core.SimConfig
-	// Seed drives workload generation.
+	// Seed drives workload generation. Each (utilization, model) cell
+	// derives its own workload seed from it (see cellSeed), so cells are
+	// statistically independent yet fully reproducible.
 	Seed int64
+	// Workers bounds the goroutines simulating grid cells. 0 means
+	// runtime.GOMAXPROCS(0); 1 runs the grid serially. The worker count
+	// never changes the output.
+	Workers int
 }
 
 func (c *Config) fillDefaults() {
@@ -45,6 +60,9 @@ func (c *Config) fillDefaults() {
 	if len(c.Sim.CoreSizesKB) == 0 {
 		c.Sim = core.DefaultSimConfig()
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 }
 
 // Point is one grid cell's outcome.
@@ -58,71 +76,144 @@ type Point struct {
 	SavingVsBasePct float64
 }
 
-// Run executes the grid. Within a grid point every system sees the
-// identical workload.
+// cellSeed derives the workload seed for one (utilization, model) cell
+// from the sweep seed: a SplitMix64-style mix so neighbouring cells are
+// decorrelated. Both the serial and parallel paths use it, which is what
+// makes parallel output byte-identical to serial.
+func cellSeed(seed int64, utilIdx, modelIdx int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(utilIdx*31+modelIdx+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & 0x7fffffffffffffff)
+}
+
+// Run executes the grid over a pool of cfg.Workers goroutines. Within a
+// grid point every system sees the identical workload.
+//
+// On error Run does not discard completed work: it returns every point
+// whose simulation finished, in deterministic grid order, alongside the
+// first error in grid order — so callers (cmd/hmsweep) can flush the rows
+// they have instead of losing the whole run.
 func Run(db *characterize.DB, em *energy.Model, pred core.Predictor, cfg Config) ([]Point, error) {
 	cfg.fillDefaults()
 	if db == nil || em == nil {
 		return nil, fmt.Errorf("sweep: nil DB or energy model")
 	}
 	appIDs := core.AllAppIDs(db)
-	var points []Point
-	for _, util := range cfg.Utilizations {
-		horizon, err := core.HorizonForUtilization(db, appIDs, cfg.Arrivals, len(cfg.Sim.CoreSizesKB), util)
-		if err != nil {
-			return nil, err
-		}
-		for _, model := range cfg.Models {
-			jobs, err := core.GenerateWorkload(core.WorkloadConfig{
-				Arrivals:      cfg.Arrivals,
-				AppIDs:        appIDs,
-				HorizonCycles: horizon,
-				Model:         model,
-				Seed:          cfg.Seed,
-			})
-			if err != nil {
-				return nil, err
+
+	// Stage 1 (serial, cheap): derive each (utilization, model) cell's
+	// workload. Horizon and generation are O(arrivals); the simulations
+	// behind them are the expensive part.
+	type cell struct {
+		util  float64
+		model core.ArrivalModel
+		jobs  []core.Job
+		err   error
+	}
+	cells := make([]cell, 0, len(cfg.Utilizations)*len(cfg.Models))
+	for ui, util := range cfg.Utilizations {
+		horizon, herr := core.HorizonForUtilization(db, appIDs, cfg.Arrivals, len(cfg.Sim.CoreSizesKB), util)
+		for mi, model := range cfg.Models {
+			c := cell{util: util, model: model, err: herr}
+			if herr == nil {
+				c.jobs, c.err = core.GenerateWorkload(core.WorkloadConfig{
+					Arrivals:      cfg.Arrivals,
+					AppIDs:        appIDs,
+					HorizonCycles: horizon,
+					Model:         model,
+					Seed:          cellSeed(cfg.Seed, ui, mi),
+				})
 			}
-			var baseTotal float64
-			for _, name := range cfg.Systems {
-				pol, needsPred, err := core.NewPolicy(name)
-				if err != nil {
-					return nil, err
-				}
-				var p core.Predictor
-				if needsPred {
-					if pred == nil {
-						return nil, fmt.Errorf("sweep: system %q needs a predictor", name)
-					}
-					p = pred
-				}
-				sc := cfg.Sim
-				sc.CoreSizesKB = core.CoreSizesFor(name, cfg.Sim.CoreSizesKB)
-				sim, err := core.NewSimulator(db, em, pol, p, sc)
-				if err != nil {
-					return nil, err
-				}
-				m, err := sim.Run(jobs)
-				if err != nil {
-					return nil, err
-				}
-				pt := Point{
-					Utilization: util,
-					Model:       model,
-					System:      name,
-					Metrics:     m,
-				}
-				if name == "base" {
-					baseTotal = m.TotalEnergy()
-				}
-				if baseTotal > 0 {
-					pt.SavingVsBasePct = 100 * (1 - m.TotalEnergy()/baseTotal)
-				}
-				points = append(points, pt)
-			}
+			cells = append(cells, c)
 		}
 	}
-	return points, nil
+
+	// Stage 2 (parallel): one slot per (cell, system); every simulation
+	// builds its own private simulator over the shared read-only DB,
+	// energy model, predictor and workload.
+	nSys := len(cfg.Systems)
+	metrics := make([]core.Metrics, len(cells)*nSys)
+	errs := make([]error, len(cells)*nSys)
+	sem := make(chan struct{}, cfg.Workers)
+	var wg sync.WaitGroup
+	for ci := range cells {
+		for si, name := range cfg.Systems {
+			wg.Add(1)
+			go func(ci, si int, name string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				slot := ci*nSys + si
+				if cells[ci].err != nil {
+					errs[slot] = cells[ci].err
+					return
+				}
+				metrics[slot], errs[slot] = runCell(db, em, pred, cfg, name, cells[ci].jobs)
+			}(ci, si, name)
+		}
+	}
+	wg.Wait()
+
+	// Stage 3 (serial): assemble points in grid order. Savings normalize
+	// against the cell's base row exactly as the serial engine always
+	// did: systems listed before "base" report 0.
+	var points []Point
+	var firstErr error
+	for ci, c := range cells {
+		var baseTotal float64
+		cellOK := true
+		for si := range cfg.Systems {
+			if errs[ci*nSys+si] != nil {
+				cellOK = false
+				if firstErr == nil {
+					firstErr = errs[ci*nSys+si]
+				}
+			}
+		}
+		if !cellOK {
+			continue
+		}
+		for si, name := range cfg.Systems {
+			m := metrics[ci*nSys+si]
+			pt := Point{
+				Utilization: c.util,
+				Model:       c.model,
+				System:      name,
+				Metrics:     m,
+			}
+			if name == "base" {
+				baseTotal = m.TotalEnergy()
+			}
+			if baseTotal > 0 {
+				pt.SavingVsBasePct = 100 * (1 - m.TotalEnergy()/baseTotal)
+			}
+			points = append(points, pt)
+		}
+	}
+	return points, firstErr
+}
+
+// runCell simulates one named system over one cell's workload.
+func runCell(db *characterize.DB, em *energy.Model, pred core.Predictor, cfg Config, name string, jobs []core.Job) (core.Metrics, error) {
+	pol, needsPred, err := core.NewPolicy(name)
+	if err != nil {
+		return core.Metrics{}, err
+	}
+	var p core.Predictor
+	if needsPred {
+		if pred == nil {
+			return core.Metrics{}, fmt.Errorf("sweep: system %q needs a predictor", name)
+		}
+		p = pred
+	}
+	sc := cfg.Sim
+	sc.CoreSizesKB = core.CoreSizesFor(name, cfg.Sim.CoreSizesKB)
+	sim, err := core.NewSimulator(db, em, pol, p, sc)
+	if err != nil {
+		return core.Metrics{}, err
+	}
+	return sim.Run(jobs)
 }
 
 // WriteCSV renders the points with a header row.
