@@ -34,11 +34,13 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Snapshot the hot-path microbenchmarks (L1 access, characterization at 1-8
-# workers, kernel execution, one proposed-system simulation, ANN forward
-# pass) as committed JSON, for before/after comparison across PRs.
+# Snapshot the hot-path microbenchmarks (L1 access, the one-pass multi-config
+# simulator vs per-config replay, characterization at 1-8 workers and on both
+# engines, kernel trace recording, kernel execution, one proposed-system
+# simulation, ANN forward pass) as committed JSON, for before/after comparison
+# across PRs.
 bench-baseline:
-	$(GO) test -run=NONE -bench='BenchmarkL1Access|BenchmarkHierarchyAccess|BenchmarkCharacterizeWorkers|BenchmarkCharacterizeOneKernel|BenchmarkKernelExecution|BenchmarkProposedSimulation|BenchmarkForward' \
+	$(GO) test -run=NONE -bench='BenchmarkL1Access|BenchmarkHierarchyAccess|BenchmarkMultiSim|BenchmarkReplayAllConfigs|BenchmarkCharacterizeWorkers|BenchmarkCharacterizeOneKernel|BenchmarkRecordTrace|BenchmarkKernelExecution|BenchmarkProposedSimulation|BenchmarkForward' \
 		-benchmem ./internal/cache/ ./internal/characterize/ ./internal/eembc/ ./internal/core/ ./internal/ann/ \
 		| $(GO) run ./cmd/benchjson > BENCH_core.json
 	@echo wrote BENCH_core.json

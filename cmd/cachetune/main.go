@@ -1,12 +1,13 @@
 // Command cachetune explores the cache design space for one benchmark: it
-// records the kernel's memory trace, replays it through every Table 1
-// configuration under the Figure 4 energy model, prints the full sweep, and
-// then walks the Figure 5 tuning heuristic on each core size to show how
-// few configurations the heuristic needs.
+// records the kernel's memory trace, scores every Table 1 configuration
+// under the Figure 4 energy model — in a single trace traversal by default
+// (-engine=onepass), or one replay per configuration with -engine=replay —
+// prints the full sweep, and then walks the Figure 5 tuning heuristic on
+// each core size to show how few configurations the heuristic needs.
 //
 // Usage:
 //
-//	cachetune [-kernel tblook] [-scale 1] [-seed 1] [-space]
+//	cachetune [-kernel tblook] [-scale 1] [-seed 1] [-engine onepass|replay] [-space]
 //	cachetune -list
 package main
 
@@ -26,8 +27,10 @@ import (
 	"hetsched/internal/vm"
 )
 
-// sweepTrace replays a saved trace through the full design space.
-func sweepTrace(path string) error {
+// sweepTrace scores a saved trace across the full design space: one pass
+// through the trace for all 18 configurations by default, or the reference
+// per-configuration replay loop under -engine=replay.
+func sweepTrace(path string, engine characterize.Engine) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -41,22 +44,40 @@ func sweepTrace(path string) error {
 	fmt.Printf("trace %s: %d accesses, footprint %.1f KB\n\n",
 		path, tr.Len(), float64(tr.Footprint(64)*64)/1024)
 	fmt.Printf("%-12s %10s %10s %14s\n", "config", "misses", "missrate", "total energy")
-	for _, cfg := range cache.DesignSpace() {
-		l1, err := cache.NewL1(cfg)
+	space := cache.DesignSpace()
+	traversals := len(space)
+	var stats []cache.MultiStats
+	if engine == characterize.EngineOnePass {
+		ms, err := cache.NewMultiSim(space)
 		if err != nil {
 			return err
 		}
-		for _, a := range tr.Accesses {
-			l1.Access(a.Addr, a.Write)
+		tr.Flatten().ReplayBatch(ms)
+		stats = ms.Stats()
+		traversals = 1
+	} else {
+		for _, cfg := range space {
+			l1, err := cache.NewL1(cfg)
+			if err != nil {
+				return err
+			}
+			for _, a := range tr.Accesses {
+				l1.Access(a.Addr, a.Write)
+			}
+			s := l1.Stats()
+			stats = append(stats, cache.MultiStats{Config: cfg, Hits: s.Hits, Misses: s.Misses})
 		}
-		s := l1.Stats()
+	}
+	for _, s := range stats {
 		// Cycle baseline is unknown for a bare trace; charge one cycle per
 		// access plus miss stalls, which preserves the ranking.
-		cycles := em.ExecCycles(uint64(tr.Len()), cfg, s.Misses)
-		e := em.Total(cfg, s.Hits, s.Misses, cycles)
+		cycles := em.ExecCycles(uint64(tr.Len()), s.Config, s.Misses)
+		e := em.Total(s.Config, s.Hits, s.Misses, cycles)
 		fmt.Printf("%-12s %10d %9.2f%% %12.0f nJ\n",
-			cfg, s.Misses, 100*s.MissRate(), e.Total)
+			s.Config, s.Misses, 100*float64(s.Misses)/float64(tr.Len()), e.Total)
 	}
+	fmt.Fprintf(os.Stderr, "engine %s: %d trace traversal(s) for %d configurations\n",
+		engine, traversals, len(space))
 	return nil
 }
 
@@ -75,7 +96,13 @@ func run() error {
 	list := flag.Bool("list", false, "list available kernels and exit")
 	space := flag.Bool("space", false, "print the Table 1 design space and exit")
 	fromTrace := flag.String("fromtrace", "", "sweep a saved trace file (see tracegen) instead of a kernel")
+	engineFlag := flag.String("engine", "onepass", "cache simulation engine: onepass (score all configs in one trace traversal) or replay (reference per-config path)")
 	flag.Parse()
+
+	engine, err := characterize.ParseEngine(*engineFlag)
+	if err != nil {
+		return err
+	}
 
 	if *space {
 		fmt.Print(hetsched.FormatDesignSpace())
@@ -88,18 +115,22 @@ func run() error {
 		return nil
 	}
 	if *fromTrace != "" {
-		return sweepTrace(*fromTrace)
+		return sweepTrace(*fromTrace, engine)
 	}
 
 	params := eembc.Params{Scale: *scale, Iterations: 4, Seed: *seed}
-	db, err := characterize.Characterize(
+	before := characterize.ReplayCount()
+	db, err := characterize.CharacterizeWithOptions(
 		[]characterize.Variant{{Kernel: *kernel, Params: params}},
 		energy.NewDefault(),
+		characterize.Options{Engine: engine},
 	)
 	if err != nil {
 		return err
 	}
 	rec := &db.Records[0]
+	fmt.Fprintf(os.Stderr, "engine %s: %d trace traversal(s) for %d configurations\n",
+		engine, characterize.ReplayCount()-before, len(cache.DesignSpace()))
 
 	fmt.Printf("kernel %s (scale %d, seed %d): %d accesses, %d base cycles\n\n",
 		rec.Kernel, params.Scale, params.Seed, rec.Accesses, rec.BaseCycles)
@@ -136,15 +167,15 @@ func run() error {
 // tuneSize walks the heuristic for one core size and prints its row.
 func tuneSize(rec *characterize.Record, size int) error {
 	tn := tuner.MustNew(size)
-	for !tn.Done() {
-		cfg, _ := tn.Next()
+	err := tuner.Walk(tn, func(cfg cache.Config) (float64, error) {
 		cr, err := rec.Result(cfg)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		if err := tn.Observe(cfg, cr.Energy.Total); err != nil {
-			return err
-		}
+		return cr.Energy.Total, nil
+	})
+	if err != nil {
+		return err
 	}
 	bestCfg, bestE, _ := tn.Best()
 	oracle, err := rec.BestConfigForSize(size)

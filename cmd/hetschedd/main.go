@@ -21,7 +21,7 @@
 //
 //	hetschedd [-addr :8080] [-debug-addr :6060] [-workers 4] [-queue 64]
 //	          [-timeout 2m] [-max-arrivals 20000] [-predictor ann] [-seed 42]
-//	          [-j N] [-cache-dir auto]
+//	          [-j N] [-cache-dir auto] [-engine onepass]
 //
 // Cold start characterizes the suite across -j workers; with -cache-dir
 // auto (the default) the characterization persists under the user cache
@@ -63,6 +63,7 @@ func run() error {
 	seed := flag.Int64("seed", 42, "predictor training seed")
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel workers for characterization and training")
 	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")
+	engineFlag := flag.String("engine", "onepass", "cache simulation engine for cold-start characterization: onepass|replay")
 	flag.Parse()
 
 	kind, err := hetsched.ParsePredictorKind(*predictor)
@@ -73,10 +74,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	engine, err := hetsched.ParseEngine(*engineFlag)
+	if err != nil {
+		return err
+	}
 
-	fmt.Fprintf(os.Stderr, "hetschedd: characterizing suite and training %s predictor...\n", kind)
+	fmt.Fprintf(os.Stderr, "hetschedd: characterizing suite (%s engine) and training %s predictor...\n", engine, kind)
 	start := time.Now()
-	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Seed: *seed, Workers: *jobs, CacheDir: dir})
+	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Seed: *seed, Workers: *jobs, CacheDir: dir, Engine: engine})
 	if err != nil {
 		return err
 	}

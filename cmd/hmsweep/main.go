@@ -6,7 +6,7 @@
 //
 //	hmsweep [-arrivals 1500] [-utils 0.5,0.75,0.9] [-models uniform,poisson,bursty]
 //	        [-systems base,optimal,sat,energy-centric,proposed]
-//	        [-predictor ann] [-seed 1] [-j N] [-cache-dir auto] > sweep.csv
+//	        [-predictor ann] [-engine onepass] [-seed 1] [-j N] [-cache-dir auto] > sweep.csv
 //
 // Grid cells simulate in parallel across -j workers (default: all CPUs);
 // the CSV is point-for-point identical for any worker count. With
@@ -44,6 +44,7 @@ func run() error {
 	modelsFlag := flag.String("models", "uniform", "comma-separated arrival models (uniform|poisson|bursty)")
 	systemsFlag := flag.String("systems", "base,optimal,energy-centric,proposed", "comma-separated systems")
 	predictor := flag.String("predictor", "ann", "predictor: ann|oracle|linear|knn|stump|tree")
+	engineFlag := flag.String("engine", "onepass", "cache simulation engine: onepass|replay")
 	seed := flag.Int64("seed", 1, "workload seed")
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel workers for setup and grid simulation")
 	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")
@@ -65,14 +66,23 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	engine, err := hetsched.ParseEngine(*engineFlag)
+	if err != nil {
+		return err
+	}
 
-	fmt.Fprintf(os.Stderr, "setting up (%s predictor, %d workers)...\n", kind, *jobs)
-	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Workers: *jobs, CacheDir: dir})
+	fmt.Fprintf(os.Stderr, "setting up (%s predictor, %s engine, %d workers)...\n", kind, engine, *jobs)
+	before := hetsched.ReplayCount()
+	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Workers: *jobs, CacheDir: dir, Engine: engine})
 	if err != nil {
 		return err
 	}
 	if sys.Setup.EvalFromCache && sys.Setup.TrainFromCache {
 		fmt.Fprintln(os.Stderr, "characterization served from cache (no kernel replay)")
+	} else if variants := len(sys.Eval.Records) + len(sys.Train.Records); variants > 0 {
+		traversals := hetsched.ReplayCount() - before
+		fmt.Fprintf(os.Stderr, "engine %s: %d trace traversals for %d kernel variants (%.1f per kernel)\n",
+			engine, traversals, variants, float64(traversals)/float64(variants))
 	}
 
 	points, err := sweep.Run(sys.Eval, sys.Energy, sys.Pred, sweep.Config{

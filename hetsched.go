@@ -111,6 +111,27 @@ const (
 	PredictTree
 )
 
+// Engine selects the cache-simulation engine characterization runs on.
+type Engine = characterize.Engine
+
+// Simulation engines. EngineOnePass (the zero value) scores all 18 Table 1
+// configurations in a single trace traversal; EngineReplay is the reference
+// per-configuration path. The two are bit-identical, so the choice never
+// changes results — only how long characterization takes.
+const (
+	EngineOnePass = characterize.EngineOnePass
+	EngineReplay  = characterize.EngineReplay
+)
+
+// ParseEngine parses the CLIs' shared -engine flag vocabulary
+// ("onepass"|"replay").
+func ParseEngine(s string) (Engine, error) { return characterize.ParseEngine(s) }
+
+// ReplayCount reports the process-wide number of kernel trace traversals
+// performed so far: one per (variant, configuration) under EngineReplay,
+// one per variant under EngineOnePass — the observable 18×→1 reduction.
+func ReplayCount() uint64 { return characterize.ReplayCount() }
+
 // ParsePredictorKind parses a predictor name as printed by
 // PredictorKind.String — the shared flag/API vocabulary of the CLIs and the
 // hetschedd daemon.
@@ -174,10 +195,15 @@ type Options struct {
 	// Section IV.D's "multiple ANNs each ... specialized for a different
 	// domain".
 	MultiDomainANN bool
-	// Workers bounds the setup worker pools: (kernel × configuration)
-	// characterization replays and ANN member training. 0 means
-	// runtime.GOMAXPROCS(0); the count never changes results.
+	// Workers bounds the setup worker pools: characterization simulation
+	// jobs and ANN member training. 0 means runtime.GOMAXPROCS(0); the
+	// count never changes results.
 	Workers int
+	// Engine selects the cache-simulation engine for characterization.
+	// The default EngineOnePass traverses each kernel trace once and
+	// scores all 18 configurations at once; EngineReplay is the reference
+	// per-configuration path. Bit-identical results either way.
+	Engine Engine
 	// CacheDir enables the persistent characterization cache: DBs are
 	// content-keyed (design space, energy constants, variant list) and
 	// stored under this directory, so repeated runs skip kernel replay
@@ -240,7 +266,7 @@ func New(opts Options) (*System, error) {
 		evalVariants = characterize.ExtendedVariants()
 		trainVariants = characterize.AugmentedExtendedVariants()
 	}
-	copts := characterize.Options{Workers: opts.Workers}
+	copts := characterize.Options{Workers: opts.Workers, Engine: opts.Engine}
 	if opts.WithL2 {
 		// The L2 extension changes every per-configuration outcome;
 		// characterize under the two-level model.
@@ -252,8 +278,11 @@ func New(opts Options) (*System, error) {
 	}
 	// A changed ground truth (custom energy constants, the L2 model, or an
 	// extended kernel population) requires recharacterizing; the content
-	// key covers all of it, so the persistent cache still applies.
-	custom := opts.WithL2 || opts.EnergyParams != nil || opts.IncludeTelecom
+	// key covers all of it, so the persistent cache still applies. A
+	// non-default engine cannot change results, but it must actually run —
+	// sharing the process-wide DBs would silently ignore the request.
+	custom := opts.WithL2 || opts.EnergyParams != nil || opts.IncludeTelecom ||
+		opts.Engine != characterize.EngineOnePass
 
 	var (
 		eval, train *DB
@@ -471,18 +500,15 @@ func (s *System) TuneKernel(kernel string, sizeKB int) (explored []CacheConfig, 
 	if err != nil {
 		return nil, CacheConfig{}, err
 	}
-	for !tn.Done() {
-		cfg, ok := tn.Next()
-		if !ok {
-			break
-		}
+	err = tuner.Walk(tn, func(cfg cache.Config) (float64, error) {
 		cr, err := rec.Result(cfg)
 		if err != nil {
-			return nil, CacheConfig{}, err
+			return 0, err
 		}
-		if err := tn.Observe(cfg, cr.Energy.Total); err != nil {
-			return nil, CacheConfig{}, err
-		}
+		return cr.Energy.Total, nil
+	})
+	if err != nil {
+		return nil, CacheConfig{}, err
 	}
 	best, _, _ = tn.Best()
 	return tn.Explored(), best, nil

@@ -1,0 +1,329 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"hetsched/internal/vm"
+)
+
+// msTestTraces builds a family of packed traces spanning the behaviours
+// that stress an LRU simulator: streaming, small and large random working
+// sets, strided conflict patterns, and write-heavy mixes.
+func msTestTraces() map[string][]uint64 {
+	xs := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		xs ^= xs << 13
+		xs ^= xs >> 7
+		xs ^= xs << 17
+		return xs
+	}
+	out := map[string][]uint64{}
+
+	stream := make([]uint64, 20000)
+	for i := range stream {
+		stream[i] = vm.Pack(uint64(i%5000)*4, i%7 == 0)
+	}
+	out["streaming"] = stream
+
+	small := make([]uint64, 20000)
+	for i := range small {
+		small[i] = vm.Pack(next()%1024*4, next()%4 == 0)
+	}
+	out["random-small"] = small
+
+	large := make([]uint64, 20000)
+	for i := range large {
+		large[i] = vm.Pack(next()%(64*1024), next()%3 == 0)
+	}
+	out["random-large"] = large
+
+	stride := make([]uint64, 20000)
+	for i := range stride {
+		// Power-of-two-ish strides alias heavily in small set counts.
+		stride[i] = vm.Pack(uint64(i)*2048%(256*1024)+uint64(i%3)*8, i%2 == 0)
+	}
+	out["strided-conflict"] = stride
+
+	writes := make([]uint64, 8000)
+	for i := range writes {
+		writes[i] = vm.Pack(next()%8192, true)
+	}
+	out["write-only"] = writes
+
+	out["empty"] = nil
+	out["single"] = []uint64{vm.Pack(64, true)}
+	return out
+}
+
+// TestMultiSimMatchesL1 checks the one-pass L1-only simulator against a
+// per-configuration L1 replay over the whole Table 1 space.
+func TestMultiSimMatchesL1(t *testing.T) {
+	space := DesignSpace()
+	for name, tr := range msTestTraces() {
+		t.Run(name, func(t *testing.T) {
+			ms, err := NewMultiSim(space)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms.AccessBatch(tr)
+			stats := ms.Stats()
+			for i, cfg := range space {
+				l1 := MustNewL1(cfg)
+				for _, p := range tr {
+					l1.Access(p>>1, p&1 == 1)
+				}
+				want := l1.Stats()
+				got := stats[i]
+				if got.Config != cfg {
+					t.Fatalf("stats[%d].Config = %s, want %s", i, got.Config, cfg)
+				}
+				if got.Hits != want.Hits || got.Misses != want.Misses {
+					t.Errorf("%s: one-pass %d/%d hits/misses, replay %d/%d",
+						cfg, got.Hits, got.Misses, want.Hits, want.Misses)
+				}
+			}
+			if ms.Accesses() != uint64(len(tr)) {
+				t.Errorf("Accesses() = %d, want %d", ms.Accesses(), len(tr))
+			}
+		})
+	}
+}
+
+// TestMultiSimHierarchyMatchesHierarchy checks hierarchy mode against the
+// two-level replay, including the L1 writeback stream that drives the L2.
+func TestMultiSimHierarchyMatchesHierarchy(t *testing.T) {
+	space := DesignSpace()
+	for name, tr := range msTestTraces() {
+		t.Run(name, func(t *testing.T) {
+			ms, err := NewMultiSimHierarchy(space, DefaultL2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms.AccessBatch(tr)
+			stats := ms.Stats()
+			for i, cfg := range space {
+				h, err := NewHierarchy(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var l1Hits, l2Hits, offChip uint64
+				for _, p := range tr {
+					switch r := h.Access(p>>1, p&1 == 1); {
+					case r.L1Hit:
+						l1Hits++
+					case r.L2Hit:
+						l2Hits++
+					default:
+						offChip++
+					}
+				}
+				got := stats[i]
+				if got.Hits != l1Hits || got.L2Hits != l2Hits || got.OffChip != offChip {
+					t.Errorf("%s: one-pass %d/%d/%d L1/L2/off, replay %d/%d/%d",
+						cfg, got.Hits, got.L2Hits, got.OffChip, l1Hits, l2Hits, offChip)
+				}
+				if wb := h.L1.Stats().Writebacks; got.Writebacks != wb {
+					t.Errorf("%s: one-pass %d writebacks, replay %d", cfg, got.Writebacks, wb)
+				}
+				if got.Misses != l2Hits+offChip {
+					t.Errorf("%s: Misses %d != L2Hits+OffChip %d", cfg, got.Misses, l2Hits+offChip)
+				}
+			}
+		})
+	}
+}
+
+// TestMultiSimBatchSplitInvariance feeds the same trace as one batch and as
+// many unevenly sized batches; chunking must not be observable.
+func TestMultiSimBatchSplitInvariance(t *testing.T) {
+	tr := msTestTraces()["random-large"]
+	for _, mode := range []string{"l1", "hier"} {
+		build := func() *MultiSim {
+			if mode == "hier" {
+				ms, _ := NewMultiSimHierarchy(DesignSpace(), DefaultL2)
+				return ms
+			}
+			ms, _ := NewMultiSim(DesignSpace())
+			return ms
+		}
+		whole := build()
+		whole.AccessBatch(tr)
+		split := build()
+		for off, step := 0, 1; off < len(tr); step = step*3 + 1 {
+			end := off + step
+			if end > len(tr) {
+				end = len(tr)
+			}
+			split.AccessBatch(tr[off:end])
+			off = end
+		}
+		ws, ss := whole.Stats(), split.Stats()
+		for i := range ws {
+			if ws[i] != ss[i] {
+				t.Errorf("%s %s: whole %+v, split %+v", mode, ws[i].Config, ws[i], ss[i])
+			}
+		}
+	}
+}
+
+// TestMultiSimGenericDepth drives the generic (non-1/2/4) stack depth and a
+// cluster that regrows, via an 8-way member outside Table 1.
+func TestMultiSimGenericDepth(t *testing.T) {
+	space := []Config{
+		{SizeKB: 2, Ways: 2, LineBytes: 64},
+		{SizeKB: 8, Ways: 8, LineBytes: 64}, // same 16 sets: cluster depth grows 2 -> 8
+		{SizeKB: 4, Ways: 4, LineBytes: 32},
+	}
+	tr := msTestTraces()["random-large"]
+	ms, err := NewMultiSim(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.AccessBatch(tr)
+	stats := ms.Stats()
+	for i, cfg := range space {
+		l1 := MustNewL1(cfg)
+		for _, p := range tr {
+			l1.Access(p>>1, p&1 == 1)
+		}
+		want := l1.Stats()
+		if stats[i].Hits != want.Hits || stats[i].Misses != want.Misses {
+			t.Errorf("%s: one-pass %d/%d, replay %d/%d",
+				cfg, stats[i].Hits, stats[i].Misses, want.Hits, want.Misses)
+		}
+	}
+}
+
+func TestMultiSimRejectsBadSpace(t *testing.T) {
+	if _, err := NewMultiSim(nil); err == nil {
+		t.Error("NewMultiSim(nil) succeeded")
+	}
+	if _, err := NewMultiSim([]Config{{SizeKB: 3, Ways: 1, LineBytes: 64}}); err == nil {
+		t.Error("NewMultiSim with non-power-of-two size succeeded")
+	}
+	if _, err := NewMultiSimHierarchy(nil, DefaultL2); err == nil {
+		t.Error("NewMultiSimHierarchy(nil) succeeded")
+	}
+	if _, err := NewMultiSimHierarchy(DesignSpace(), L2Config{SizeKB: 5, Ways: 1, LineBytes: 64}); err == nil {
+		t.Error("NewMultiSimHierarchy with bad L2 succeeded")
+	}
+	if _, err := NewMultiSimHierarchy([]Config{{}}, DefaultL2); err == nil {
+		t.Error("NewMultiSimHierarchy with zero config succeeded")
+	}
+}
+
+// TestMultiSimAccessBatchZeroAlloc is the acceptance-criterion guard: the
+// one-pass access loop must not allocate.
+func TestMultiSimAccessBatchZeroAlloc(t *testing.T) {
+	tr := msTestTraces()["random-small"]
+	ms, err := NewMultiSim(DesignSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(5, func() { ms.AccessBatch(tr) }); allocs != 0 {
+		t.Errorf("L1-mode AccessBatch allocated %.1f times per run, want 0", allocs)
+	}
+	mh, err := NewMultiSimHierarchy(DesignSpace(), DefaultL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(5, func() { mh.AccessBatch(tr) }); allocs != 0 {
+		t.Errorf("hierarchy-mode AccessBatch allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// benchTrace is a deterministic kernel-shaped trace for the committed
+// baseline benchmark: mixed streaming, strided and random phases.
+func benchTrace(n int) []uint64 {
+	xs := uint64(12345)
+	out := make([]uint64, n)
+	for i := range out {
+		xs ^= xs << 13
+		xs ^= xs >> 7
+		xs ^= xs << 17
+		var addr uint64
+		switch i % 4 {
+		case 0, 1:
+			addr = uint64(i%3000) * 4
+		case 2:
+			addr = 16384 + (xs%2048)*8
+		default:
+			addr = 32768 + uint64((i*68)%8192)
+		}
+		out[i] = vm.Pack(addr, i%5 == 0)
+	}
+	return out
+}
+
+// BenchmarkMultiSimAllConfigs measures the one-pass engine scoring the full
+// 18-configuration Table 1 space, construction included (one simulator per
+// characterized variant in production).
+func BenchmarkMultiSimAllConfigs(b *testing.B) {
+	tr := benchTrace(24576)
+	space := DesignSpace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms, err := NewMultiSim(space)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms.AccessBatch(tr)
+		if ms.Stats()[0].Hits == 0 {
+			b.Fatal("implausible: zero hits")
+		}
+	}
+	b.ReportMetric(float64(len(tr)), "accesses")
+}
+
+// BenchmarkMultiSimHierarchyAllConfigs is the two-level mode counterpart.
+func BenchmarkMultiSimHierarchyAllConfigs(b *testing.B) {
+	tr := benchTrace(24576)
+	space := DesignSpace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms, err := NewMultiSimHierarchy(space, DefaultL2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms.AccessBatch(tr)
+	}
+	b.ReportMetric(float64(len(tr)), "accesses")
+}
+
+// BenchmarkReplayAllConfigs is the legacy cost of the same work: one L1
+// replay per configuration. Kept as the denominator for the speedup table
+// in EXPERIMENTS.md.
+func BenchmarkReplayAllConfigs(b *testing.B) {
+	tr := benchTrace(24576)
+	space := DesignSpace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range space {
+			l1 := MustNewL1(cfg)
+			for _, p := range tr {
+				l1.Access(p>>1, p&1 == 1)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(tr)), "accesses")
+}
+
+func ExampleMultiSim() {
+	ms, _ := NewMultiSim(DesignSpace())
+	tr := make([]uint64, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		tr = append(tr, vm.Pack(uint64(i%600)*16, i%4 == 0))
+	}
+	ms.AccessBatch(tr)
+	for _, s := range ms.Stats() {
+		if s.Config == BaseConfig {
+			fmt.Printf("%s: %d hits, %d misses\n", s.Config, s.Hits, s.Misses)
+		}
+	}
+	// Output:
+	// 8KB_4W_64B: 3308 hits, 788 misses
+}

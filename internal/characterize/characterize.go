@@ -1,10 +1,17 @@
 // Package characterize runs the offline characterization pipeline: each
 // benchmark variant is executed once on the VM (recording its hardware
-// counters and full memory trace), then the trace is replayed through every
+// counters and full memory trace), then the trace is scored against every
 // Table 1 cache configuration to obtain per-configuration hit/miss counts,
 // cycles and energy. This reproduces the paper's methodology of recording
 // cache accesses and miss rates with SimpleScalar for every configuration
 // and evaluating them under the Figure 4 energy model.
+//
+// Scoring runs on one of two engines (Options.Engine): the default one-pass
+// engine traverses each trace once and scores all 18 configurations
+// simultaneously (cache.MultiSim); the replay engine reruns the trace once
+// per configuration. The two produce bit-identical DBs — the replay engine
+// is kept as the reference the equivalence tests check the fast path
+// against.
 //
 // The resulting DB is the ground truth the experiments draw from: the
 // scheduler's profiling table learns *parts* of it at runtime, the ANN is
@@ -202,6 +209,43 @@ func AugmentedExtendedVariants() []Variant {
 	return augmentNames(names)
 }
 
+// Engine selects the simulation engine characterization scores traces on.
+// Both engines produce bit-identical DBs; see TestEnginesBitIdentical.
+type Engine int
+
+// Engines.
+const (
+	// EngineOnePass traverses each trace once and scores every
+	// configuration simultaneously (cache.MultiSim) — the default.
+	EngineOnePass Engine = iota
+	// EngineReplay is the reference implementation: one full trace replay
+	// per configuration (18× the traversals of EngineOnePass).
+	EngineReplay
+)
+
+// String names the engine in the CLI flag vocabulary.
+func (e Engine) String() string {
+	switch e {
+	case EngineOnePass:
+		return "onepass"
+	case EngineReplay:
+		return "replay"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// ParseEngine parses an engine name as printed by Engine.String — the
+// -engine flag vocabulary of cachetune, hmsweep and hetschedd.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "onepass":
+		return EngineOnePass, nil
+	case "replay":
+		return EngineReplay, nil
+	}
+	return 0, fmt.Errorf("characterize: unknown engine %q (want onepass|replay)", s)
+}
+
 // Options extends characterization beyond the paper's L1-only Figure 4
 // model.
 type Options struct {
@@ -209,21 +253,27 @@ type Options struct {
 	// replay through the private L2 and energies/cycles use the L2-aware
 	// model. Nil reproduces the paper.
 	L2 *energy.L2Model
-	// Workers bounds the worker pool that records traces and replays
-	// (variant × configuration) pairs. 0 means runtime.GOMAXPROCS(0); 1
-	// runs the whole build serially. Workers never changes results — the
-	// DB is assembled slot-by-slot in variant and design-space order.
+	// Workers bounds the worker pool that records traces and scores them
+	// against the design space. 0 means runtime.GOMAXPROCS(0); 1 runs the
+	// whole build serially. Workers never changes results — the DB is
+	// assembled slot-by-slot in variant and design-space order.
 	Workers int
+	// Engine selects the simulation engine; the zero value is the one-pass
+	// simulator. Engines never change results (the DB is bit-identical
+	// either way), so the disk-cache content key ignores this field.
+	Engine Engine
 }
 
-// replays counts trace replays (one per (variant, configuration) pair)
-// performed by this process. The disk-cache tests assert a warm load does
-// not move it.
+// replays counts trace traversals performed by this process: one per
+// (variant, configuration) pair under EngineReplay, one per variant under
+// EngineOnePass — which is exactly the 18×→1 reduction the one-pass engine
+// exists for, observable via hmsweep/cachetune. The disk-cache tests
+// assert a warm load does not move it.
 var replays atomic.Uint64
 
-// ReplayCount reports the number of (variant × configuration) trace
-// replays performed by this process so far. A characterization served from
-// the persistent cache performs none.
+// ReplayCount reports the number of trace traversals performed by this
+// process so far (see replays). A characterization served from the
+// persistent cache performs none.
 func ReplayCount() uint64 { return replays.Load() }
 
 // Characterize builds the database for the given variants under the energy
@@ -313,6 +363,74 @@ func submit(jobs chan func(), f func()) <-chan struct{} {
 }
 
 func characterizeOne(v Variant, em *energy.Model, opts Options, jobs chan func()) (Record, error) {
+	if opts.Engine == EngineReplay {
+		return characterizeOneReplay(v, em, opts, jobs)
+	}
+	return characterizeOneOnePass(v, em, opts, jobs)
+}
+
+// characterizeOneOnePass is the default path: record the kernel in the
+// packed representation, then score the whole design space in a single
+// trace traversal (one pool job, since the traversal costs about as much as
+// one legacy replay).
+func characterizeOneOnePass(v Variant, em *energy.Model, opts Options, jobs chan func()) (Record, error) {
+	k, err := eembc.ByName(v.Kernel)
+	if err != nil {
+		return Record{}, err
+	}
+	var (
+		ctr    vm.Counters
+		ftr    *vm.FlatTrace
+		recErr error
+	)
+	<-submit(jobs, func() { ctr, ftr, recErr = eembc.RecordFlat(k, v.Params) })
+	if recErr != nil {
+		return Record{}, recErr
+	}
+	space := cache.DesignSpace()
+	var (
+		ms    *cache.MultiSim
+		msErr error
+	)
+	if opts.L2 != nil {
+		ms, msErr = cache.NewMultiSimHierarchy(space, opts.L2.L2Params().Config)
+	} else {
+		ms, msErr = cache.NewMultiSim(space)
+	}
+	if msErr != nil {
+		return Record{}, msErr
+	}
+	<-submit(jobs, func() {
+		replays.Add(1)
+		ms.AccessBatch(ftr.Packed)
+	})
+	rec := Record{
+		Kernel:     v.Kernel,
+		Params:     v.Params,
+		BaseCycles: ctr.Cycles,
+		Accesses:   uint64(ftr.Len()),
+		Configs:    make([]ConfigResult, len(space)),
+	}
+	for j, s := range ms.Stats() {
+		if opts.L2 != nil {
+			rec.Configs[j] = resultL2(s.Config, s.Hits, s.L2Hits, s.OffChip, ctr.Cycles, opts.L2)
+		} else {
+			rec.Configs[j] = resultL1(s.Config, s.Hits, s.Misses, ctr.Cycles, em)
+		}
+	}
+	var baseHits, baseMisses uint64
+	for j, cfg := range space {
+		if cfg == cache.BaseConfig {
+			baseHits, baseMisses = rec.Configs[j].Hits, rec.Configs[j].Misses
+		}
+	}
+	rec.Features = stats.FromExecution(ctr, ftr, baseHits, baseMisses)
+	return rec, nil
+}
+
+// characterizeOneReplay is the reference path: one trace replay per
+// configuration, fanned across the pool.
+func characterizeOneReplay(v Variant, em *energy.Model, opts Options, jobs chan func()) (Record, error) {
 	k, err := eembc.ByName(v.Kernel)
 	if err != nil {
 		return Record{}, err
@@ -367,7 +485,40 @@ func characterizeOne(v Variant, em *energy.Model, opts Options, jobs chan func()
 	return rec, nil
 }
 
-// replayL1 is the paper's mode: every L1 miss pays the off-chip penalty.
+// resultL1 assembles the L1-only ConfigResult from hit/miss counts. Both
+// engines funnel through this (and resultL2), so cycles and energy are
+// computed by literally the same code and bit-identity of the counts
+// implies bit-identity of the floats.
+func resultL1(cfg cache.Config, hits, misses, baseCycles uint64, em *energy.Model) ConfigResult {
+	cycles := em.ExecCycles(baseCycles, cfg, misses)
+	return ConfigResult{
+		Config:  cfg,
+		Hits:    hits,
+		Misses:  misses,
+		OffChip: misses,
+		Cycles:  cycles,
+		Energy:  em.Total(cfg, hits, misses, cycles),
+	}
+}
+
+// resultL2 assembles the two-level ConfigResult from the L1/L2/off-chip
+// split.
+func resultL2(cfg cache.Config, l1Hits, l2Hits, offChip, baseCycles uint64, em *energy.L2Model) ConfigResult {
+	cycles := em.ExecCyclesL2(baseCycles, cfg, l2Hits, offChip)
+	b := em.TotalL2(cfg, l1Hits, l2Hits, offChip, cycles)
+	return ConfigResult{
+		Config:  cfg,
+		Hits:    l1Hits,
+		Misses:  l2Hits + offChip,
+		L2Hits:  l2Hits,
+		OffChip: offChip,
+		Cycles:  cycles,
+		Energy:  b.Breakdown,
+	}
+}
+
+// replayL1 is the reference engine's paper mode: every L1 miss pays the
+// off-chip penalty.
 func replayL1(tr *vm.Trace, cfg cache.Config, baseCycles uint64, em *energy.Model) (ConfigResult, error) {
 	replays.Add(1)
 	l1, err := cache.NewL1(cfg)
@@ -378,19 +529,12 @@ func replayL1(tr *vm.Trace, cfg cache.Config, baseCycles uint64, em *energy.Mode
 		l1.Access(a.Addr, a.Write)
 	}
 	s := l1.Stats()
-	cycles := em.ExecCycles(baseCycles, cfg, s.Misses)
-	return ConfigResult{
-		Config:  cfg,
-		Hits:    s.Hits,
-		Misses:  s.Misses,
-		OffChip: s.Misses,
-		Cycles:  cycles,
-		Energy:  em.Total(cfg, s.Hits, s.Misses, cycles),
-	}, nil
+	return resultL1(cfg, s.Hits, s.Misses, baseCycles, em), nil
 }
 
-// replayL2 is the extension mode: the trace runs through the two-level
-// hierarchy and misses split into L2 hits and true off-chip accesses.
+// replayL2 is the reference engine's extension mode: the trace runs through
+// the two-level hierarchy and misses split into L2 hits and true off-chip
+// accesses.
 func replayL2(tr *vm.Trace, cfg cache.Config, baseCycles uint64, em *energy.L2Model) (ConfigResult, error) {
 	replays.Add(1)
 	h, err := cache.NewHierarchyL2(cfg, em.L2Params().Config)
@@ -408,17 +552,7 @@ func replayL2(tr *vm.Trace, cfg cache.Config, baseCycles uint64, em *energy.L2Mo
 			offChip++
 		}
 	}
-	cycles := em.ExecCyclesL2(baseCycles, cfg, l2Hits, offChip)
-	b := em.TotalL2(cfg, l1Hits, l2Hits, offChip, cycles)
-	return ConfigResult{
-		Config:  cfg,
-		Hits:    l1Hits,
-		Misses:  l2Hits + offChip,
-		L2Hits:  l2Hits,
-		OffChip: offChip,
-		Cycles:  cycles,
-		Energy:  b.Breakdown,
-	}, nil
+	return resultL2(cfg, l1Hits, l2Hits, offChip, baseCycles, em), nil
 }
 
 // Save serializes the DB as JSON.

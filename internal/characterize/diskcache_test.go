@@ -2,7 +2,9 @@ package characterize
 
 import (
 	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"hetsched/internal/eembc"
@@ -74,6 +76,84 @@ func TestCacheKeySensitivity(t *testing.T) {
 	}
 	if changedEnergy == base {
 		t.Error("changing energy params did not change the cache key")
+	}
+}
+
+// TestCacheKeyEngineInvariance pins the engine half of the invalidation
+// contract: the engine cannot change results (TestEnginesBitIdentical), so
+// like Workers it must not move the key — and a DB written by one engine
+// must satisfy a warm load requested under the other.
+func TestCacheKeyEngineInvariance(t *testing.T) {
+	em := energy.NewDefault()
+	variants := smallVariants()
+	base, err := CacheKey(variants, em, Options{Engine: EngineOnePass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayKey, err := CacheKey(variants, em, Options{Engine: EngineReplay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayKey != base {
+		t.Fatal("Engine changed the cache key; the engines would not share warm entries")
+	}
+
+	// Cross-engine warm load: characterize under the reference engine,
+	// then ask again under the one-pass engine — it must come from disk.
+	dir := t.TempDir()
+	cold, fromCache, err := CharacterizeCached(variants, em, Options{Engine: EngineReplay}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromCache {
+		t.Fatal("first run reported a cache hit in a fresh directory")
+	}
+	warm, fromCache, err := CharacterizeCached(variants, em, Options{Engine: EngineOnePass}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromCache {
+		t.Fatal("one-pass request missed the cache the replay engine warmed")
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("cross-engine cached DB differs from the freshly built one")
+	}
+}
+
+// TestCachePathCarriesSchemaVersion pins the invalidation mechanism for
+// entries the content key cannot see: the version rides in the file name,
+// so entries written under an older schema (e.g. v1, pre-one-pass) are
+// orphaned — read as plain misses, never deserialized.
+func TestCachePathCarriesSchemaVersion(t *testing.T) {
+	dir := t.TempDir()
+	em := energy.NewDefault()
+	variants := smallVariants()
+	key, err := CacheKey(variants, em, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := cachePath(dir, key)
+	if want := "characterize-v2-"; !strings.Contains(path, want) {
+		t.Fatalf("cache path %q does not carry schema version (%q)", path, want)
+	}
+
+	// Plant a plausible entry at the previous version's path: it must be
+	// invisible to LoadCached.
+	db, err := CharacterizeWithOptions(variants, em, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldPath := filepath.Join(dir, "characterize-v1-"+key+".json")
+	f, err := os.Create(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, ok := LoadCached(dir, key); ok {
+		t.Fatal("LoadCached read an entry written under the previous schema version")
 	}
 }
 

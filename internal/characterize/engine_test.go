@@ -1,0 +1,132 @@
+package characterize
+
+import (
+	"reflect"
+	"testing"
+
+	"hetsched/internal/energy"
+)
+
+// diffDBs pinpoints the first divergence between two DBs so an equivalence
+// failure names the kernel/config/field instead of dumping two databases.
+func diffDBs(t *testing.T, onepass, replay *DB) {
+	t.Helper()
+	if len(onepass.Records) != len(replay.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(onepass.Records), len(replay.Records))
+	}
+	for i := range onepass.Records {
+		a, b := &onepass.Records[i], &replay.Records[i]
+		if a.Kernel != b.Kernel || a.Params != b.Params || a.ID != b.ID {
+			t.Errorf("record %d identity differs: %s/%+v vs %s/%+v", i, a.Kernel, a.Params, b.Kernel, b.Params)
+			continue
+		}
+		if a.BaseCycles != b.BaseCycles || a.Accesses != b.Accesses {
+			t.Errorf("%s: base cycles/accesses differ: %d/%d vs %d/%d",
+				a.Kernel, a.BaseCycles, a.Accesses, b.BaseCycles, b.Accesses)
+		}
+		if a.Features != b.Features {
+			t.Errorf("%s: features differ:\n one-pass %v\n replay   %v", a.Kernel, a.Features, b.Features)
+		}
+		for j := range a.Configs {
+			ca, cb := a.Configs[j], b.Configs[j]
+			if ca != cb {
+				t.Errorf("%s %s: one-pass %+v\n                replay %+v", a.Kernel, ca.Config, ca, cb)
+			}
+		}
+	}
+}
+
+// TestEnginesBitIdentical is the golden equivalence gate: the one-pass
+// engine must produce a DB bit-identical (hits, misses, L2 splits, cycles,
+// features, every energy float) to the per-configuration replay across
+// every EEMBC kernel and all 18 configurations.
+func TestEnginesBitIdentical(t *testing.T) {
+	em := energy.NewDefault()
+	variants := ExtendedVariants() // all 20 kernels: automotive + telecom
+	if testing.Short() {
+		variants = variants[:4]
+	}
+	onepass, err := CharacterizeWithOptions(variants, em, Options{Engine: EngineOnePass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := CharacterizeWithOptions(variants, em, Options{Engine: EngineReplay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(onepass, replay) {
+		diffDBs(t, onepass, replay)
+		t.Fatal("engines diverge (see per-field diffs above)")
+	}
+}
+
+// TestEnginesBitIdenticalL2 repeats the gate under the two-level hierarchy
+// mode, where the one-pass simulator must reproduce each configuration's
+// private L2 stream (writeback ordering included).
+func TestEnginesBitIdenticalL2(t *testing.T) {
+	em := energy.NewDefault()
+	l2, err := energy.NewL2(em, energy.DefaultL2Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := CanonicalVariants() // the 16 automotive kernels
+	if testing.Short() {
+		variants = variants[:3]
+	}
+	onepass, err := CharacterizeWithOptions(variants, em, Options{Engine: EngineOnePass, L2: l2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := CharacterizeWithOptions(variants, em, Options{Engine: EngineReplay, L2: l2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(onepass, replay) {
+		diffDBs(t, onepass, replay)
+		t.Fatal("engines diverge under L2 mode (see per-field diffs above)")
+	}
+}
+
+// TestEngineFlagVocabulary pins the -engine flag round trip.
+func TestEngineFlagVocabulary(t *testing.T) {
+	for _, e := range []Engine{EngineOnePass, EngineReplay} {
+		got, err := ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := ParseEngine("quantum"); err == nil {
+		t.Error("ParseEngine accepted an unknown engine")
+	}
+	if Engine(99).String() == "" {
+		t.Error("unknown engine must still print something")
+	}
+	if EngineOnePass != 0 {
+		t.Error("EngineOnePass must be the zero value (the default engine)")
+	}
+}
+
+// TestOnePassReplayCount asserts the observable 18×→1 reduction: one-pass
+// characterization performs exactly one traversal per variant, the replay
+// engine one per (variant, configuration).
+func TestOnePassReplayCount(t *testing.T) {
+	em := energy.NewDefault()
+	variants := CanonicalVariants()[:2]
+
+	before := ReplayCount()
+	if _, err := CharacterizeWithOptions(variants, em, Options{Engine: EngineOnePass}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ReplayCount() - before; got != uint64(len(variants)) {
+		t.Errorf("one-pass traversals = %d, want %d (one per variant)", got, len(variants))
+	}
+
+	before = ReplayCount()
+	if _, err := CharacterizeWithOptions(variants, em, Options{Engine: EngineReplay}); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(len(variants) * 18)
+	if got := ReplayCount() - before; got != want {
+		t.Errorf("replay traversals = %d, want %d (one per variant-config pair)", got, want)
+	}
+}

@@ -60,10 +60,19 @@ func FeatureNames() [NumFeatures]string {
 	}
 }
 
+// FootprintSource is the slice of the trace API the feature vector needs:
+// distinct-block working-set counts. Both *vm.Trace and *vm.FlatTrace
+// satisfy it, so the one-pass pipeline never materializes a structured
+// trace just for features.
+type FootprintSource interface {
+	Footprint(blockBytes int) int
+}
+
 // FromExecution assembles the feature vector from a profiling run: the
-// hardware counters, the recorded access trace, and the base-configuration
-// cache counters (hits/misses observed while profiling on Core 4).
-func FromExecution(ctr vm.Counters, tr *vm.Trace, baseHits, baseMisses uint64) Features {
+// hardware counters, the recorded access trace (nil skips the footprint
+// features), and the base-configuration cache counters (hits/misses
+// observed while profiling on Core 4).
+func FromExecution(ctr vm.Counters, tr FootprintSource, baseHits, baseMisses uint64) Features {
 	var f Features
 	f[FInstructions] = float64(ctr.Instructions)
 	f[FCycles] = float64(ctr.Cycles)

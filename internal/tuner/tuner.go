@@ -67,6 +67,29 @@ func MustNew(sizeKB int) *Tuner {
 // SizeKB returns the core cache size the tuner explores.
 func (t *Tuner) SizeKB() int { return t.sizeKB }
 
+// Walk drives the heuristic to completion against an energy source — one
+// Next/Observe round per simulated execution — and reports the first
+// error. It is the loop every consumer of a characterization record was
+// hand-rolling (CLI, facade, daemon); with the one-pass characterization
+// engine, every energy a walk consumes came out of a single trace
+// traversal, so a full walk costs no additional simulation.
+func Walk(t *Tuner, energyOf func(cache.Config) (float64, error)) error {
+	for !t.Done() {
+		cfg, ok := t.Next()
+		if !ok {
+			break
+		}
+		e, err := energyOf(cfg)
+		if err != nil {
+			return err
+		}
+		if err := t.Observe(cfg, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Done reports whether exploration has finished.
 func (t *Tuner) Done() bool { return t.ph == phaseDone }
 

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"fmt"
 	"testing"
 
 	"hetsched/internal/cache"
@@ -237,3 +238,57 @@ func BenchmarkTunerFullExploration(b *testing.B) {
 		}
 	}
 }
+
+// TestWalkMatchesManualDrive: Walk must visit exactly the configurations a
+// hand-rolled Next/Observe loop visits and land on the same best.
+func TestWalkMatchesManualDrive(t *testing.T) {
+	energyOf := func(cfg cache.Config) float64 {
+		return float64(cfg.Ways*100) + float64(cfg.LineBytes) // 1-way/16B optimal
+	}
+	manual := MustNew(8)
+	drive(t, manual, energyOf)
+	walked := MustNew(8)
+	if err := Walk(walked, func(cfg cache.Config) (float64, error) {
+		return energyOf(cfg), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !walked.Done() {
+		t.Fatal("Walk returned before exploration finished")
+	}
+	me, we := manual.Explored(), walked.Explored()
+	if len(me) != len(we) {
+		t.Fatalf("Walk explored %d configs, manual drive %d", len(we), len(me))
+	}
+	for i := range me {
+		if me[i] != we[i] {
+			t.Errorf("step %d: Walk explored %s, manual drive %s", i, we[i], me[i])
+		}
+	}
+	mb, _, _ := manual.Best()
+	wb, _, _ := walked.Best()
+	if mb != wb {
+		t.Errorf("Walk best %s, manual best %s", wb, mb)
+	}
+}
+
+// TestWalkPropagatesEnergyError: a failing energy source stops the walk.
+func TestWalkPropagatesEnergyError(t *testing.T) {
+	tn := MustNew(4)
+	calls := 0
+	err := Walk(tn, func(cache.Config) (float64, error) {
+		calls++
+		if calls == 2 {
+			return 0, errWalkTest
+		}
+		return 1, nil
+	})
+	if err != errWalkTest {
+		t.Fatalf("Walk error = %v, want errWalkTest", err)
+	}
+	if calls != 2 {
+		t.Fatalf("energy source called %d times, want 2", calls)
+	}
+}
+
+var errWalkTest = fmt.Errorf("synthetic energy failure")

@@ -1,0 +1,116 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomTrace(n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{}
+	for i := 0; i < n; i++ {
+		tr.Access(uint64(rng.Intn(1<<20)), rng.Intn(3) == 0)
+	}
+	return tr
+}
+
+func TestFlatTraceRoundTrip(t *testing.T) {
+	tr := randomTrace(4096, 7)
+	ft := tr.Flatten()
+	if ft.Len() != tr.Len() {
+		t.Fatalf("Len: flat %d, structured %d", ft.Len(), tr.Len())
+	}
+	back := ft.Unflatten()
+	for i, a := range tr.Accesses {
+		if back.Accesses[i] != a {
+			t.Fatalf("access %d: round trip %+v, want %+v", i, back.Accesses[i], a)
+		}
+	}
+}
+
+func TestFlatTraceStatsMatchTrace(t *testing.T) {
+	tr := randomTrace(4096, 11)
+	ft := tr.Flatten()
+	if ft.Reads() != tr.Reads() || ft.Writes() != tr.Writes() {
+		t.Fatalf("reads/writes: flat %d/%d, structured %d/%d",
+			ft.Reads(), ft.Writes(), tr.Reads(), tr.Writes())
+	}
+	for _, block := range []int{16, 64, 4096} {
+		if got, want := ft.Footprint(block), tr.Footprint(block); got != want {
+			t.Fatalf("Footprint(%d): flat %d, structured %d", block, got, want)
+		}
+	}
+	if ft.Footprint(0) != 0 {
+		t.Fatalf("Footprint(0) = %d, want 0", ft.Footprint(0))
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	cases := []struct {
+		addr  uint64
+		write bool
+	}{{0, false}, {0, true}, {1, false}, {0xdeadbeef, true}, {1 << 62, false}}
+	for _, c := range cases {
+		addr, write := Unpack(Pack(c.addr, c.write))
+		if addr != c.addr || write != c.write {
+			t.Fatalf("Pack/Unpack(%#x,%v) = (%#x,%v)", c.addr, c.write, addr, write)
+		}
+	}
+}
+
+// countingBatch checks ReplayBatch hands over the whole packed slice at once.
+type countingBatch struct {
+	calls int
+	total int
+}
+
+func (c *countingBatch) AccessBatch(packed []uint64) {
+	c.calls++
+	c.total += len(packed)
+}
+
+func TestReplayBatchSingleCall(t *testing.T) {
+	ft := randomTrace(1000, 3).Flatten()
+	var sink countingBatch
+	ft.ReplayBatch(&sink)
+	if sink.calls != 1 || sink.total != 1000 {
+		t.Fatalf("ReplayBatch: %d calls over %d accesses, want 1 call over 1000", sink.calls, sink.total)
+	}
+}
+
+// TestFlatReplayMatchesTraceReplay feeds both representations into recording
+// sinks and compares the streams.
+func TestFlatReplayMatchesTraceReplay(t *testing.T) {
+	tr := randomTrace(2048, 5)
+	ft := tr.Flatten()
+	var a, b Trace
+	tr.Replay(&a)
+	ft.Replay(&b)
+	if len(a.Accesses) != len(b.Accesses) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a.Accesses), len(b.Accesses))
+	}
+	for i := range a.Accesses {
+		if a.Accesses[i] != b.Accesses[i] {
+			t.Fatalf("access %d differs: %+v vs %+v", i, a.Accesses[i], b.Accesses[i])
+		}
+	}
+}
+
+func TestNewFlatTracePreallocates(t *testing.T) {
+	ft := NewFlatTrace(1000)
+	if cap(ft.Packed) != 1000 || len(ft.Packed) != 0 {
+		t.Fatalf("NewFlatTrace(1000): len %d cap %d", len(ft.Packed), cap(ft.Packed))
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		ft.Packed = ft.Packed[:0]
+		for i := 0; i < 1000; i++ {
+			ft.Access(uint64(i)*4, i%3 == 0)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("recording into a presized FlatTrace allocated %.1f times per run, want 0", allocs)
+	}
+	if NewFlatTrace(-1) == nil {
+		t.Fatal("NewFlatTrace(-1) returned nil")
+	}
+}
