@@ -2,19 +2,28 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race bench bench-baseline cover fuzz reproduce serve loadtest sweep clean
+.PHONY: all check build vet lint test test-short test-race bench bench-baseline cover fuzz reproduce serve loadtest sweep clean
 
 all: check
 
-# The default gate: compile, vet, full test suite, and the concurrency
-# subsystem under the race detector.
-check: build vet test test-race
+# The default gate: compile, vet + staticcheck, full test suite, and the
+# concurrency subsystem under the race detector.
+check: build lint test test-race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet always; staticcheck when installed (CI installs
+# it, local builds are not forced to).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -96,13 +96,9 @@ func run() error {
 	list := flag.Bool("list", false, "list available kernels and exit")
 	space := flag.Bool("space", false, "print the Table 1 design space and exit")
 	fromTrace := flag.String("fromtrace", "", "sweep a saved trace file (see tracegen) instead of a kernel")
-	engineFlag := flag.String("engine", "onepass", "cache simulation engine: onepass (score all configs in one trace traversal) or replay (reference per-config path)")
+	var engine characterize.Engine
+	flag.TextVar(&engine, "engine", characterize.EngineOnePass, "cache simulation engine: onepass (score all configs in one trace traversal) or replay (reference per-config path)")
 	flag.Parse()
-
-	engine, err := characterize.ParseEngine(*engineFlag)
-	if err != nil {
-		return err
-	}
 
 	if *space {
 		fmt.Print(hetsched.FormatDesignSpace())

@@ -49,7 +49,8 @@ func run() error {
 	arrivals := flag.Int("arrivals", 200, "workload length per request")
 	util := flag.Float64("util", 0.9, "offered load per request")
 	system := flag.String("system", "proposed", "system to schedule with")
-	predictor := flag.String("predictor", "oracle", "in-process predictor (oracle avoids ANN training)")
+	kind := hetsched.PredictOracle
+	flag.TextVar(&kind, "predictor", hetsched.PredictOracle, "in-process predictor (oracle avoids ANN training)")
 	workers := flag.Int("workers", 4, "in-process worker pool size")
 	queue := flag.Int("queue", 32, "in-process queue depth (small enough to exercise 429s)")
 	flag.Parse()
@@ -60,10 +61,6 @@ func run() error {
 
 	base := *addr
 	if base == "" {
-		kind, err := hetsched.ParsePredictorKind(*predictor)
-		if err != nil {
-			return err
-		}
 		fmt.Fprintf(os.Stderr, "starting in-process daemon (%s predictor, %d workers, queue %d)...\n",
 			kind, *workers, *queue)
 		sys, err := hetsched.New(hetsched.Options{Predictor: kind})

@@ -22,6 +22,11 @@
 //	hetschedd [-addr :8080] [-debug-addr :6060] [-workers 4] [-queue 64]
 //	          [-timeout 2m] [-max-arrivals 20000] [-predictor ann] [-seed 42]
 //	          [-j N] [-cache-dir auto] [-engine onepass]
+//	          [-faults mttf=5e6,recover=1e5,seed=1]
+//
+// -faults sets the daemon-wide default fault-injection plan: schedule
+// requests inherit it unless they carry their own "faults" object, and
+// /metrics reports the cumulative fault counters.
 //
 // Cold start characterizes the suite across -j workers; with -cache-dir
 // auto (the default) the characterization persists under the user cache
@@ -59,31 +64,33 @@ func run() error {
 	queue := flag.Int("queue", 64, "bounded job-queue depth (full queue answers 429)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request service timeout, queue wait included")
 	maxArrivals := flag.Int("max-arrivals", 20000, "largest workload one schedule request may ask for")
-	predictor := flag.String("predictor", "ann", "best-size predictor: ann|oracle|linear|knn|stump|tree")
+	var kind hetsched.PredictorKind
+	flag.TextVar(&kind, "predictor", hetsched.PredictANN, "best-size predictor: ann|oracle|linear|knn|stump|tree")
 	seed := flag.Int64("seed", 42, "predictor training seed")
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel workers for characterization and training")
 	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")
-	engineFlag := flag.String("engine", "onepass", "cache simulation engine for cold-start characterization: onepass|replay")
+	var engine hetsched.Engine
+	flag.TextVar(&engine, "engine", hetsched.EngineOnePass, "cache simulation engine for cold-start characterization: onepass|replay")
+	faultsFlag := flag.String("faults", "off", "default fault-injection plan for schedule requests: off, or mttf=..,recover=..,permanent=..,stuck=..,noise=..,seed=..")
 	flag.Parse()
 
-	kind, err := hetsched.ParsePredictorKind(*predictor)
-	if err != nil {
-		return err
-	}
 	dir, err := hetsched.ResolveCacheDir(*cacheDir)
 	if err != nil {
 		return err
 	}
-	engine, err := hetsched.ParseEngine(*engineFlag)
+	faults, err := hetsched.ParseFaultPlan(*faultsFlag)
 	if err != nil {
 		return err
 	}
 
 	fmt.Fprintf(os.Stderr, "hetschedd: characterizing suite (%s engine) and training %s predictor...\n", engine, kind)
 	start := time.Now()
-	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Seed: *seed, Workers: *jobs, CacheDir: dir, Engine: engine})
+	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Seed: *seed, Workers: *jobs, CacheDir: dir, Engine: engine, Faults: faults})
 	if err != nil {
 		return err
+	}
+	if faults.Enabled() {
+		fmt.Fprintf(os.Stderr, "hetschedd: default fault plan: %s\n", faults)
 	}
 	fmt.Fprintf(os.Stderr, "hetschedd: setup done in %s (characterization cache: eval=%v train=%v)\n",
 		time.Since(start).Round(time.Millisecond), sys.Setup.EvalFromCache, sys.Setup.TrainFromCache)

@@ -6,7 +6,12 @@
 // Usage:
 //
 //	hmsim [-arrivals 5000] [-util 0.9] [-seed 1] [-predictor ann|oracle|linear|knn|stump]
-//	      [-j N] [-cache-dir auto]
+//	      [-j N] [-cache-dir auto] [-faults mttf=5e6,recover=1e5,noise=0.05,seed=1]
+//
+// -faults injects a deterministic fault plan (transient/permanent core
+// crashes, stuck reconfigurations, profiling-counter noise) into every
+// simulated system; "off" (the default) is bit-identical to a build without
+// the fault subsystem.
 //
 // Every error path exits non-zero so the command can be scripted (see
 // cmd/hetschedbench and the Makefile targets).
@@ -34,24 +39,26 @@ func run() error {
 	arrivals := flag.Int("arrivals", 5000, "number of benchmark arrivals (paper: 5000)")
 	util := flag.Float64("util", 0.90, "offered load on the quad-core machine")
 	seed := flag.Int64("seed", 1, "workload seed")
-	predictor := flag.String("predictor", "ann", "best-core predictor: ann|oracle|linear|knn|stump|tree")
+	var kind hetsched.PredictorKind
+	flag.TextVar(&kind, "predictor", hetsched.PredictANN, "best-core predictor: ann|oracle|linear|knn|stump|tree")
 	perApp := flag.Bool("perapp", false, "also print the proposed system's per-benchmark energy table")
 	timeline := flag.Int("timeline", 0, "also print the first N proposed-system schedule events")
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel workers for characterization and training")
 	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")
+	faultsFlag := flag.String("faults", "off", "fault-injection plan: off, or mttf=..,recover=..,permanent=..,stuck=..,noise=..,seed=..")
 	flag.Parse()
 
-	kind, err := hetsched.ParsePredictorKind(*predictor)
+	dir, err := hetsched.ResolveCacheDir(*cacheDir)
 	if err != nil {
 		return err
 	}
-	dir, err := hetsched.ResolveCacheDir(*cacheDir)
+	faults, err := hetsched.ParseFaultPlan(*faultsFlag)
 	if err != nil {
 		return err
 	}
 
 	fmt.Fprintf(os.Stderr, "characterizing suite and training %s predictor...\n", kind)
-	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Workers: *jobs, CacheDir: dir})
+	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Workers: *jobs, CacheDir: dir, Faults: faults})
 	if err != nil {
 		return err
 	}
@@ -64,6 +71,9 @@ func run() error {
 	cfg.Utilization = *util
 	cfg.Seed = *seed
 
+	if faults.Enabled() {
+		fmt.Fprintf(os.Stderr, "injecting faults: %s\n", faults)
+	}
 	fmt.Fprintf(os.Stderr, "simulating 4 systems x %d arrivals at utilization %.2f...\n",
 		cfg.Arrivals, cfg.Utilization)
 	res, err := sys.Experiment(cfg)

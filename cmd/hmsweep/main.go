@@ -6,7 +6,13 @@
 //
 //	hmsweep [-arrivals 1500] [-utils 0.5,0.75,0.9] [-models uniform,poisson,bursty]
 //	        [-systems base,optimal,sat,energy-centric,proposed]
-//	        [-predictor ann] [-engine onepass] [-seed 1] [-j N] [-cache-dir auto] > sweep.csv
+//	        [-predictor ann] [-engine onepass] [-seed 1] [-j N] [-cache-dir auto]
+//	        [-faults mttf=5e6,recover=1e5,seed=1] > sweep.csv
+//
+// -faults injects one deterministic fault plan into every grid cell (the
+// data behind degradation-versus-load plots); faulted sweeps append fault
+// columns to the CSV, while the default "off" emits today's CSV
+// byte-for-byte.
 //
 // Grid cells simulate in parallel across -j workers (default: all CPUs);
 // the CSV is point-for-point identical for any worker count. With
@@ -43,11 +49,14 @@ func run() error {
 	utilsFlag := flag.String("utils", "0.5,0.75,0.9", "comma-separated utilizations")
 	modelsFlag := flag.String("models", "uniform", "comma-separated arrival models (uniform|poisson|bursty)")
 	systemsFlag := flag.String("systems", "base,optimal,energy-centric,proposed", "comma-separated systems")
-	predictor := flag.String("predictor", "ann", "predictor: ann|oracle|linear|knn|stump|tree")
-	engineFlag := flag.String("engine", "onepass", "cache simulation engine: onepass|replay")
+	var kind hetsched.PredictorKind
+	flag.TextVar(&kind, "predictor", hetsched.PredictANN, "predictor: ann|oracle|linear|knn|stump|tree")
+	var engine hetsched.Engine
+	flag.TextVar(&engine, "engine", hetsched.EngineOnePass, "cache simulation engine: onepass|replay")
 	seed := flag.Int64("seed", 1, "workload seed")
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel workers for setup and grid simulation")
 	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")
+	faultsFlag := flag.String("faults", "off", "fault-injection plan for every grid cell: off, or mttf=..,recover=..,permanent=..,stuck=..,noise=..,seed=..")
 	flag.Parse()
 
 	utils, err := parseFloats(*utilsFlag)
@@ -58,15 +67,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	kind, err := hetsched.ParsePredictorKind(*predictor)
-	if err != nil {
-		return err
-	}
 	dir, err := hetsched.ResolveCacheDir(*cacheDir)
 	if err != nil {
 		return err
 	}
-	engine, err := hetsched.ParseEngine(*engineFlag)
+	faults, err := hetsched.ParseFaultPlan(*faultsFlag)
 	if err != nil {
 		return err
 	}
@@ -85,14 +90,19 @@ func run() error {
 			engine, traversals, variants, float64(traversals)/float64(variants))
 	}
 
-	points, err := sweep.Run(sys.Eval, sys.Energy, sys.Pred, sweep.Config{
+	if faults.Enabled() {
+		fmt.Fprintf(os.Stderr, "injecting faults into every grid cell: %s\n", faults)
+	}
+	swCfg := sweep.Config{
 		Arrivals:     *arrivals,
 		Utilizations: utils,
 		Models:       models,
 		Systems:      strings.Split(*systemsFlag, ","),
 		Seed:         *seed,
 		Workers:      *jobs,
-	})
+	}
+	swCfg.Sim.Faults = faults
+	points, err := sweep.Run(sys.Eval, sys.Energy, sys.Pred, swCfg)
 	// A grid-point failure must not discard finished work: flush every
 	// completed row before reporting the error.
 	if werr := sweep.WriteCSV(os.Stdout, points); werr != nil {

@@ -27,6 +27,7 @@
 package hetsched
 
 import (
+	"context"
 	"fmt"
 
 	"hetsched/internal/ann"
@@ -35,6 +36,7 @@ import (
 	"hetsched/internal/core"
 	"hetsched/internal/eembc"
 	"hetsched/internal/energy"
+	"hetsched/internal/fault"
 	"hetsched/internal/mlbase"
 	"hetsched/internal/tuner"
 )
@@ -66,7 +68,17 @@ type (
 	Kernel = eembc.Kernel
 	// KernelParams scales a kernel.
 	KernelParams = eembc.Params
+	// FaultPlan is a seeded fault-injection schedule (resilience
+	// extension); the zero value is disabled and provably changes nothing.
+	FaultPlan = fault.Plan
+	// FaultEvent is one applied fault in a run's Metrics.FaultTimeline.
+	FaultEvent = fault.Event
 )
+
+// ParseFaultPlan parses the CLIs' shared -faults flag vocabulary, e.g.
+// "mttf=5e6,recover=1e5,permanent=5e7,stuck=2e7,noise=0.05,seed=1" — or
+// "off"/"" for the disabled zero plan.
+func ParseFaultPlan(s string) (FaultPlan, error) { return fault.ParseSpec(s) }
 
 // DefaultExperimentConfig mirrors the paper's setup: 5000 uniformly
 // distributed arrivals on the Figure 1 quad-core machine.
@@ -172,6 +184,32 @@ func (k PredictorKind) String() string {
 	return fmt.Sprintf("predictor(%d)", int(k))
 }
 
+// Set implements flag.Value, so CLIs bind -predictor straight to a
+// PredictorKind instead of hand-parsing strings.
+func (k *PredictorKind) Set(s string) error {
+	parsed, err := ParsePredictorKind(s)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler; an out-of-range kind is an
+// error rather than a silently serialized "predictor(N)".
+func (k PredictorKind) MarshalText() ([]byte, error) {
+	if k < PredictANN || k > PredictTree {
+		return nil, fmt.Errorf("hetsched: unknown predictor kind %d", int(k))
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler (flag.TextVar, JSON
+// object keys, config files).
+func (k *PredictorKind) UnmarshalText(text []byte) error {
+	return k.Set(string(text))
+}
+
 // Options configures New.
 type Options struct {
 	// Predictor selects the best-core predictor (default PredictANN).
@@ -210,6 +248,11 @@ type Options struct {
 	// entirely. Empty disables; characterize.DefaultCacheDir() is the
 	// conventional location.
 	CacheDir string
+	// Faults is the system's default fault-injection plan: every
+	// Experiment/RunSystem call whose own SimConfig carries a disabled
+	// plan inherits it. The zero value (disabled) leaves all outputs
+	// bit-identical to a System without the fault subsystem in the path.
+	Faults FaultPlan
 }
 
 // SetupInfo reports how New obtained its characterization DBs.
@@ -246,12 +289,16 @@ type System struct {
 	// Setup reports whether the DBs came from the persistent cache.
 	Setup SetupInfo
 
-	kind PredictorKind
+	kind   PredictorKind
+	faults FaultPlan
 }
 
 // New characterizes the benchmark suite (cached per process) and trains the
 // requested predictor.
 func New(opts Options) (*System, error) {
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	em := energy.NewDefault()
 	if opts.EnergyParams != nil {
 		var err error
@@ -308,7 +355,7 @@ func New(opts Options) (*System, error) {
 		return nil, err
 	}
 
-	sys := &System{Eval: eval, Train: train, Energy: em, Setup: setup, kind: opts.Predictor}
+	sys := &System{Eval: eval, Train: train, Energy: em, Setup: setup, kind: opts.Predictor, faults: opts.Faults}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 42
@@ -393,15 +440,32 @@ func ResolveCacheDir(flagVal string) (string, error) {
 // Experiment runs the paper's four-system comparison (Section V) on one
 // workload: base, optimal, energy-centric and proposed.
 func (s *System) Experiment(cfg ExperimentConfig) (*ExperimentResult, error) {
-	return core.RunExperiment(s.Eval, s.Energy, s.Pred, cfg)
+	return s.ExperimentContext(context.Background(), cfg)
+}
+
+// ExperimentContext is Experiment honoring cancellation at every
+// job-dispatch boundary: a canceled context abandons the in-flight
+// simulation instead of running it to completion.
+func (s *System) ExperimentContext(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult, error) {
+	if !cfg.Sim.Faults.Enabled() && s.faults.Enabled() {
+		cfg.Sim.Faults = s.faults
+	}
+	return core.RunExperimentContext(ctx, s.Eval, s.Energy, s.Pred, cfg)
 }
 
 // RunSystem simulates a single named system over an explicit workload.
 // Valid names: "base", "optimal", "energy-centric", "proposed",
 // "proposed-noEadv".
 func (s *System) RunSystem(name string, jobs []Job, sim SimConfig) (Metrics, error) {
+	return s.RunSystemContext(context.Background(), name, jobs, sim)
+}
+
+// RunSystemContext is RunSystem honoring cancellation at every
+// job-dispatch boundary.
+func (s *System) RunSystemContext(ctx context.Context, name string, jobs []Job, sim SimConfig) (Metrics, error) {
 	// Fill machine defaults field-wise so caller-set scheduling flags
-	// (PriorityScheduling, Preemptive, SingleProfilingCore) survive.
+	// (PriorityScheduling, Preemptive, SingleProfilingCore, Faults)
+	// survive.
 	def := core.DefaultSimConfig()
 	if len(sim.CoreSizesKB) == 0 {
 		sim.CoreSizesKB = def.CoreSizesKB
@@ -411,6 +475,9 @@ func (s *System) RunSystem(name string, jobs []Job, sim SimConfig) (Metrics, err
 	}
 	if sim.ProfilingCycles == 0 {
 		sim.ProfilingCycles = def.ProfilingCycles
+	}
+	if !sim.Faults.Enabled() && s.faults.Enabled() {
+		sim.Faults = s.faults
 	}
 	pol, needsPred, err := core.NewPolicy(name)
 	if err != nil {
@@ -425,7 +492,7 @@ func (s *System) RunSystem(name string, jobs []Job, sim SimConfig) (Metrics, err
 	if err != nil {
 		return Metrics{}, err
 	}
-	return simulator.Run(jobs)
+	return simulator.RunContext(ctx, jobs)
 }
 
 // Workload generates the paper-style uniform arrival stream over the whole
@@ -492,6 +559,12 @@ func (s *System) AssignDeadlines(jobs []Job, slack float64) error {
 // core of the given cache size, returning the configurations explored (in
 // order) and the heuristic's final best configuration.
 func (s *System) TuneKernel(kernel string, sizeKB int) (explored []CacheConfig, best CacheConfig, err error) {
+	return s.TuneKernelContext(context.Background(), kernel, sizeKB)
+}
+
+// TuneKernelContext is TuneKernel honoring cancellation between tuning
+// steps.
+func (s *System) TuneKernelContext(ctx context.Context, kernel string, sizeKB int) (explored []CacheConfig, best CacheConfig, err error) {
 	rec, err := s.Eval.Find(kernel, eembc.DefaultParams())
 	if err != nil {
 		return nil, CacheConfig{}, err
@@ -501,6 +574,9 @@ func (s *System) TuneKernel(kernel string, sizeKB int) (explored []CacheConfig, 
 		return nil, CacheConfig{}, err
 	}
 	err = tuner.Walk(tn, func(cfg cache.Config) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		cr, err := rec.Result(cfg)
 		if err != nil {
 			return 0, err

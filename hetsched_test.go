@@ -501,3 +501,66 @@ func TestResolveCacheDir(t *testing.T) {
 		t.Errorf("explicit path mangled: %q, %v", dir, err)
 	}
 }
+
+// TestFlagTextRoundTrip covers the flag.Value / encoding.TextMarshaler
+// surface that cmd/* bind via flag.TextVar: every valid vocabulary word
+// round-trips, and out-of-range values refuse to marshal.
+func TestFlagTextRoundTrip(t *testing.T) {
+	for _, want := range []PredictorKind{PredictANN, PredictOracle, PredictLinear, PredictKNN, PredictStump, PredictTree} {
+		text, err := want.MarshalText()
+		if err != nil {
+			t.Fatalf("%v.MarshalText: %v", want, err)
+		}
+		var got PredictorKind
+		if err := got.UnmarshalText(text); err != nil || got != want {
+			t.Errorf("predictor round trip %q -> %v, err %v", text, got, err)
+		}
+		var viaSet PredictorKind
+		if err := viaSet.Set(string(text)); err != nil || viaSet != want {
+			t.Errorf("predictor Set(%q) -> %v, err %v", text, viaSet, err)
+		}
+	}
+	var k PredictorKind
+	if err := k.Set("nosuch"); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+	if _, err := PredictorKind(99).MarshalText(); err == nil {
+		t.Error("out-of-range predictor marshaled")
+	}
+
+	for _, want := range []Engine{EngineOnePass, EngineReplay} {
+		text, err := want.MarshalText()
+		if err != nil {
+			t.Fatalf("%v.MarshalText: %v", want, err)
+		}
+		var got Engine
+		if err := got.UnmarshalText(text); err != nil || got != want {
+			t.Errorf("engine round trip %q -> %v, err %v", text, got, err)
+		}
+	}
+	var e Engine
+	if err := e.Set("nosuch"); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if _, err := Engine(99).MarshalText(); err == nil {
+		t.Error("out-of-range engine marshaled")
+	}
+}
+
+// TestParseFaultPlanFacade spot-checks the facade's fault-plan parser and
+// the Options-level default inheritance.
+func TestParseFaultPlanFacade(t *testing.T) {
+	if p, err := ParseFaultPlan("off"); err != nil || p.Enabled() {
+		t.Errorf("off -> %+v, err %v", p, err)
+	}
+	p, err := ParseFaultPlan("mttf=5e6,recover=1e5,seed=9")
+	if err != nil || !p.Enabled() || p.TransientMTTF != 5_000_000 {
+		t.Errorf("parsed plan %+v, err %v", p, err)
+	}
+	if _, err := ParseFaultPlan("noise=2"); err == nil {
+		t.Error("out-of-range noise accepted")
+	}
+	if _, err := New(Options{Predictor: PredictOracle, Faults: FaultPlan{CounterNoise: 7}}); err == nil {
+		t.Error("New accepted an invalid fault plan")
+	}
+}

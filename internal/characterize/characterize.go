@@ -246,6 +246,31 @@ func ParseEngine(s string) (Engine, error) {
 	return 0, fmt.Errorf("characterize: unknown engine %q (want onepass|replay)", s)
 }
 
+// Set implements flag.Value, so CLIs bind -engine straight to an Engine.
+func (e *Engine) Set(s string) error {
+	parsed, err := ParseEngine(s)
+	if err != nil {
+		return err
+	}
+	*e = parsed
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler; an out-of-range engine is
+// an error rather than a silently serialized "engine(N)".
+func (e Engine) MarshalText() ([]byte, error) {
+	if e != EngineOnePass && e != EngineReplay {
+		return nil, fmt.Errorf("characterize: unknown engine %d", int(e))
+	}
+	return []byte(e.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler (flag.TextVar, JSON,
+// config files).
+func (e *Engine) UnmarshalText(text []byte) error {
+	return e.Set(string(text))
+}
+
 // Options extends characterization beyond the paper's L1-only Figure 4
 // model.
 type Options struct {

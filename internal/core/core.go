@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"hetsched/internal/cache"
 	"hetsched/internal/characterize"
 	"hetsched/internal/energy"
+	"hetsched/internal/fault"
 	"hetsched/internal/profile"
 	"hetsched/internal/stats"
 )
@@ -60,6 +62,10 @@ type SimConfig struct {
 	// energy by 1/f (leakage integrates over wall time). Per-access
 	// dynamic energy is unchanged.
 	CoreFreqs []float64
+	// Faults is the seeded fault-injection plan (resilience extension).
+	// The zero value is disabled and leaves every output bit-identical to
+	// a fault-free simulation; see internal/fault.
+	Faults fault.Plan
 }
 
 // DefaultSimConfig returns the paper's quad-core machine.
@@ -92,10 +98,28 @@ type SimCore struct {
 	chargedDyn    float64
 	chargedStatic float64
 	chargedCore   float64
+
+	// Resilience state, driven by SimConfig.Faults (see resilience.go).
+	failed    bool   // transient outage in progress
+	dead      bool   // permanently lost
+	stuck     bool   // reconfiguration hardware jammed at Config
+	downSince uint64 // when the current transient outage began
+	deadAt    uint64 // when the core was lost for good
 }
 
-// Idle reports whether the core is free at time now.
-func (c *SimCore) Idle(now uint64) bool { return c.job == nil }
+// Idle reports whether the core is free at time now. A crashed or
+// permanently dead core is never idle — it is unavailable.
+func (c *SimCore) Idle(now uint64) bool { return c.job == nil && !c.failed && !c.dead }
+
+// Failed reports an in-progress transient outage.
+func (c *SimCore) Failed() bool { return c.failed }
+
+// Dead reports permanent loss.
+func (c *SimCore) Dead() bool { return c.dead }
+
+// Stuck reports jammed reconfiguration hardware: the core still executes,
+// but only in its currently loaded configuration.
+func (c *SimCore) Stuck() bool { return c.stuck }
 
 // BusyUntil returns the completion time of the current execution.
 func (c *SimCore) BusyUntil() uint64 { return c.busyUntil }
@@ -171,6 +195,21 @@ type Metrics struct {
 	DeadlinesTotal int // completed jobs that carried a deadline
 	DeadlineMisses int // of those, how many finished late
 
+	// Resilience metrics, populated only when SimConfig.Faults is enabled
+	// (FaultInjected). FaultEnergyNJ is the wasted energy of executions
+	// killed by a crash — already contained in the Dynamic/Static/Core
+	// components, reported separately as the fault-attributed overhead.
+	FaultInjected      bool
+	FaultEvents        int           // fault events applied during the run
+	JobsRedispatched   int           // executions killed and re-queued
+	CoreDowntimeCycles uint64        // summed core-unavailability, dead tails included
+	Recoveries         int           // transient outages that ended in-run
+	MTTRCycles         uint64        // mean cycles to repair over Recoveries
+	FaultEnergyNJ      float64       // energy wasted by killed executions
+	StuckReconfigs     int           // placements overridden by jammed hardware
+	FallbackPlacements int           // predictions re-mapped by the fallback chain
+	FaultTimeline      []fault.Event // the applied events, in order
+
 	// ExploredPerApp counts distinct configurations executed per app.
 	ExploredPerApp map[int]int
 	// PerAppEnergy accumulates each application's execution energy
@@ -194,6 +233,9 @@ type PlacementEvent struct {
 	Profiling  bool
 	// Preempted marks intervals cut short by a higher-priority arrival.
 	Preempted bool
+	// Failed marks intervals cut short by a core crash; the job was
+	// re-queued with its progress lost.
+	Failed bool
 }
 
 // TotalEnergy sums every component.
@@ -239,6 +281,10 @@ type Simulator struct {
 	now     uint64
 	queue   []*Job
 	metrics Metrics
+
+	// Fault injection (nil unless Cfg.Faults is enabled).
+	inj           *fault.Injector
+	recoveredDown uint64 // downtime of completed outages, for MTTR
 }
 
 // NewSimulator validates and assembles a simulator.
@@ -262,6 +308,9 @@ func NewSimulator(db *characterize.DB, em *energy.Model, pol Policy, pred Predic
 		Pred:   pred,
 		Table:  profile.NewTable(),
 		Cfg:    cfg,
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
 	}
 	if len(cfg.CoreFreqs) != 0 && len(cfg.CoreFreqs) != len(cfg.CoreSizesKB) {
 		return nil, fmt.Errorf("core: %d frequencies for %d cores", len(cfg.CoreFreqs), len(cfg.CoreSizesKB))
@@ -291,6 +340,10 @@ func NewSimulator(db *characterize.DB, em *energy.Model, pol Policy, pred Predic
 	s.metrics.ExploredPerApp = map[int]int{}
 	s.metrics.PerAppEnergy = map[int]float64{}
 	s.metrics.PerAppRuns = map[int]int{}
+	if cfg.Faults.Enabled() {
+		s.inj = cfg.Faults.NewInjector(len(s.cores))
+		s.metrics.FaultInjected = true
+	}
 	return s, nil
 }
 
@@ -324,11 +377,21 @@ func (s *Simulator) CoresOfSize(sizeKB int) []*SimCore {
 
 // ProfilingCores returns the profiling-capable cores (the 8 KB cores;
 // Core 4 — the highest-ID one — is primary, Core 3 secondary). With
-// SingleProfilingCore set, only the primary is returned.
+// SingleProfilingCore set, only the primary is returned. Permanently dead
+// cores are excluded; if every base-size core is gone, profiling degrades
+// to the largest surviving size (see profilingConfigFor).
 func (s *Simulator) ProfilingCores() []*SimCore {
+	size := cache.BaseConfig.SizeKB
+	if s.inj != nil && !s.sizeAlive(size) {
+		for _, cand := range cache.Sizes() { // ascending: ends at largest alive
+			if s.sizeAlive(cand) {
+				size = cand
+			}
+		}
+	}
 	var out []*SimCore
 	for i := len(s.cores) - 1; i >= 0; i-- {
-		if s.cores[i].SizeKB == cache.BaseConfig.SizeKB {
+		if s.cores[i].SizeKB == size && !s.cores[i].dead {
 			out = append(out, s.cores[i])
 			if s.Cfg.SingleProfilingCore {
 				break
@@ -347,6 +410,16 @@ func (s *Simulator) Record(job *Job) (*characterize.Record, error) {
 func (s *Simulator) start(job *Job, core *SimCore, cfg cache.Config, profiling bool) error {
 	if core.job != nil {
 		return fmt.Errorf("core: core %d is busy", core.ID)
+	}
+	if core.failed || core.dead {
+		return fmt.Errorf("core: scheduling on unavailable core %d", core.ID)
+	}
+	if core.stuck && cfg != core.Config {
+		// Jammed reconfiguration hardware: the core can only execute what
+		// it currently holds, so the requested configuration is overridden
+		// and no reconfiguration is charged (none happens).
+		cfg = core.Config
+		s.metrics.StuckReconfigs++
 	}
 	rec, err := s.Record(job)
 	if err != nil {
@@ -628,14 +701,24 @@ type PreemptionAdvisor interface {
 
 // Run simulates the workload to completion and returns the metrics.
 func (s *Simulator) Run(jobs []Job) (Metrics, error) {
+	return s.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run honoring cancellation: the context is checked at every
+// event-loop iteration (a job-dispatch boundary), and a canceled context
+// abandons the simulation mid-run with ctx.Err().
+func (s *Simulator) RunContext(ctx context.Context, jobs []Job) (Metrics, error) {
 	if len(jobs) == 0 {
 		return Metrics{}, fmt.Errorf("core: empty workload")
 	}
 	s.metrics.Jobs = len(jobs)
 	next := 0
 	for {
-		// Determine the next event time: earliest pending arrival or
-		// earliest completion.
+		if err := ctx.Err(); err != nil {
+			return s.metrics, err
+		}
+		// Determine the next event time: earliest pending arrival,
+		// earliest completion, or — while work remains — earliest fault.
 		nextEvent := uint64(0)
 		have := false
 		if next < len(jobs) {
@@ -648,8 +731,26 @@ func (s *Simulator) Run(jobs []Job) (Metrics, error) {
 				have = true
 			}
 		}
+		// Fault events drive the clock only while the run still has work
+		// (queued jobs waiting on a recovery, say); once the last job is
+		// done the machine's future faults are irrelevant.
+		if s.inj != nil && (have || len(s.queue) > 0) {
+			if fc, ok := s.inj.NextCycle(); ok && (!have || fc < nextEvent) {
+				nextEvent = fc
+				have = true
+			}
+		}
 		if !have {
 			if len(s.queue) > 0 {
+				alive := 0
+				for _, c := range s.cores {
+					if !c.dead {
+						alive++
+					}
+				}
+				if alive == 0 {
+					return s.metrics, fmt.Errorf("core: all cores permanently failed with %d jobs queued", len(s.queue))
+				}
 				return s.metrics, fmt.Errorf("core: %s deadlocked with %d queued jobs", s.Policy.Name(), len(s.queue))
 			}
 			break
@@ -657,7 +758,13 @@ func (s *Simulator) Run(jobs []Job) (Metrics, error) {
 		if nextEvent > s.now {
 			s.now = nextEvent
 		}
+		// Same-cycle order is fixed: completions land first (a job
+		// finishing exactly when its core crashes survives), then faults,
+		// then arrivals, then a scheduling pass over the updated machine.
 		if err := s.completeDue(); err != nil {
+			return s.metrics, err
+		}
+		if err := s.applyFaultsDue(); err != nil {
 			return s.metrics, err
 		}
 		for next < len(jobs) && jobs[next].ArrivalCycle <= s.now {
@@ -671,8 +778,19 @@ func (s *Simulator) Run(jobs []Job) (Metrics, error) {
 	}
 
 	s.metrics.Makespan = s.now
+	s.finishFaultAccounting()
 	for _, c := range s.cores {
-		idleCycles := s.metrics.Makespan - c.busyCycles
+		// A permanently dead core is powered off from deadAt on: it stops
+		// leaking idle energy (transient outages still leak — the core is
+		// powered, just unavailable).
+		horizon := s.metrics.Makespan
+		if c.dead {
+			horizon = c.deadAt
+		}
+		idleCycles := uint64(0)
+		if horizon > c.busyCycles {
+			idleCycles = horizon - c.busyCycles
+		}
 		s.metrics.IdleEnergy += s.EM.IdleEnergy(c.SizeKB, idleCycles)
 	}
 	if err := s.selfCheck(); err != nil {

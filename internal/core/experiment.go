@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"hetsched/internal/characterize"
 	"hetsched/internal/energy"
@@ -16,14 +18,33 @@ type OraclePredictor struct {
 	DB *characterize.DB
 }
 
-// PredictSizeKB implements Predictor.
+// PredictSizeKB implements Predictor. An exact feature match resolves
+// directly (the fault-free path, bit-identical to before). Without one —
+// injected counter noise perturbs profiles — the nearest record under
+// relative squared distance answers, so the oracle degrades like real
+// profiling hardware instead of erroring.
 func (o OraclePredictor) PredictSizeKB(f stats.Features) (int, error) {
 	for i := range o.DB.Records {
 		if o.DB.Records[i].Features == f {
 			return o.DB.Records[i].BestSizeKB(), nil
 		}
 	}
-	return 0, fmt.Errorf("core: oracle has no record matching features")
+	best, bestD := -1, 0.0
+	for i := range o.DB.Records {
+		g := o.DB.Records[i].Features
+		d := 0.0
+		for k := range f {
+			r := (f[k] - g[k]) / (math.Abs(f[k]) + math.Abs(g[k]) + 1)
+			d += r * r
+		}
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("core: oracle has no records")
+	}
+	return o.DB.Records[best].BestSizeKB(), nil
 }
 
 // FixedPredictor always predicts the same size (degenerate ablation).
@@ -79,6 +100,14 @@ func (r *ExperimentResult) Systems() []Metrics {
 // search, never stalls), energy-centric (ANN, always stalls for the best
 // core) and proposed (ANN + energy-advantageous decision).
 func RunExperiment(db *characterize.DB, em *energy.Model, pred Predictor, cfg ExperimentConfig) (*ExperimentResult, error) {
+	return RunExperimentContext(context.Background(), db, em, pred, cfg)
+}
+
+// RunExperimentContext is RunExperiment honoring cancellation: the context
+// is checked between systems and at every job-dispatch boundary within a
+// simulation. All four systems share one fault plan (and so, the plan
+// being state-independent, one fault timeline).
+func RunExperimentContext(ctx context.Context, db *characterize.DB, em *energy.Model, pred Predictor, cfg ExperimentConfig) (*ExperimentResult, error) {
 	if cfg.Arrivals == 0 {
 		cfg.Arrivals = 5000
 	}
@@ -86,7 +115,16 @@ func RunExperiment(db *characterize.DB, em *energy.Model, pred Predictor, cfg Ex
 		cfg.Utilization = 0.90
 	}
 	if len(cfg.Sim.CoreSizesKB) == 0 {
-		cfg.Sim = DefaultSimConfig()
+		// Field-wise defaulting: a caller setting only, say, Sim.Faults
+		// must not have the plan clobbered by the default machine.
+		def := DefaultSimConfig()
+		cfg.Sim.CoreSizesKB = def.CoreSizesKB
+		if cfg.Sim.ReconfigCycles == 0 {
+			cfg.Sim.ReconfigCycles = def.ReconfigCycles
+		}
+		if cfg.Sim.ProfilingCycles == 0 {
+			cfg.Sim.ProfilingCycles = def.ProfilingCycles
+		}
 	}
 	if pred == nil {
 		return nil, fmt.Errorf("core: experiment requires a predictor")
@@ -114,7 +152,7 @@ func RunExperiment(db *characterize.DB, em *energy.Model, pred Predictor, cfg Ex
 		if err != nil {
 			return Metrics{}, err
 		}
-		return sim.Run(jobs)
+		return sim.RunContext(ctx, jobs)
 	}
 
 	if res.Base, err = run(BasePolicy{}, nil, BaseCoreSizes(len(cfg.Sim.CoreSizesKB))); err != nil {

@@ -73,9 +73,12 @@ func recordCompletion(s *Simulator, job *Job, cfg cache.Config, profiled bool) e
 		}
 	}
 	if profiled && !entry.Profiled {
-		entry.SetProfile(rec.Features)
+		// Counter noise (fault injection) perturbs what the profiling
+		// hardware reports; predictions are made from the noisy view.
+		f := s.noisyFeatures(job.AppID, rec.Features)
+		entry.SetProfile(f)
 		if s.Pred != nil {
-			size, err := s.Pred.PredictSizeKB(rec.Features)
+			size, err := s.Pred.PredictSizeKB(f)
 			if err != nil {
 				return err
 			}
@@ -100,10 +103,22 @@ func profilingDecision(s *Simulator, appID int) (Decision, bool) {
 	}
 	for _, c := range s.ProfilingCores() {
 		if c.Idle(s.Now()) {
-			return Decision{Place: true, CoreID: c.ID, Config: cache.BaseConfig, Profiling: true}, true
+			return Decision{Place: true, CoreID: c.ID, Config: profilingConfigFor(c), Profiling: true}, true
 		}
 	}
 	return Decision{}, false
+}
+
+// profilingConfigFor returns the configuration a profiling run executes in
+// on core c: the paper's base configuration on a base-size core, or the
+// largest configuration that fits when permanent core loss has degraded
+// profiling onto a smaller survivor.
+func profilingConfigFor(c *SimCore) cache.Config {
+	if c.SizeKB == cache.BaseConfig.SizeKB {
+		return cache.BaseConfig
+	}
+	cfgs := cache.ConfigsForSize(c.SizeKB)
+	return cfgs[len(cfgs)-1]
 }
 
 // tunedConfigFor returns the configuration to execute on a core of
@@ -256,7 +271,8 @@ func (EnergyCentricPolicy) Decide(s *Simulator, job *Job) (Decision, error) {
 		}
 		return d, nil
 	}
-	for _, c := range s.CoresOfSize(entry.PredictedSizeKB) {
+	bestSize := s.resolvePredictedSize(entry.PredictedSizeKB)
+	for _, c := range s.CoresOfSize(bestSize) {
 		if !c.Idle(s.Now()) {
 			continue
 		}
@@ -266,6 +282,9 @@ func (EnergyCentricPolicy) Decide(s *Simulator, job *Job) (Decision, error) {
 		}
 		if tuning {
 			s.NoteTuningRun()
+		}
+		if bestSize != entry.PredictedSizeKB {
+			s.NoteFallback()
 		}
 		return Decision{Place: true, CoreID: c.ID, Config: cfg}, nil
 	}
@@ -313,7 +332,7 @@ func (p ProposedPolicy) Decide(s *Simulator, job *Job) (Decision, error) {
 		}
 		return d, nil
 	}
-	bestSize := entry.PredictedSizeKB
+	bestSize := s.resolvePredictedSize(entry.PredictedSizeKB)
 
 	// Best core idle: take it (known best config or tuning step).
 	for _, c := range s.CoresOfSize(bestSize) {
@@ -326,6 +345,9 @@ func (p ProposedPolicy) Decide(s *Simulator, job *Job) (Decision, error) {
 		}
 		if tuning {
 			s.NoteTuningRun()
+		}
+		if bestSize != entry.PredictedSizeKB {
+			s.NoteFallback()
 		}
 		return Decision{Place: true, CoreID: c.ID, Config: cfg}, nil
 	}
@@ -359,11 +381,19 @@ func (p ProposedPolicy) Decide(s *Simulator, job *Job) (Decision, error) {
 		return Decision{}, nil
 	}
 
-	// Window until the earliest best core frees.
+	// Window until the earliest best core frees. Crashed cores have no
+	// finite window and are skipped; if every best-size core is down the
+	// window defaults to zero (stalling favored until one recovers).
 	var window uint64
 	first := true
 	for _, c := range s.CoresOfSize(bestSize) {
-		w := c.BusyUntil() - s.Now()
+		if c.failed || c.dead {
+			continue
+		}
+		w := uint64(0)
+		if c.BusyUntil() > s.Now() {
+			w = c.BusyUntil() - s.Now()
+		}
 		if first || w < window {
 			window, first = w, false
 		}

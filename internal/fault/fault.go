@@ -1,0 +1,490 @@
+// Package fault generates deterministic fault timelines for the resilient
+// scheduling extension: seeded plans of transient core crashes with recovery
+// windows, permanent core loss, stuck cache reconfigurations and
+// profiling-counter noise. The paper's Figure 1 already encodes a fallback
+// notion — Core 4's secondary is Core 3 — and this package supplies the
+// faults that force the scheduler (internal/core) to exercise it.
+//
+// Determinism contract: a Plan's timeline is a pure function of (Seed, core
+// count) — event times never depend on simulation state, scheduling
+// decisions, or worker counts, so a fixed-seed plan reproduces the identical
+// fault sequence in every run and at any parallelism. The zero Plan is
+// disabled and injects nothing.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies one fault event.
+type Kind int
+
+// Event kinds.
+const (
+	// CrashTransient takes a core down; the paired Recover event restores
+	// it. An in-flight execution is killed and its job re-queued.
+	CrashTransient Kind = iota
+	// Recover restores a transiently crashed core.
+	Recover
+	// CrashPermanent removes a core for the rest of the run.
+	CrashPermanent
+	// StuckReconfig jams a core's cache-reconfiguration hardware: the core
+	// keeps executing, pinned to whatever Table 1 configuration it
+	// currently holds, so the tuner must route around it.
+	StuckReconfig
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case CrashTransient:
+		return "crash"
+	case Recover:
+		return "recover"
+	case CrashPermanent:
+		return "dead"
+	case StuckReconfig:
+		return "stuck"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Event is one fault at one cycle on one core.
+type Event struct {
+	Cycle uint64
+	Core  int
+	Kind  Kind
+}
+
+// DefaultRecoveryCycles is the mean transient-outage length used when a plan
+// sets TransientMTTF but leaves RecoveryCycles zero.
+const DefaultRecoveryCycles = 50_000
+
+// Plan is a seeded fault-injection schedule. The zero value is disabled:
+// simulations carrying it are bit-identical to simulations with no fault
+// subsystem at all (see the invariance tests in internal/core).
+type Plan struct {
+	// Seed drives every stochastic stream (0 behaves as seed 1).
+	Seed int64
+	// TransientMTTF is the mean number of cycles between transient crashes
+	// per core (exponential inter-arrival; 0 disables transient crashes).
+	TransientMTTF uint64
+	// RecoveryCycles is the mean outage length after a transient crash;
+	// each outage draws its duration uniformly in [R/2, 3R/2] so MTTR is a
+	// measured quantity, not an echo of the input. 0 uses
+	// DefaultRecoveryCycles when TransientMTTF is set.
+	RecoveryCycles uint64
+	// PermanentMTTF is the mean number of cycles until a core is lost for
+	// good (0 disables permanent loss).
+	PermanentMTTF uint64
+	// MaxPermanent caps how many cores may die permanently; 0 means
+	// cores-1, guaranteeing at least one survivor.
+	MaxPermanent int
+	// StuckMTTF is the mean number of cycles until a core's
+	// reconfiguration hardware jams at its current configuration
+	// (0 disables).
+	StuckMTTF uint64
+	// CounterNoise perturbs each profiled hardware counter by a
+	// deterministic per-(application, counter) factor uniform in
+	// [1-p, 1+p], modelling noisy profiling inputs to the ANN (0 disables;
+	// must be < 1).
+	CounterNoise float64
+	// Script, when non-empty, replaces every stochastic stream with this
+	// explicit timeline (sorted by cycle at injection). Recover events for
+	// scripted transient crashes must be scripted too. Used by tests and
+	// reproducible degradation experiments.
+	Script []Event
+}
+
+// Enabled reports whether the plan injects anything. Seed alone does not
+// enable a plan.
+func (p Plan) Enabled() bool {
+	return p.TransientMTTF > 0 || p.PermanentMTTF > 0 || p.StuckMTTF > 0 ||
+		p.CounterNoise > 0 || len(p.Script) > 0
+}
+
+// Validate reports configuration errors. The floors on the MTTFs guard
+// against fault rates so high that no execution can ever finish (the
+// simulator would then advance time forever).
+func (p Plan) Validate() error {
+	if p.CounterNoise < 0 || p.CounterNoise >= 1 {
+		return fmt.Errorf("fault: counter noise %v out of [0, 1)", p.CounterNoise)
+	}
+	if p.TransientMTTF > 0 && p.TransientMTTF < 1000 {
+		return fmt.Errorf("fault: transient MTTF %d < 1000 cycles", p.TransientMTTF)
+	}
+	if p.PermanentMTTF > 0 && p.PermanentMTTF < 1000 {
+		return fmt.Errorf("fault: permanent MTTF %d < 1000 cycles", p.PermanentMTTF)
+	}
+	if p.StuckMTTF > 0 && p.StuckMTTF < 1000 {
+		return fmt.Errorf("fault: stuck MTTF %d < 1000 cycles", p.StuckMTTF)
+	}
+	if p.MaxPermanent < 0 {
+		return fmt.Errorf("fault: negative MaxPermanent %d", p.MaxPermanent)
+	}
+	return nil
+}
+
+// String renders the plan in the -faults spec vocabulary parsed by
+// ParseSpec ("off" for the zero plan). Scripted events are not
+// representable and render as a script=N marker.
+func (p Plan) String() string {
+	if !p.Enabled() {
+		return "off"
+	}
+	var parts []string
+	add := func(k string, v uint64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, v))
+		}
+	}
+	add("mttf", p.TransientMTTF)
+	add("recover", p.RecoveryCycles)
+	add("permanent", p.PermanentMTTF)
+	add("stuck", p.StuckMTTF)
+	if p.CounterNoise > 0 {
+		parts = append(parts, fmt.Sprintf("noise=%g", p.CounterNoise))
+	}
+	if p.MaxPermanent > 0 {
+		parts = append(parts, fmt.Sprintf("maxdead=%d", p.MaxPermanent))
+	}
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	if len(p.Script) > 0 {
+		parts = append(parts, fmt.Sprintf("script=%d", len(p.Script)))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses the CLIs' -faults flag vocabulary: a comma-separated
+// key=value list over mttf, recover, permanent, stuck (cycles, scientific
+// notation accepted), noise (fraction), maxdead and seed — or "off"/"" for
+// the disabled zero plan. Example:
+//
+//	mttf=5e6,recover=1e5,permanent=5e7,stuck=2e7,noise=0.05,seed=1
+func ParseSpec(s string) (Plan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "off" || s == "none" {
+		return Plan{}, nil
+	}
+	var p Plan
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return Plan{}, fmt.Errorf("fault: malformed spec field %q (want key=value)", part)
+		}
+		key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		switch key {
+		case "mttf", "recover", "permanent", "stuck":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1e18 {
+				return Plan{}, fmt.Errorf("fault: bad %s value %q", key, val)
+			}
+			c := uint64(f)
+			switch key {
+			case "mttf":
+				p.TransientMTTF = c
+			case "recover":
+				p.RecoveryCycles = c
+			case "permanent":
+				p.PermanentMTTF = c
+			case "stuck":
+				p.StuckMTTF = c
+			}
+		case "noise":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("fault: bad noise value %q", val)
+			}
+			p.CounterNoise = f
+		case "maxdead":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Plan{}, fmt.Errorf("fault: bad maxdead value %q", val)
+			}
+			p.MaxPermanent = n
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("fault: bad seed value %q", val)
+			}
+			p.Seed = n
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown spec key %q (want mttf|recover|permanent|stuck|noise|maxdead|seed)", key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// splitmix64 is the stateless mixer behind per-core seeds and per-counter
+// noise — the same construction internal/sweep uses for per-cell seeds.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// FeatureScale returns the deterministic multiplicative noise factor in
+// [1-CounterNoise, 1+CounterNoise] for one application's profiled counter.
+// With CounterNoise zero the factor is exactly 1.
+func (p Plan) FeatureScale(appID, dim int) float64 {
+	if p.CounterNoise == 0 {
+		return 1
+	}
+	h := splitmix64(uint64(p.seed())*0x9e3779b97f4a7c15 + uint64(appID)*8191 + uint64(dim) + 1)
+	u := float64(h>>11) / float64(1<<53) // uniform in [0, 1)
+	return 1 + p.CounterNoise*(2*u-1)
+}
+
+func (p Plan) seed() int64 {
+	if p.Seed == 0 {
+		return 1
+	}
+	return p.Seed
+}
+
+// coreStream holds one core's pending stochastic events. Transient
+// crash/recover pairs are drawn lazily in timeline order; the permanent and
+// stuck events are drawn once at construction.
+type coreStream struct {
+	rng *rand.Rand
+
+	crashAt   uint64 // next transient crash (0 = none pending)
+	recoverAt uint64 // recovery paired with crashAt
+	inOutage  bool   // crash delivered, recovery still pending
+
+	permanentAt uint64 // 0 = never
+	stuckAt     uint64 // 0 = never
+	dead        bool   // permanent event delivered; stream is exhausted
+}
+
+// Injector is a Plan instantiated for a machine: it merges the per-core
+// event streams into one deterministic timeline the simulator consumes.
+// An Injector is single-use and not goroutine-safe, mirroring the
+// discrete-event Simulator that owns it.
+type Injector struct {
+	plan    Plan
+	streams []*coreStream
+	script  []Event // sorted scripted timeline; nil in stochastic mode
+	scripts int     // scripted events already delivered
+}
+
+// NewInjector instantiates the plan for a machine with the given core
+// count. It never fails: an out-of-range scripted core is dropped rather
+// than crashing the simulation it is meant to stress.
+func (p Plan) NewInjector(cores int) *Injector {
+	in := &Injector{plan: p}
+	if len(p.Script) > 0 {
+		for _, ev := range p.Script {
+			if ev.Core >= 0 && ev.Core < cores {
+				in.script = append(in.script, ev)
+			}
+		}
+		sort.SliceStable(in.script, func(i, j int) bool {
+			a, b := in.script[i], in.script[j]
+			if a.Cycle != b.Cycle {
+				return a.Cycle < b.Cycle
+			}
+			if a.Core != b.Core {
+				return a.Core < b.Core
+			}
+			return a.Kind < b.Kind
+		})
+		return in
+	}
+
+	recovery := p.RecoveryCycles
+	if recovery == 0 {
+		recovery = DefaultRecoveryCycles
+	}
+	type permCandidate struct {
+		core int
+		at   uint64
+	}
+	var perms []permCandidate
+	for i := 0; i < cores; i++ {
+		cs := &coreStream{
+			rng: rand.New(rand.NewSource(int64(splitmix64(uint64(p.seed())*31 + uint64(i) + 1)))),
+		}
+		// Draw order is fixed (transient pair, permanent, stuck) so each
+		// class's times are a stable function of the seed.
+		if p.TransientMTTF > 0 {
+			cs.crashAt = expDraw(cs.rng, float64(p.TransientMTTF))
+			cs.recoverAt = cs.crashAt + outageDraw(cs.rng, recovery)
+		}
+		if p.PermanentMTTF > 0 {
+			at := expDraw(cs.rng, float64(p.PermanentMTTF))
+			cs.permanentAt = at
+			perms = append(perms, permCandidate{core: i, at: at})
+		}
+		if p.StuckMTTF > 0 {
+			cs.stuckAt = expDraw(cs.rng, float64(p.StuckMTTF))
+		}
+		in.streams = append(in.streams, cs)
+	}
+	// Cap permanent losses so the machine always keeps at least one core:
+	// only the earliest MaxPermanent (default cores-1) deaths survive.
+	maxDead := p.MaxPermanent
+	if maxDead == 0 || maxDead > cores-1 {
+		maxDead = cores - 1
+	}
+	if len(perms) > maxDead {
+		sort.Slice(perms, func(i, j int) bool {
+			if perms[i].at != perms[j].at {
+				return perms[i].at < perms[j].at
+			}
+			return perms[i].core < perms[j].core
+		})
+		for _, pc := range perms[maxDead:] {
+			in.streams[pc.core].permanentAt = 0
+		}
+	}
+	return in
+}
+
+// expDraw returns an exponential interval with the given mean, at least 1.
+func expDraw(rng *rand.Rand, mean float64) uint64 {
+	v := rng.ExpFloat64() * mean
+	if v < 1 {
+		return 1
+	}
+	return uint64(v)
+}
+
+// outageDraw returns a recovery window uniform in [mean/2, 3·mean/2], at
+// least 1 cycle.
+func outageDraw(rng *rand.Rand, mean uint64) uint64 {
+	v := mean/2 + uint64(rng.Int63n(int64(mean)+1))
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// next returns the core stream's earliest pending event, if any. A dead
+// stream is exhausted; a permanent death suppresses every later event on
+// the same core.
+func (cs *coreStream) next(core int) (Event, bool) {
+	if cs.dead {
+		return Event{}, false
+	}
+	best := Event{Cycle: ^uint64(0)}
+	ok := false
+	consider := func(cycle uint64, kind Kind) {
+		if cycle == 0 {
+			return
+		}
+		if cs.permanentAt > 0 && kind != CrashPermanent && cycle >= cs.permanentAt {
+			return // the core dies first; this event never happens
+		}
+		if !ok || cycle < best.Cycle || (cycle == best.Cycle && kind < best.Kind) {
+			best = Event{Cycle: cycle, Core: core, Kind: kind}
+			ok = true
+		}
+	}
+	if cs.inOutage {
+		consider(cs.recoverAt, Recover)
+	} else {
+		consider(cs.crashAt, CrashTransient)
+	}
+	consider(cs.permanentAt, CrashPermanent)
+	consider(cs.stuckAt, StuckReconfig)
+	return best, ok
+}
+
+// advance consumes the stream's pending event ev and draws its successor.
+func (cs *coreStream) advance(ev Event, plan Plan) {
+	switch ev.Kind {
+	case CrashTransient:
+		cs.inOutage = true
+	case Recover:
+		cs.inOutage = false
+		// Draw the next crash/recover pair after this outage ends.
+		recovery := plan.RecoveryCycles
+		if recovery == 0 {
+			recovery = DefaultRecoveryCycles
+		}
+		cs.crashAt = cs.recoverAt + expDraw(cs.rng, float64(plan.TransientMTTF))
+		cs.recoverAt = cs.crashAt + outageDraw(cs.rng, recovery)
+	case CrashPermanent:
+		cs.dead = true
+	case StuckReconfig:
+		cs.stuckAt = 0 // sticks once, for the rest of the run
+	}
+}
+
+// NextCycle reports the earliest pending event time, if any events remain.
+func (in *Injector) NextCycle() (uint64, bool) {
+	if in == nil {
+		return 0, false
+	}
+	if in.script != nil {
+		if in.scripts >= len(in.script) {
+			return 0, false
+		}
+		return in.script[in.scripts].Cycle, true
+	}
+	bestCycle := ^uint64(0)
+	have := false
+	for core, cs := range in.streams {
+		if ev, ok := cs.next(core); ok && (!have || ev.Cycle < bestCycle) {
+			bestCycle = ev.Cycle
+			have = true
+		}
+	}
+	return bestCycle, have
+}
+
+// PopDue removes and returns every event with Cycle <= now, ordered by
+// (cycle, core, kind) — a total order, so consumption is deterministic.
+func (in *Injector) PopDue(now uint64) []Event {
+	if in == nil {
+		return nil
+	}
+	if in.script != nil {
+		start := in.scripts
+		for in.scripts < len(in.script) && in.script[in.scripts].Cycle <= now {
+			in.scripts++
+		}
+		return in.script[start:in.scripts]
+	}
+	var due []Event
+	for {
+		best := Event{Cycle: ^uint64(0)}
+		bestCore := -1
+		for core, cs := range in.streams {
+			ev, ok := cs.next(core)
+			if !ok || ev.Cycle > now {
+				continue
+			}
+			if bestCore < 0 || ev.Cycle < best.Cycle ||
+				(ev.Cycle == best.Cycle && (ev.Core < best.Core ||
+					(ev.Core == best.Core && ev.Kind < best.Kind))) {
+				best, bestCore = ev, core
+			}
+		}
+		if bestCore < 0 {
+			return due
+		}
+		in.streams[bestCore].advance(best, in.plan)
+		due = append(due, best)
+	}
+}
+
+// FeatureScale exposes the plan's deterministic counter noise to the
+// scheduler (see Plan.FeatureScale).
+func (in *Injector) FeatureScale(appID, dim int) float64 {
+	if in == nil {
+		return 1
+	}
+	return in.plan.FeatureScale(appID, dim)
+}

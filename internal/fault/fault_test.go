@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func drain(in *Injector, horizon uint64) []Event {
+	var out []Event
+	for {
+		next, ok := in.NextCycle()
+		if !ok || next > horizon {
+			return out
+		}
+		out = append(out, in.PopDue(next)...)
+	}
+}
+
+func TestZeroPlanDisabled(t *testing.T) {
+	var p Plan
+	if p.Enabled() {
+		t.Fatal("zero plan reports enabled")
+	}
+	if p.String() != "off" {
+		t.Fatalf("zero plan String() = %q, want off", p.String())
+	}
+	// Seed alone must not enable the plan (invariance tests rely on this).
+	p.Seed = 99
+	if p.Enabled() {
+		t.Fatal("seed-only plan reports enabled")
+	}
+	in := p.NewInjector(4)
+	if _, ok := in.NextCycle(); ok {
+		t.Fatal("seed-only injector produced an event")
+	}
+	if got := in.FeatureScale(3, 7); got != 1 {
+		t.Fatalf("seed-only FeatureScale = %v, want 1", got)
+	}
+}
+
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if _, ok := in.NextCycle(); ok {
+		t.Fatal("nil injector has events")
+	}
+	if evs := in.PopDue(1 << 40); evs != nil {
+		t.Fatalf("nil injector popped %v", evs)
+	}
+	if in.FeatureScale(0, 0) != 1 {
+		t.Fatal("nil injector FeatureScale != 1")
+	}
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	p := Plan{Seed: 7, TransientMTTF: 200_000, RecoveryCycles: 20_000, PermanentMTTF: 2_000_000, StuckMTTF: 900_000}
+	const horizon = 5_000_000
+	a := drain(p.NewInjector(4), horizon)
+	b := drain(p.NewInjector(4), horizon)
+	if len(a) == 0 {
+		t.Fatal("no events generated")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same plan produced different timelines:\n%v\n%v", a, b)
+	}
+	// Different seeds must diverge.
+	p2 := p
+	p2.Seed = 8
+	c := drain(p2.NewInjector(4), horizon)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical timelines")
+	}
+}
+
+func TestTimelineOrderedAndConsistent(t *testing.T) {
+	p := Plan{Seed: 3, TransientMTTF: 100_000, RecoveryCycles: 10_000, PermanentMTTF: 1_500_000, StuckMTTF: 700_000}
+	evs := drain(p.NewInjector(4), 20_000_000)
+	down := map[int]bool{}
+	dead := map[int]bool{}
+	var prev Event
+	for i, ev := range evs {
+		if i > 0 && (ev.Cycle < prev.Cycle ||
+			(ev.Cycle == prev.Cycle && (ev.Core < prev.Core || (ev.Core == prev.Core && ev.Kind < prev.Kind)))) {
+			t.Fatalf("events out of (cycle, core, kind) order: %v then %v", prev, ev)
+		}
+		prev = ev
+		if dead[ev.Core] {
+			t.Fatalf("event %v on permanently dead core", ev)
+		}
+		switch ev.Kind {
+		case CrashTransient:
+			if down[ev.Core] {
+				t.Fatalf("double crash without recovery: %v", ev)
+			}
+			down[ev.Core] = true
+		case Recover:
+			if !down[ev.Core] {
+				t.Fatalf("recovery without crash: %v", ev)
+			}
+			down[ev.Core] = false
+		case CrashPermanent:
+			dead[ev.Core] = true
+		}
+	}
+	if len(dead) == 0 {
+		t.Fatal("no permanent losses over a 20M-cycle horizon with MTTF 1.5M")
+	}
+}
+
+func TestPermanentLossCapped(t *testing.T) {
+	// Ferocious permanent rate: every core draws an early death, but the
+	// injector must keep at least one survivor (and honor MaxPermanent).
+	p := Plan{Seed: 5, PermanentMTTF: 1000}
+	evs := drain(p.NewInjector(4), 1 << 40)
+	deaths := 0
+	for _, ev := range evs {
+		if ev.Kind == CrashPermanent {
+			deaths++
+		}
+	}
+	if deaths != 3 {
+		t.Fatalf("uncapped plan killed %d of 4 cores, want 3", deaths)
+	}
+
+	p.MaxPermanent = 1
+	evs = drain(p.NewInjector(4), 1 << 40)
+	deaths = 0
+	for _, ev := range evs {
+		if ev.Kind == CrashPermanent {
+			deaths++
+		}
+	}
+	if deaths != 1 {
+		t.Fatalf("MaxPermanent=1 plan killed %d cores", deaths)
+	}
+}
+
+func TestScriptOverridesStreams(t *testing.T) {
+	script := []Event{
+		{Cycle: 500, Core: 1, Kind: CrashTransient},
+		{Cycle: 100, Core: 0, Kind: StuckReconfig},
+		{Cycle: 900, Core: 1, Kind: Recover},
+		{Cycle: 100, Core: 9, Kind: CrashPermanent}, // out of range: dropped
+	}
+	p := Plan{TransientMTTF: 100_000, Script: script}
+	in := p.NewInjector(4)
+	got := drain(in, 1<<40)
+	want := []Event{
+		{Cycle: 100, Core: 0, Kind: StuckReconfig},
+		{Cycle: 500, Core: 1, Kind: CrashTransient},
+		{Cycle: 900, Core: 1, Kind: Recover},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scripted timeline = %v, want %v", got, want)
+	}
+}
+
+func TestFeatureScaleBoundsAndDeterminism(t *testing.T) {
+	p := Plan{Seed: 11, CounterNoise: 0.05}
+	seen := map[float64]bool{}
+	for app := 0; app < 10; app++ {
+		for dim := 0; dim < 18; dim++ {
+			s := p.FeatureScale(app, dim)
+			if s < 0.95 || s > 1.05 {
+				t.Fatalf("FeatureScale(%d,%d) = %v out of [0.95, 1.05]", app, dim, s)
+			}
+			if s != p.FeatureScale(app, dim) {
+				t.Fatalf("FeatureScale(%d,%d) not deterministic", app, dim)
+			}
+			seen[s] = true
+		}
+	}
+	if len(seen) < 50 {
+		t.Fatalf("noise factors suspiciously uniform: %d distinct over 180 draws", len(seen))
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Plan
+	}{
+		{"", Plan{}},
+		{"off", Plan{}},
+		{"none", Plan{}},
+		{"mttf=5e6,recover=1e5,seed=1", Plan{Seed: 1, TransientMTTF: 5_000_000, RecoveryCycles: 100_000}},
+		{"permanent=5e7,maxdead=2", Plan{PermanentMTTF: 50_000_000, MaxPermanent: 2}},
+		{"stuck=2e7,noise=0.05", Plan{StuckMTTF: 20_000_000, CounterNoise: 0.05}},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.in, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		// String() must re-parse to the same plan.
+		back, err := ParseSpec(got.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", got.String(), err)
+		}
+		if !reflect.DeepEqual(back, got) {
+			t.Fatalf("round trip %q -> %+v -> %q -> %+v", tc.in, got, got.String(), back)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, s := range []string{
+		"bogus=1", "mttf", "mttf=abc", "noise=1.5", "noise=-0.1",
+		"mttf=10", "maxdead=-1", "seed=xyz",
+	} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", s)
+		}
+	}
+}

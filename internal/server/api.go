@@ -45,6 +45,21 @@ type ScheduleRequest struct {
 	// DeadlineSlack > 0 assigns each job a deadline of arrival +
 	// slack × best-config execution time; misses are reported.
 	DeadlineSlack float64 `json:"deadline_slack,omitempty"`
+	// Faults injects a deterministic fault plan into this run. When absent
+	// or not enabled (all rates zero), the run inherits the daemon's
+	// -faults default plan, if one was configured.
+	Faults *FaultSpec `json:"faults,omitempty"`
+}
+
+// FaultSpec is the wire form of a fault-injection plan (see internal/fault).
+type FaultSpec struct {
+	Seed           int64   `json:"seed,omitempty"`
+	TransientMTTF  uint64  `json:"transient_mttf_cycles,omitempty"`
+	RecoveryCycles uint64  `json:"recovery_cycles,omitempty"`
+	PermanentMTTF  uint64  `json:"permanent_mttf_cycles,omitempty"`
+	StuckMTTF      uint64  `json:"stuck_mttf_cycles,omitempty"`
+	CounterNoise   float64 `json:"counter_noise,omitempty"`
+	MaxPermanent   int     `json:"max_permanent,omitempty"`
 }
 
 // ScheduleResponse summarizes the run's Metrics. Per-job timelines are
@@ -78,6 +93,17 @@ type ScheduleResponse struct {
 	Preemptions    int `json:"preemptions,omitempty"`
 	DeadlinesTotal int `json:"deadlines_total,omitempty"`
 	DeadlineMisses int `json:"deadline_misses,omitempty"`
+
+	// Resilience block; present only when the run injected faults.
+	FaultInjected      bool    `json:"fault_injected,omitempty"`
+	FaultEvents        int     `json:"fault_events,omitempty"`
+	JobsRedispatched   int     `json:"jobs_redispatched,omitempty"`
+	Recoveries         int     `json:"recoveries,omitempty"`
+	CoreDowntimeCycles uint64  `json:"core_downtime_cycles,omitempty"`
+	MTTRCycles         uint64  `json:"mttr_cycles,omitempty"`
+	FaultEnergyNJ      float64 `json:"fault_energy_nj,omitempty"`
+	StuckReconfigs     int     `json:"stuck_reconfigs,omitempty"`
+	FallbackPlacements int     `json:"fallback_placements,omitempty"`
 }
 
 // TuneRequest walks the Figure 5 tuning heuristic for one kernel on one
@@ -112,7 +138,11 @@ type HealthResponse struct {
 	WarmStart bool `json:"warm_start"`
 }
 
-// ErrorResponse is the JSON body of every non-2xx response.
+// ErrorResponse is the JSON body of every non-2xx response. Code is a
+// stable machine-readable discriminator; Error is the human-readable
+// detail. Codes: bad_request, queue_full, draining, timeout,
+// client_closed, not_found, method_not_allowed, internal.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }

@@ -41,9 +41,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError emits the uniform error body.
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+// Stable error codes for the envelope; clients branch on these, not on the
+// message text.
+const (
+	codeBadRequest       = "bad_request"
+	codeQueueFull        = "queue_full"
+	codeDraining         = "draining"
+	codeTimeout          = "timeout"
+	codeClientClosed     = "client_closed"
+	codeNotFound         = "not_found"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeInternal         = "internal"
+)
+
+// writeError emits the uniform {"error": ..., "code": ...} body.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 // decodeStrict parses the body into v, rejecting unknown fields and
@@ -85,20 +98,20 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, endpoint strin
 		writeJSON(w, http.StatusOK, v)
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
+		writeError(w, http.StatusTooManyRequests, codeQueueFull,
 			"job queue full (%d queued, %d workers busy); retry later",
 			s.pool.QueueDepth(), s.pool.Busy())
 	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "server is shutting down")
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout,
+		writeError(w, http.StatusGatewayTimeout, codeTimeout,
 			"request exceeded the %s service timeout", s.cfg.RequestTimeout)
 	case errors.Is(err, context.Canceled):
-		writeError(w, statusClientClosedRequest, "client closed request")
+		writeError(w, statusClientClosedRequest, codeClientClosed, "client closed request")
 	case errors.As(err, &bad):
-		writeError(w, http.StatusBadRequest, "%s", bad.Error())
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%s", bad.Error())
 	default:
-		writeError(w, http.StatusInternalServerError, "%s", err)
+		writeError(w, http.StatusInternalServerError, codeInternal, "%s", err)
 	}
 }
 
@@ -106,15 +119,15 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, endpoint strin
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req PredictRequest
 	if err := decodeStrict(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%s", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%s", err)
 		return
 	}
 	if req.Kernel == "" {
-		writeError(w, http.StatusBadRequest, "missing field: kernel")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing field: kernel")
 		return
 	}
 	if _, err := hetsched.KernelByName(req.Kernel); err != nil {
-		writeError(w, http.StatusBadRequest, "%s", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%s", err)
 		return
 	}
 	s.serveJob(w, r, "predict", func(context.Context) (any, error) {
@@ -141,30 +154,36 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		Seed:        1,
 	}
 	if err := decodeStrict(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%s", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%s", err)
 		return
 	}
 	if _, _, err := core.NewPolicy(req.System); err != nil {
-		writeError(w, http.StatusBadRequest, "%s", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%s", err)
 		return
 	}
 	if req.Arrivals < 1 || req.Arrivals > s.cfg.MaxArrivals {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, codeBadRequest,
 			"arrivals %d out of range [1, %d]", req.Arrivals, s.cfg.MaxArrivals)
 		return
 	}
 	if req.Utilization <= 0 || req.Utilization > 1.5 {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, codeBadRequest,
 			"utilization %v out of range (0, 1.5]", req.Utilization)
 		return
 	}
 	if req.PriorityLevels < 0 || req.DeadlineSlack < 0 {
-		writeError(w, http.StatusBadRequest, "negative priority_levels or deadline_slack")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "negative priority_levels or deadline_slack")
 		return
+	}
+	if req.Faults != nil {
+		if err := req.Faults.plan().Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, codeBadRequest, "faults: %s", err)
+			return
+		}
 	}
 	for _, k := range req.Kernels {
 		if _, err := hetsched.KernelByName(k); err != nil {
-			writeError(w, http.StatusBadRequest, "%s", err)
+			writeError(w, http.StatusBadRequest, codeBadRequest, "%s", err)
 			return
 		}
 	}
@@ -203,11 +222,30 @@ func (s *Server) runSchedule(ctx context.Context, req ScheduleRequest) (any, err
 			return nil, badRequest(err)
 		}
 	}
-	m, err := s.sys.RunSystem(req.System, jobs, sim)
+	if req.Faults != nil {
+		sim.Faults = req.Faults.plan()
+	}
+	m, err := s.sys.RunSystemContext(ctx, req.System, jobs, sim)
 	if err != nil {
 		return nil, err
 	}
+	if m.FaultInjected {
+		s.met.ObserveFaults(m.FaultEvents, m.JobsRedispatched)
+	}
 	return summarize(m), nil
+}
+
+// plan converts the wire spec into the simulator's fault plan.
+func (f *FaultSpec) plan() hetsched.FaultPlan {
+	return hetsched.FaultPlan{
+		Seed:           f.Seed,
+		TransientMTTF:  f.TransientMTTF,
+		RecoveryCycles: f.RecoveryCycles,
+		PermanentMTTF:  f.PermanentMTTF,
+		StuckMTTF:      f.StuckMTTF,
+		CounterNoise:   f.CounterNoise,
+		MaxPermanent:   f.MaxPermanent,
+	}
 }
 
 // summarize projects a Metrics onto the wire schema.
@@ -240,6 +278,16 @@ func summarize(m hetsched.Metrics) ScheduleResponse {
 		Preemptions:    m.Preemptions,
 		DeadlinesTotal: m.DeadlinesTotal,
 		DeadlineMisses: m.DeadlineMisses,
+
+		FaultInjected:      m.FaultInjected,
+		FaultEvents:        m.FaultEvents,
+		JobsRedispatched:   m.JobsRedispatched,
+		Recoveries:         m.Recoveries,
+		CoreDowntimeCycles: m.CoreDowntimeCycles,
+		MTTRCycles:         m.MTTRCycles,
+		FaultEnergyNJ:      m.FaultEnergyNJ,
+		StuckReconfigs:     m.StuckReconfigs,
+		FallbackPlacements: m.FallbackPlacements,
 	}
 }
 
@@ -247,15 +295,15 @@ func summarize(m hetsched.Metrics) ScheduleResponse {
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	var req TuneRequest
 	if err := decodeStrict(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%s", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%s", err)
 		return
 	}
 	if req.Kernel == "" {
-		writeError(w, http.StatusBadRequest, "missing field: kernel")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing field: kernel")
 		return
 	}
 	if _, err := hetsched.KernelByName(req.Kernel); err != nil {
-		writeError(w, http.StatusBadRequest, "%s", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%s", err)
 		return
 	}
 	validSize := false
@@ -265,12 +313,12 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !validSize {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, codeBadRequest,
 			"size_kb %d not in the design space %v", req.SizeKB, cache.Sizes())
 		return
 	}
-	s.serveJob(w, r, "tune", func(context.Context) (any, error) {
-		explored, best, err := s.sys.TuneKernel(req.Kernel, req.SizeKB)
+	s.serveJob(w, r, "tune", func(ctx context.Context) (any, error) {
+		explored, best, err := s.sys.TuneKernelContext(ctx, req.Kernel, req.SizeKB)
 		if err != nil {
 			return nil, badRequest(err)
 		}

@@ -24,6 +24,11 @@ type Metrics struct {
 	requests  atomic.Int64    // every HTTP request through the logging middleware
 	responses [6]atomic.Int64 // indexed by status class (1xx..5xx)
 
+	// Fault-injection counters, cumulative across faulted schedule runs.
+	faultedRuns      atomic.Int64
+	faultEvents      atomic.Int64
+	jobsRedispatched atomic.Int64
+
 	mu  sync.Mutex
 	lat map[string]*latencySeries
 }
@@ -64,6 +69,14 @@ func (m *Metrics) ObserveRequest(status int) {
 	if c := status / 100; c >= 1 && c <= 5 {
 		m.responses[c].Add(1)
 	}
+}
+
+// ObserveFaults accumulates one fault-injected schedule run's degradation
+// counters into the daemon-wide totals.
+func (m *Metrics) ObserveFaults(events, redispatched int) {
+	m.faultedRuns.Add(1)
+	m.faultEvents.Add(int64(events))
+	m.jobsRedispatched.Add(int64(redispatched))
 }
 
 // ObserveService records one compute job's end-to-end service time and
@@ -108,6 +121,11 @@ type Snapshot struct {
 	JobsCanceled int64 `json:"jobs_canceled"` // context died while queued
 	JobPanics    int64 `json:"job_panics"`
 
+	// Fault-injection totals across all faulted schedule runs.
+	FaultedRuns      int64 `json:"faulted_runs"`
+	FaultEvents      int64 `json:"fault_events"`
+	JobsRedispatched int64 `json:"jobs_redispatched"`
+
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 }
 
@@ -119,7 +137,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		Status2xx:     m.responses[2].Load(),
 		Status4xx:     m.responses[4].Load(),
 		Status5xx:     m.responses[5].Load(),
-		Endpoints:     map[string]EndpointSnapshot{},
+
+		FaultedRuns:      m.faultedRuns.Load(),
+		FaultEvents:      m.faultEvents.Load(),
+		JobsRedispatched: m.jobsRedispatched.Load(),
+
+		Endpoints: map[string]EndpointSnapshot{},
 	}
 	if m.pool != nil {
 		snap.Workers = m.pool.Workers()

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	"hetsched"
@@ -99,7 +100,7 @@ func New(sys *hetsched.System, cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/designspace", s.handleDesignSpace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.handler = s.logRequests(mux)
+	s.handler = s.logRequests(jsonErrorPages(mux))
 	return s, nil
 }
 
@@ -170,6 +171,46 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.cfg.Logger.Printf("msg=shutdown-complete err=%v", first)
 	return first
+}
+
+// jsonErrorPages rewrites the stdlib mux's plain-text 404 and 405 pages
+// into the JSON error envelope. Routing stays the mux's job — method
+// matching and the 405 Allow header are preserved; only the body changes.
+func jsonErrorPages(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&errorPageRewriter{ResponseWriter: w, req: r}, r)
+	})
+}
+
+type errorPageRewriter struct {
+	http.ResponseWriter
+	req        *http.Request
+	suppressed bool // true once the plain-text body has been replaced
+}
+
+func (w *errorPageRewriter) WriteHeader(code int) {
+	// Handlers emit their own JSON errors (Content-Type already set); only
+	// the stdlib's text pages need rewriting.
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		w.suppressed = true
+		if code == http.StatusNotFound {
+			writeError(w.ResponseWriter, code, codeNotFound,
+				"no such endpoint: %s %s", w.req.Method, w.req.URL.Path)
+		} else {
+			writeError(w.ResponseWriter, code, codeMethodNotAllowed,
+				"method %s not allowed for %s", w.req.Method, w.req.URL.Path)
+		}
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *errorPageRewriter) Write(b []byte) (int, error) {
+	if w.suppressed {
+		return len(b), nil // drop the stdlib's text body
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 // statusRecorder captures the response status for logging/metrics.

@@ -394,3 +394,100 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("predict count = %d, want 1", snap.Endpoints["predict"].Count)
 	}
 }
+
+// TestErrorEnvelope asserts the unified {"error", "code"} contract: every
+// non-2xx response carries a non-empty message and the stable code for its
+// failure class, including the rewritten stdlib 404/405 pages.
+func TestErrorEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	decode := func(t *testing.T, body []byte) ErrorResponse {
+		t.Helper()
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatalf("error body is not the JSON envelope: %s", body)
+		}
+		if er.Error == "" || er.Code == "" {
+			t.Fatalf("envelope missing fields: %s", body)
+		}
+		return er
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/schedule", `{"system": "nosuch"}`)
+	if resp.StatusCode != http.StatusBadRequest || decode(t, body).Code != "bad_request" {
+		t.Errorf("bad request: status %d, body %s", resp.StatusCode, body)
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/nosuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound || decode(t, b).Code != "not_found" {
+		t.Errorf("unknown path: status %d, body %s", resp2.StatusCode, b)
+	}
+	if ct := resp2.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("404 content-type = %q", ct)
+	}
+
+	resp3, err := http.Get(ts.URL + "/v1/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusMethodNotAllowed || decode(t, b).Code != "method_not_allowed" {
+		t.Errorf("method mismatch: status %d, body %s", resp3.StatusCode, b)
+	}
+}
+
+// TestScheduleFaults exercises the wire fault plumbing: a request-scoped
+// fault plan produces the resilience block in the response and bumps the
+// daemon-wide fault counters; a malformed plan is a 400; identical faulted
+// requests are reproducible.
+func TestScheduleFaults(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	payload := `{"system": "proposed", "arrivals": 300, "seed": 5,
+		"faults": {"seed": 9, "transient_mttf_cycles": 2000000, "recovery_cycles": 60000}}`
+	resp, body := postJSON(t, ts.URL+"/v1/schedule", payload)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("faulted schedule: status %d, body %s", resp.StatusCode, body)
+	}
+	var sr ScheduleResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.FaultInjected {
+		t.Fatalf("fault_injected missing from response: %s", body)
+	}
+	if sr.Completed != sr.Jobs {
+		t.Errorf("faulted run lost jobs: %d of %d", sr.Completed, sr.Jobs)
+	}
+
+	// Same request, same bytes back: the fault timeline is part of the
+	// deterministic contract.
+	_, body2 := postJSON(t, ts.URL+"/v1/schedule", payload)
+	if !bytes.Equal(body, body2) {
+		t.Error("identical faulted requests returned different bodies")
+	}
+
+	snap := s.met.Snapshot()
+	if snap.FaultedRuns < 2 {
+		t.Errorf("faulted_runs = %d, want >= 2", snap.FaultedRuns)
+	}
+
+	// An un-faulted request must omit the resilience block entirely.
+	_, body3 := postJSON(t, ts.URL+"/v1/schedule", `{"arrivals": 50}`)
+	if bytes.Contains(body3, []byte("fault_")) {
+		t.Errorf("fault fields leaked into a fault-free response: %s", body3)
+	}
+
+	// Invalid plan: counter noise out of range.
+	resp4, body4 := postJSON(t, ts.URL+"/v1/schedule",
+		`{"arrivals": 50, "faults": {"counter_noise": 2.0}}`)
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad fault plan: status %d, body %s", resp4.StatusCode, body4)
+	}
+}

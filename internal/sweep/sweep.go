@@ -58,7 +58,17 @@ func (c *Config) fillDefaults() {
 		c.Systems = []string{"base", "optimal", "energy-centric", "proposed"}
 	}
 	if len(c.Sim.CoreSizesKB) == 0 {
-		c.Sim = core.DefaultSimConfig()
+		// Field-wise defaulting: a caller setting only, say, Sim.Faults or
+		// a scheduling flag must not have it clobbered by the default
+		// machine.
+		def := core.DefaultSimConfig()
+		c.Sim.CoreSizesKB = def.CoreSizesKB
+		if c.Sim.ReconfigCycles == 0 {
+			c.Sim.ReconfigCycles = def.ReconfigCycles
+		}
+		if c.Sim.ProfilingCycles == 0 {
+			c.Sim.ProfilingCycles = def.ProfilingCycles
+		}
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -216,21 +226,38 @@ func runCell(db *characterize.DB, em *energy.Model, pred core.Predictor, cfg Con
 	return sim.Run(jobs)
 }
 
-// WriteCSV renders the points with a header row.
+// WriteCSV renders the points with a header row. A fault-free sweep emits
+// the legacy columns byte-for-byte; if any point ran under an enabled fault
+// plan, five degradation columns are appended to every row.
 func WriteCSV(w io.Writer, points []Point) error {
-	if _, err := fmt.Fprintln(w,
-		"utilization,arrival_model,system,total_nj,idle_nj,dynamic_nj,"+
-			"turnaround_cycles,p50_cycles,p99_cycles,stalls,nonbest,saving_vs_base_pct"); err != nil {
+	faulted := false
+	for _, p := range points {
+		if p.Metrics.FaultInjected {
+			faulted = true
+			break
+		}
+	}
+	header := "utilization,arrival_model,system,total_nj,idle_nj,dynamic_nj," +
+		"turnaround_cycles,p50_cycles,p99_cycles,stalls,nonbest,saving_vs_base_pct"
+	if faulted {
+		header += ",fault_events,redispatched,downtime_cycles,mttr_cycles,fault_nj"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, p := range points {
 		m := p.Metrics
-		if _, err := fmt.Fprintf(w, "%.2f,%s,%s,%.0f,%.0f,%.0f,%d,%d,%d,%d,%d,%.2f\n",
+		row := fmt.Sprintf("%.2f,%s,%s,%.0f,%.0f,%.0f,%d,%d,%d,%d,%d,%.2f",
 			p.Utilization, p.Model, p.System,
 			m.TotalEnergy(), m.IdleEnergy, m.DynamicEnergy,
 			m.TurnaroundCycles,
 			m.TurnaroundPercentile(50), m.TurnaroundPercentile(99),
-			m.StallDecisions, m.NonBestPlacements, p.SavingVsBasePct); err != nil {
+			m.StallDecisions, m.NonBestPlacements, p.SavingVsBasePct)
+		if faulted {
+			row += fmt.Sprintf(",%d,%d,%d,%d,%.0f",
+				m.FaultEvents, m.JobsRedispatched, m.CoreDowntimeCycles, m.MTTRCycles, m.FaultEnergyNJ)
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
 			return err
 		}
 	}

@@ -2,12 +2,14 @@ package sweep
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
 	"hetsched/internal/characterize"
 	"hetsched/internal/core"
 	"hetsched/internal/energy"
+	"hetsched/internal/fault"
 )
 
 func setup(t testing.TB) (*characterize.DB, *energy.Model, core.Predictor) {
@@ -127,5 +129,88 @@ func TestRegistryCoversAllSystems(t *testing.T) {
 	got := core.CoreSizesFor("proposed", []int{2, 4, 8, 8})
 	if len(got) != 4 || got[0] != 2 {
 		t.Errorf("proposed core sizes %v", got)
+	}
+}
+
+// TestZeroPlanCSVByteIdentical is the PR's no-op invariance criterion at the
+// sweep level: a zero-value fault plan (even with a Seed set) must produce
+// the legacy CSV byte-for-byte.
+func TestZeroPlanCSVByteIdentical(t *testing.T) {
+	db, em, pred := setup(t)
+	base := Config{
+		Arrivals: 200, Utilizations: []float64{0.7},
+		Systems: []string{"base", "proposed"}, Seed: 5,
+	}
+	render := func(cfg Config) string {
+		points, err := Run(db, em, pred, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, points); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	plain := render(base)
+
+	seeded := base
+	seeded.Sim.Faults = fault.Plan{Seed: 4242} // Seed alone does not enable the plan
+	if got := render(seeded); got != plain {
+		t.Errorf("zero-value fault plan changed the CSV:\nwithout:\n%s\nwith:\n%s", plain, got)
+	}
+	if strings.Contains(plain, "fault_events") {
+		t.Error("fault columns appeared in a fault-free sweep")
+	}
+}
+
+// TestFaultedSweepWorkerInvariance is the PR's determinism criterion: a
+// fixed-seed fault plan must reproduce identical metrics (timelines
+// included) at any worker count.
+func TestFaultedSweepWorkerInvariance(t *testing.T) {
+	db, em, pred := setup(t)
+	mk := func(workers int) Config {
+		cfg := Config{
+			Arrivals: 250, Utilizations: []float64{0.6, 0.9},
+			Systems: []string{"base", "proposed"}, Seed: 11, Workers: workers,
+		}
+		cfg.Sim.Faults = fault.Plan{
+			Seed:           7,
+			TransientMTTF:  3_000_000,
+			RecoveryCycles: 80_000,
+			StuckMTTF:      9_000_000,
+			CounterNoise:   0.05,
+		}
+		return cfg
+	}
+	serial, err := Run(db, em, pred, mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(db, em, pred, mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("faulted sweep differs between Workers=1 and Workers=4")
+	}
+	anyFaulted := false
+	for _, p := range serial {
+		if !p.Metrics.FaultInjected {
+			t.Errorf("%s u=%.2f: FaultInjected false under an enabled plan", p.System, p.Utilization)
+		}
+		if p.Metrics.FaultEvents > 0 {
+			anyFaulted = true
+		}
+	}
+	if !anyFaulted {
+		t.Error("no grid cell recorded a fault event; MTTF too large for the horizon?")
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, serial); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.SplitN(buf.String(), "\n", 2)[0], "fault_events") {
+		t.Error("faulted sweep CSV missing fault columns")
 	}
 }

@@ -24,6 +24,12 @@ func FormatMetrics(m Metrics) string {
 	fmt.Fprintf(&b, "  total energy    %15.0f nJ\n", m.TotalEnergy())
 	fmt.Fprintf(&b, "  profiling runs %d, tuning runs %d, non-best placements %d, stalls %d (+%d resource), max queue %d\n",
 		m.ProfilingRuns, m.TuningRuns, m.NonBestPlacements, m.StallDecisions, m.ResourceStalls, m.MaxQueueDepth)
+	if m.FaultInjected {
+		fmt.Fprintf(&b, "  faults: %d events, %d jobs re-dispatched, %d recoveries (MTTR %d cycles), downtime %d cycles\n",
+			m.FaultEvents, m.JobsRedispatched, m.Recoveries, m.MTTRCycles, m.CoreDowntimeCycles)
+		fmt.Fprintf(&b, "  fault energy    %15.0f nJ lost to killed executions; %d stuck reconfigs, %d fallback placements\n",
+			m.FaultEnergyNJ, m.StuckReconfigs, m.FallbackPlacements)
+	}
 	return b.String()
 }
 
@@ -120,13 +126,27 @@ func FormatPerApp(s *System, m Metrics) string {
 
 // FormatSchedule renders the first maxEvents entries of a recorded
 // execution timeline (SimConfig.RecordSchedule), one line per execution.
+// Fault events from the run's timeline are interleaved chronologically, and
+// executions cut short by a crash carry a [failed] tag.
 func FormatSchedule(s *System, m Metrics, maxEvents int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "schedule timeline (%s): %d executions\n", m.System, len(m.Schedule))
+	fmt.Fprintf(&b, "schedule timeline (%s): %d executions", m.System, len(m.Schedule))
+	if m.FaultInjected {
+		fmt.Fprintf(&b, ", %d fault events", len(m.FaultTimeline))
+	}
+	b.WriteString("\n")
 	if maxEvents <= 0 || maxEvents > len(m.Schedule) {
 		maxEvents = len(m.Schedule)
 	}
+	faults := m.FaultTimeline
+	emitFaultsThrough := func(cycle uint64) {
+		for len(faults) > 0 && faults[0].Cycle <= cycle {
+			fmt.Fprintf(&b, "  core%d %12d !! %s\n", faults[0].Core, faults[0].Cycle, faults[0].Kind)
+			faults = faults[1:]
+		}
+	}
 	for _, e := range m.Schedule[:maxEvents] {
+		emitFaultsThrough(e.Start)
 		name := fmt.Sprintf("app-%d", e.AppID)
 		if rec, err := s.Eval.Record(e.AppID); err == nil {
 			name = rec.Kernel
@@ -138,8 +158,14 @@ func FormatSchedule(s *System, m Metrics, maxEvents int) string {
 		if e.Preempted {
 			tag = " [preempted]"
 		}
+		if e.Failed {
+			tag = " [failed]"
+		}
 		fmt.Fprintf(&b, "  core%d %12d..%-12d %-8s %s%s\n",
 			e.CoreID, e.Start, e.End, name, e.Config, tag)
+	}
+	if maxEvents == len(m.Schedule) {
+		emitFaultsThrough(m.Makespan)
 	}
 	if maxEvents < len(m.Schedule) {
 		fmt.Fprintf(&b, "  ... %d more\n", len(m.Schedule)-maxEvents)

@@ -1,0 +1,62 @@
+package hetsched
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetsched/internal/fault"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestFormatScheduleGolden pins the schedule-timeline renderer byte-for-byte
+// against a golden file: a fixed workload under a scripted fault plan must
+// render the same interleaved executions, fault markers and [failed] tags on
+// every run. Regenerate with `go test -run FormatScheduleGolden -update .`
+// after an intentional format change.
+func TestFormatScheduleGolden(t *testing.T) {
+	sys := oracleSystem(t)
+	jobs, err := sys.Workload(40, 0.6, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := SimConfig{RecordSchedule: true}
+	sim.Faults = fault.Plan{Script: []fault.Event{
+		{Cycle: 1_000_000, Core: 1, Kind: fault.CrashTransient},
+		{Cycle: 1_300_000, Core: 1, Kind: fault.Recover},
+		{Cycle: 900_000, Core: 2, Kind: fault.StuckReconfig},
+	}}
+	m, err := sys.RunSystem("proposed", jobs, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FormatSchedule(sys, m, 0) + "\n" + FormatMetrics(m)
+
+	path := filepath.Join("testdata", "schedule_timeline.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("schedule timeline drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The golden content itself must carry the fault markers the renderer
+	// promises, so a regeneration cannot silently pin a fault-free timeline.
+	for _, marker := range []string{"!! crash", "!! recover", "!! stuck", "[failed]", "fault events"} {
+		if !strings.Contains(got, marker) {
+			t.Errorf("timeline missing %q:\n%s", marker, got)
+		}
+	}
+}
