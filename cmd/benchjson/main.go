@@ -97,7 +97,13 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 	return rep, sc.Err()
 }
 
-// parseBenchLine parses one result line into a Benchmark.
+// parseBenchLine parses one result line into a Benchmark. One malformed
+// (value, unit) pair — chatter glued onto the line, a unit with no value, a
+// dangling trailing token — must not discard the whole result: the other
+// pairs are real measurements (notably custom ReportMetric units on lines
+// without the -benchmem columns), so the scan resynchronizes past the bad
+// token and keeps what it can. A line yielding no valid pair at all is
+// rejected as chatter.
 func parseBenchLine(line string) (Benchmark, bool) {
 	f := strings.Fields(line)
 	// Minimum shape: name, iterations, value, unit.
@@ -109,12 +115,14 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		return Benchmark{}, false
 	}
 	b := Benchmark{Name: f[0], Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
-	// The rest is (value, unit) pairs.
-	for i := 2; i+1 < len(f); i += 2 {
+	pairs := 0
+	for i := 2; i+1 < len(f); {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
-			return Benchmark{}, false
+			i++ // not a value; resynchronize on the next token
+			continue
 		}
+		pairs++
 		switch unit := f[i+1]; unit {
 		case "ns/op":
 			b.NsPerOp = v
@@ -128,6 +136,10 @@ func parseBenchLine(line string) (Benchmark, bool) {
 			}
 			b.Metrics[unit] = v
 		}
+		i += 2
+	}
+	if pairs == 0 {
+		return Benchmark{}, false
 	}
 	return b, true
 }

@@ -52,6 +52,7 @@ func TestParseRejectsChatter(t *testing.T) {
 	chatter := `BenchmarkFoo was mentioned in a log line
 Benchmark
 BenchmarkBar-8 notanumber 12 ns/op
+BenchmarkBaz-8 100 chatter only here
 `
 	rep, err := parse(bufio.NewScanner(strings.NewReader(chatter)))
 	if err != nil {
@@ -59,5 +60,45 @@ BenchmarkBar-8 notanumber 12 ns/op
 	}
 	if len(rep.Benchmarks) != 0 {
 		t.Fatalf("chatter parsed as benchmarks: %+v", rep.Benchmarks)
+	}
+}
+
+// TestParseKeepsMetricsOnMalformedPairs is the regression gate for the
+// dropped-metrics bug: one unparsable token (or a dangling odd token) on a
+// result line used to throw away the entire line, silently losing custom
+// ReportMetric values — most visibly on benchmarks reporting a custom unit
+// without the -benchmem allocs columns.
+func TestParseKeepsMetricsOnMalformedPairs(t *testing.T) {
+	input := `BenchmarkCustom-8 200 1500 ns/op 42.5 events/op
+BenchmarkGlued-8 300 2000 ns/op [recovered] 7.25 misses/op
+BenchmarkDangling-8 400 3000 ns/op 64.00 MB/s stray
+`
+	rep, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+
+	// Custom metric on a no-allocs line survives.
+	b := rep.Benchmarks[0]
+	if b.NsPerOp != 1500 || b.Metrics["events/op"] != 42.5 {
+		t.Errorf("custom metric dropped: %+v", b)
+	}
+	if b.BytesPerOp != -1 || b.AllocsPerOp != -1 {
+		t.Errorf("absent -benchmem columns misread: %+v", b)
+	}
+
+	// A non-numeric token glued mid-line loses only itself, not the line.
+	b = rep.Benchmarks[1]
+	if b.NsPerOp != 2000 || b.Metrics["misses/op"] != 7.25 {
+		t.Errorf("metrics after a malformed token dropped: %+v", b)
+	}
+
+	// A dangling odd token is ignored; earlier pairs survive.
+	b = rep.Benchmarks[2]
+	if b.NsPerOp != 3000 || b.Metrics["MB/s"] != 64 {
+		t.Errorf("metrics before a dangling token dropped: %+v", b)
 	}
 }

@@ -8,7 +8,13 @@
 // Usage:
 //
 //	cachetune [-kernel tblook] [-scale 1] [-seed 1] [-engine onepass|replay] [-space]
+//	          [-trace walk.json]
 //	cachetune -list
+//
+// -trace records the heuristic's walk as decision-audit tune events — one
+// per configuration tried, cycle-stamped with the step index, marked
+// accepted when it improved on the best seen for its core size — and writes
+// them to the named file (.json = Chrome/Perfetto, else CSV).
 package main
 
 import (
@@ -98,6 +104,7 @@ func run() error {
 	fromTrace := flag.String("fromtrace", "", "sweep a saved trace file (see tracegen) instead of a kernel")
 	var engine characterize.Engine
 	flag.TextVar(&engine, "engine", characterize.EngineOnePass, "cache simulation engine: onepass (score all configs in one trace traversal) or replay (reference per-config path)")
+	traceFile := flag.String("trace", "", "write the tuning walk as decision-audit tune events to this file (.json = Chrome/Perfetto, else CSV)")
 	flag.Parse()
 
 	if *space {
@@ -148,25 +155,60 @@ func run() error {
 	// discard the others' results: finish the walk, then report the first
 	// error through the non-zero exit.
 	fmt.Println("tuning heuristic (Figure 5), one execution per step:")
+	var audit *hetsched.TraceRecorder
+	if *traceFile != "" {
+		audit = hetsched.NewTraceRecorder()
+		audit.SetSystem("cachetune")
+	}
 	var firstErr error
 	for _, size := range cache.Sizes() {
-		if err := tuneSize(rec, size); err != nil {
+		if err := tuneSize(rec, size, audit); err != nil {
 			fmt.Printf("  %dKB core: %v\n", size, err)
 			if firstErr == nil {
 				firstErr = err
 			}
 		}
 	}
+	if audit != nil {
+		if err := hetsched.WriteTraceFile(*traceFile, audit.Events()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d tuning-walk trace events to %s\n", audit.Len(), *traceFile)
+	}
 	return firstErr
 }
 
-// tuneSize walks the heuristic for one core size and prints its row.
-func tuneSize(rec *characterize.Record, size int) error {
+// tuneSize walks the heuristic for one core size and prints its row. With a
+// non-nil audit recorder it records one tune event per configuration tried:
+// the step index stands in for the cycle stamp (the walk has no simulated
+// clock), and a step is accepted when it improved on the size's best.
+func tuneSize(rec *characterize.Record, size int, audit *hetsched.TraceRecorder) error {
 	tn := tuner.MustNew(size)
+	step := 0
+	bestE := 0.0
 	err := tuner.Walk(tn, func(cfg cache.Config) (float64, error) {
 		cr, err := rec.Result(cfg)
 		if err != nil {
 			return 0, err
+		}
+		if audit != nil {
+			improved := step == 0 || cr.Energy.Total < bestE
+			if improved {
+				bestE = cr.Energy.Total
+			}
+			audit.Record(hetsched.TraceEvent{
+				Kind:     hetsched.TraceKindTune,
+				Cycle:    uint64(step),
+				Job:      -1,
+				App:      -1,
+				Core:     -1,
+				Config:   cfg.String(),
+				SizeKB:   size,
+				EnergyNJ: cr.Energy.Total,
+				Accepted: improved,
+				Detail:   rec.Kernel,
+			})
+			step++
 		}
 		return cr.Energy.Total, nil
 	})

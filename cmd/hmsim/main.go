@@ -7,11 +7,17 @@
 //
 //	hmsim [-arrivals 5000] [-util 0.9] [-seed 1] [-predictor ann|oracle|linear|knn|stump]
 //	      [-j N] [-cache-dir auto] [-faults mttf=5e6,recover=1e5,noise=0.05,seed=1]
+//	      [-trace file.json]
 //
 // -faults injects a deterministic fault plan (transient/permanent core
 // crashes, stuck reconfigurations, profiling-counter noise) into every
 // simulated system; "off" (the default) is bit-identical to a build without
 // the fault subsystem.
+//
+// -trace re-runs the proposed system with the decision-audit recorder
+// attached and writes the event stream to the named file — Chrome
+// trace-event JSON for a .json extension (open at ui.perfetto.dev),
+// flat CSV otherwise. See EXPERIMENTS.md for the Perfetto recipe.
 //
 // Every error path exits non-zero so the command can be scripted (see
 // cmd/hetschedbench and the Makefile targets).
@@ -46,6 +52,7 @@ func run() error {
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel workers for characterization and training")
 	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")
 	faultsFlag := flag.String("faults", "off", "fault-injection plan: off, or mttf=..,recover=..,permanent=..,stuck=..,noise=..,seed=..")
+	traceFile := flag.String("trace", "", "write the proposed system's decision-audit trace to this file (.json = Chrome/Perfetto, else CSV)")
 	flag.Parse()
 
 	dir, err := hetsched.ResolveCacheDir(*cacheDir)
@@ -82,13 +89,18 @@ func run() error {
 	}
 	fmt.Print(hetsched.FormatFigures(res))
 
-	if *perApp || *timeline > 0 {
+	if *perApp || *timeline > 0 || *traceFile != "" {
 		jobs, err := sys.Workload(cfg.Arrivals, cfg.Utilization, cfg.Seed)
 		if err != nil {
 			return err
 		}
-		m, err := sys.RunSystem("proposed", jobs,
-			hetsched.SimConfig{RecordSchedule: *timeline > 0})
+		simCfg := hetsched.SimConfig{RecordSchedule: *timeline > 0}
+		var rec *hetsched.TraceRecorder
+		if *traceFile != "" {
+			rec = hetsched.NewTraceRecorder()
+			simCfg.Trace = rec
+		}
+		m, err := sys.RunSystem("proposed", jobs, simCfg)
 		if err != nil {
 			return err
 		}
@@ -99,6 +111,12 @@ func run() error {
 		if *timeline > 0 {
 			fmt.Println()
 			fmt.Print(hetsched.FormatSchedule(sys, m, *timeline))
+		}
+		if rec != nil {
+			if err := hetsched.WriteTraceFile(*traceFile, rec.Events()); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", rec.Len(), *traceFile)
 		}
 	}
 	return nil

@@ -7,12 +7,19 @@
 //	hmsweep [-arrivals 1500] [-utils 0.5,0.75,0.9] [-models uniform,poisson,bursty]
 //	        [-systems base,optimal,sat,energy-centric,proposed]
 //	        [-predictor ann] [-engine onepass] [-seed 1] [-j N] [-cache-dir auto]
-//	        [-faults mttf=5e6,recover=1e5,seed=1] > sweep.csv
+//	        [-faults mttf=5e6,recover=1e5,seed=1] [-trace cell.json] > sweep.csv
 //
 // -faults injects one deterministic fault plan into every grid cell (the
 // data behind degradation-versus-load plots); faulted sweeps append fault
 // columns to the CSV, while the default "off" emits today's CSV
 // byte-for-byte.
+//
+// -trace re-runs the sweep's first grid cell (first utilization, first
+// model, first system) with the decision-audit recorder attached and writes
+// the event stream to the named file (.json = Chrome/Perfetto, else CSV).
+// The re-run reuses the cell's own deterministic workload seed, so the
+// trace explains exactly the first CSV row; the parallel sweep itself runs
+// untraced, keeping its output worker-count-invariant.
 //
 // Grid cells simulate in parallel across -j workers (default: all CPUs);
 // the CSV is point-for-point identical for any worker count. With
@@ -57,6 +64,7 @@ func run() error {
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel workers for setup and grid simulation")
 	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")
 	faultsFlag := flag.String("faults", "off", "fault-injection plan for every grid cell: off, or mttf=..,recover=..,permanent=..,stuck=..,noise=..,seed=..")
+	traceFile := flag.String("trace", "", "re-run the first grid cell traced and write the events to this file (.json = Chrome/Perfetto, else CSV)")
 	flag.Parse()
 
 	utils, err := parseFloats(*utilsFlag)
@@ -112,6 +120,34 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "partial results: %d completed grid points written\n", len(points))
 		return err
 	}
+	if *traceFile != "" {
+		if err := traceFirstCell(sys, swCfg, *traceFile); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceFirstCell re-runs the sweep's first (utilization, model, system)
+// cell as a 1x1x1 sub-grid with the decision-audit recorder attached. The
+// sub-grid derives the identical cell seed (indices 0,0), so the traced run
+// is the first CSV row, event for event.
+func traceFirstCell(sys *hetsched.System, swCfg sweep.Config, path string) error {
+	rec := hetsched.NewTraceRecorder()
+	cellCfg := swCfg
+	cellCfg.Utilizations = swCfg.Utilizations[:1]
+	cellCfg.Models = swCfg.Models[:1]
+	cellCfg.Systems = swCfg.Systems[:1]
+	cellCfg.Workers = 1
+	cellCfg.Sim.Trace = rec
+	if _, err := sweep.Run(sys.Eval, sys.Energy, sys.Pred, cellCfg); err != nil {
+		return err
+	}
+	if err := hetsched.WriteTraceFile(path, rec.Events()); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d trace events for cell (util=%v, model=%s, system=%s) to %s\n",
+		rec.Len(), cellCfg.Utilizations[0], cellCfg.Models[0], cellCfg.Systems[0], path)
 	return nil
 }
 

@@ -29,6 +29,9 @@ package hetsched
 import (
 	"context"
 	"fmt"
+	"io"
+	"os"
+	"strings"
 
 	"hetsched/internal/ann"
 	"hetsched/internal/cache"
@@ -38,6 +41,7 @@ import (
 	"hetsched/internal/energy"
 	"hetsched/internal/fault"
 	"hetsched/internal/mlbase"
+	"hetsched/internal/trace"
 	"hetsched/internal/tuner"
 )
 
@@ -73,7 +77,69 @@ type (
 	FaultPlan = fault.Plan
 	// FaultEvent is one applied fault in a run's Metrics.FaultTimeline.
 	FaultEvent = fault.Event
+	// TraceRecorder collects the simulator's decision-audit events
+	// (SimConfig.Trace / Options.Trace); see internal/trace.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded scheduling decision or lifecycle
+	// transition.
+	TraceEvent = trace.Event
 )
+
+// Trace event kinds, re-exported for callers constructing or filtering
+// events through the facade (see internal/trace for the taxonomy).
+const (
+	TraceKindEnqueue  = trace.KindEnqueue
+	TraceKindDispatch = trace.KindDispatch
+	TraceKindProfile  = trace.KindProfile
+	TraceKindPredict  = trace.KindPredict
+	TraceKindTune     = trace.KindTune
+	TraceKindStall    = trace.KindStall
+	TraceKindFault    = trace.KindFault
+	TraceKindKill     = trace.KindKill
+	TraceKindComplete = trace.KindComplete
+)
+
+// NewTraceRecorder returns an unbounded decision-audit recorder to attach
+// via Options.Trace or SimConfig.Trace.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// NewTraceRing returns a bounded decision-audit recorder that retains only
+// the newest capacity events.
+func NewTraceRing(capacity int) *TraceRecorder { return trace.NewRing(capacity) }
+
+// WriteTraceChrome renders recorded events as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+func WriteTraceChrome(w io.Writer, events []TraceEvent) error {
+	return trace.WriteChrome(w, events)
+}
+
+// WriteTraceCSV renders recorded events as a flat CSV; ReadTraceCSV parses
+// it back.
+func WriteTraceCSV(w io.Writer, events []TraceEvent) error {
+	return trace.WriteCSV(w, events)
+}
+
+// ReadTraceCSV parses a CSV trace written by WriteTraceCSV.
+func ReadTraceCSV(r io.Reader) ([]TraceEvent, error) { return trace.ReadCSV(r) }
+
+// WriteTraceFile writes recorded events to path, choosing the format by
+// extension: .json is Chrome trace-event JSON (open in Perfetto), anything
+// else the flat CSV. This is the CLIs' shared -trace implementation.
+func WriteTraceFile(path string, events []TraceEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = trace.WriteChrome(f, events)
+	} else {
+		err = trace.WriteCSV(f, events)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // ParseFaultPlan parses the CLIs' shared -faults flag vocabulary, e.g.
 // "mttf=5e6,recover=1e5,permanent=5e7,stuck=2e7,noise=0.05,seed=1" — or
@@ -253,6 +319,13 @@ type Options struct {
 	// plan inherits it. The zero value (disabled) leaves all outputs
 	// bit-identical to a System without the fault subsystem in the path.
 	Faults FaultPlan
+	// Trace is the system's default decision-audit recorder: every
+	// Experiment/RunSystem call whose own SimConfig carries no recorder
+	// inherits it (events from an Experiment's four systems are
+	// distinguished by their System stamp). Nil disables tracing and is a
+	// proven no-op. Simulations run sequentially into one recorder; do not
+	// share a traced System across concurrent runs.
+	Trace *TraceRecorder
 }
 
 // SetupInfo reports how New obtained its characterization DBs.
@@ -291,6 +364,7 @@ type System struct {
 
 	kind   PredictorKind
 	faults FaultPlan
+	tracer *TraceRecorder
 }
 
 // New characterizes the benchmark suite (cached per process) and trains the
@@ -355,7 +429,7 @@ func New(opts Options) (*System, error) {
 		return nil, err
 	}
 
-	sys := &System{Eval: eval, Train: train, Energy: em, Setup: setup, kind: opts.Predictor, faults: opts.Faults}
+	sys := &System{Eval: eval, Train: train, Energy: em, Setup: setup, kind: opts.Predictor, faults: opts.Faults, tracer: opts.Trace}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 42
@@ -450,6 +524,9 @@ func (s *System) ExperimentContext(ctx context.Context, cfg ExperimentConfig) (*
 	if !cfg.Sim.Faults.Enabled() && s.faults.Enabled() {
 		cfg.Sim.Faults = s.faults
 	}
+	if cfg.Sim.Trace == nil {
+		cfg.Sim.Trace = s.tracer
+	}
 	return core.RunExperimentContext(ctx, s.Eval, s.Energy, s.Pred, cfg)
 }
 
@@ -478,6 +555,9 @@ func (s *System) RunSystemContext(ctx context.Context, name string, jobs []Job, 
 	}
 	if !sim.Faults.Enabled() && s.faults.Enabled() {
 		sim.Faults = s.faults
+	}
+	if sim.Trace == nil {
+		sim.Trace = s.tracer
 	}
 	pol, needsPred, err := core.NewPolicy(name)
 	if err != nil {

@@ -170,6 +170,29 @@ func (p *SizePredictor) PredictSizeKB(f stats.Features) (int, error) {
 	return targetToSize(out[0]), nil
 }
 
+// MemberVotes reports, for an application's raw profiling features, how
+// many ensemble members vote for each cache size (keyed by size in KB).
+// This is the decision-audit view behind PredictSizeKB: the prediction
+// itself averages the member outputs, so the plurality size here can
+// differ from the predicted size when members straddle a bucket boundary.
+// The counting reduction is order-independent, so the result is identical
+// at any vote parallelism.
+func (p *SizePredictor) MemberVotes(f stats.Features) (map[int]int, error) {
+	x, err := p.Norm.Apply(f.Select())
+	if err != nil {
+		return nil, err
+	}
+	ys, err := p.Ens.memberVotes(x)
+	if err != nil {
+		return nil, err
+	}
+	votes := make(map[int]int)
+	for _, y := range ys {
+		votes[targetToSize(y[0])]++
+	}
+	return votes, nil
+}
+
 // Save serializes the predictor as JSON.
 func (p *SizePredictor) Save(w io.Writer) error {
 	return json.NewEncoder(w).Encode(p)

@@ -1,9 +1,12 @@
 package characterize
 
 import (
+	"fmt"
+	"math/rand"
 	"reflect"
 	"testing"
 
+	"hetsched/internal/eembc"
 	"hetsched/internal/energy"
 )
 
@@ -84,6 +87,61 @@ func TestEnginesBitIdenticalL2(t *testing.T) {
 	if !reflect.DeepEqual(onepass, replay) {
 		diffDBs(t, onepass, replay)
 		t.Fatal("engines diverge under L2 mode (see per-field diffs above)")
+	}
+}
+
+// randomVariants draws n kernel variants with seed-derived random scales,
+// iteration counts, data seeds and kernel choices — workloads no golden test
+// pinned, exercising footprints and access patterns the canonical suites
+// never hit.
+func randomVariants(seed int64, n int) []Variant {
+	rng := rand.New(rand.NewSource(seed))
+	kernels := eembc.AllKernels()
+	out := make([]Variant, n)
+	for i := range out {
+		out[i] = Variant{
+			Kernel: kernels[rng.Intn(len(kernels))].Name,
+			Params: eembc.Params{
+				Scale:      1 + rng.Intn(4),
+				Iterations: 1 + rng.Intn(6),
+				Seed:       rng.Int63n(1 << 32),
+			},
+		}
+	}
+	return out
+}
+
+// TestEnginesEquivalentRandom is the property-based equivalence gate: for a
+// table of seeds, randomly drawn kernel variants must characterize
+// bit-identically under the one-pass and replay engines. The fixed golden
+// tests above pin the canonical suites; this one probes the space between
+// them (and runs under -race via make test-race).
+func TestEnginesEquivalentRandom(t *testing.T) {
+	em := energy.NewDefault()
+	seeds := []int64{2, 17, 404, 9001, 271828}
+	perSeed := 3
+	if testing.Short() {
+		seeds = seeds[:2]
+		perSeed = 2
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			variants := randomVariants(seed, perSeed)
+			onepass, err := CharacterizeWithOptions(variants, em, Options{Engine: EngineOnePass})
+			if err != nil {
+				t.Fatalf("one-pass on %+v: %v", variants, err)
+			}
+			replay, err := CharacterizeWithOptions(variants, em, Options{Engine: EngineReplay})
+			if err != nil {
+				t.Fatalf("replay on %+v: %v", variants, err)
+			}
+			if !reflect.DeepEqual(onepass, replay) {
+				diffDBs(t, onepass, replay)
+				t.Fatalf("engines diverge on random variants %+v", variants)
+			}
+		})
 	}
 }
 

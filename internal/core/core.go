@@ -11,6 +11,7 @@ import (
 	"hetsched/internal/fault"
 	"hetsched/internal/profile"
 	"hetsched/internal/stats"
+	"hetsched/internal/trace"
 )
 
 // Predictor is the best-cache-size predictor interface the scheduler
@@ -66,6 +67,17 @@ type SimConfig struct {
 	// The zero value is disabled and leaves every output bit-identical to
 	// a fault-free simulation; see internal/fault.
 	Faults fault.Plan
+	// Trace attaches a decision-audit recorder (internal/trace): the
+	// simulator emits one cycle-stamped event per lifecycle transition and
+	// per scheduling decision — enqueue, dispatch, profiling window, ANN
+	// prediction (features + ensemble votes), Figure 5 tuning steps,
+	// energy-advantageous stall decisions, fault kills/re-queues, and
+	// completion. Nil (the default) disables recording entirely: every
+	// emission site is nil-guarded, so the metrics are bit-identical and
+	// the hot path allocates nothing. The recorder rides the
+	// single-threaded event loop and must not be shared across concurrent
+	// simulations.
+	Trace *trace.Recorder
 }
 
 // DefaultSimConfig returns the paper's quad-core machine.
@@ -285,6 +297,9 @@ type Simulator struct {
 	// Fault injection (nil unless Cfg.Faults is enabled).
 	inj           *fault.Injector
 	recoveredDown uint64 // downtime of completed outages, for MTTR
+
+	// Decision-audit recorder (nil unless Cfg.Trace is set; see trace.go).
+	tr *trace.Recorder
 }
 
 // NewSimulator validates and assembles a simulator.
@@ -343,6 +358,10 @@ func NewSimulator(db *characterize.DB, em *energy.Model, pol Policy, pred Predic
 	if cfg.Faults.Enabled() {
 		s.inj = cfg.Faults.NewInjector(len(s.cores))
 		s.metrics.FaultInjected = true
+	}
+	if cfg.Trace != nil {
+		s.tr = cfg.Trace
+		s.tr.SetSystem(pol.Name())
 	}
 	return s, nil
 }
@@ -414,12 +433,14 @@ func (s *Simulator) start(job *Job, core *SimCore, cfg cache.Config, profiling b
 	if core.failed || core.dead {
 		return fmt.Errorf("core: scheduling on unavailable core %d", core.ID)
 	}
+	overridden := false
 	if core.stuck && cfg != core.Config {
 		// Jammed reconfiguration hardware: the core can only execute what
 		// it currently holds, so the requested configuration is overridden
 		// and no reconfiguration is charged (none happens).
 		cfg = core.Config
 		s.metrics.StuckReconfigs++
+		overridden = true
 	}
 	rec, err := s.Record(job)
 	if err != nil {
@@ -496,6 +517,8 @@ func (s *Simulator) start(job *Job, core *SimCore, cfg cache.Config, profiling b
 	s.metrics.CoreEnergy += core.chargedCore
 	s.metrics.ProfilingEnergy += overheadE
 	s.metrics.PerAppEnergy[job.AppID] += core.chargedDyn + core.chargedStatic + core.chargedCore
+	s.traceDispatch(job, core, cfg, profiling, overridden,
+		core.chargedDyn+core.chargedStatic+core.chargedCore)
 	return nil
 }
 
@@ -552,6 +575,7 @@ func (s *Simulator) completeDue() error {
 					Config: cfg, Profiling: profiled,
 				})
 			}
+			s.traceComplete(job, c, cfg, profiled)
 			s.metrics.TurnaroundCycles += c.busyUntil - job.ArrivalCycle
 			s.metrics.Turnarounds = append(s.metrics.Turnarounds, c.busyUntil-job.ArrivalCycle)
 			s.metrics.Completed++
@@ -770,6 +794,7 @@ func (s *Simulator) RunContext(ctx context.Context, jobs []Job) (Metrics, error)
 		for next < len(jobs) && jobs[next].ArrivalCycle <= s.now {
 			j := jobs[next]
 			s.queue = append(s.queue, &j)
+			s.traceEnqueue(&j)
 			next++
 		}
 		if err := s.schedulePass(); err != nil {

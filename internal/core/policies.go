@@ -67,9 +67,13 @@ func recordCompletion(s *Simulator, job *Job, cfg cache.Config, profiled bool) e
 	}
 	if tn, err := entry.Tuner(cfg.SizeKB); err == nil && !tn.Done() {
 		if want, ok := tn.Next(); ok && want == cfg {
+			// Capture the tuner's running best before the observation so
+			// the audit event can report accept/reject (tracing only).
+			_, prevBestE, hadBest := tn.Best()
 			if err := tn.Observe(cfg, cr.Energy.Total); err != nil {
 				return err
 			}
+			s.traceTune(job, cfg, cr.Energy.Total, !hadBest || cr.Energy.Total < prevBestE)
 		}
 	}
 	if profiled && !entry.Profiled {
@@ -85,6 +89,7 @@ func recordCompletion(s *Simulator, job *Job, cfg cache.Config, profiled bool) e
 			if err := entry.SetPrediction(size); err != nil {
 				return err
 			}
+			s.tracePredict(job, f, size)
 		}
 	}
 	return nil
@@ -406,12 +411,20 @@ func (p ProposedPolicy) Decide(s *Simulator, job *Job) (Decision, error) {
 	var pick *SimCore
 	var pickCfg cache.Config
 	pickE := 0.0
+	// Audit-only tracking of the cheapest candidate overall, so a stall
+	// verdict can report the compare it rejected (nil recorder: no work).
+	var cmp *SimCore
+	var cmpCfg cache.Config
+	var cmpStallE, cmpRunE float64
 	for _, c := range idle {
 		ci, ok := entry.BestForSize(c.SizeKB)
 		if !ok {
 			continue // unreachable: handled above
 		}
 		stallE := bestInfo.Energy + s.EM.IdleEnergy(c.SizeKB, window)
+		if s.tr != nil && (cmp == nil || ci.Energy < cmpRunE) {
+			cmp, cmpCfg, cmpStallE, cmpRunE = c, ci.Config, stallE, ci.Energy
+		}
 		if p.DisableEadv || stallE > ci.Energy {
 			if pick == nil || ci.Energy < pickE {
 				pick, pickCfg, pickE = c, ci.Config, ci.Energy
@@ -419,8 +432,13 @@ func (p ProposedPolicy) Decide(s *Simulator, job *Job) (Decision, error) {
 		}
 	}
 	if pick == nil {
+		if cmp != nil {
+			s.traceStall(job, cmp, cmpCfg, cmpStallE, cmpRunE, true)
+		}
 		return Decision{}, nil // stalling is energy advantageous
 	}
+	s.traceStall(job, pick, pickCfg,
+		bestInfo.Energy+s.EM.IdleEnergy(pick.SizeKB, window), pickE, false)
 	s.NoteNonBest()
 	return Decision{Place: true, CoreID: pick.ID, Config: pickCfg}, nil
 }

@@ -82,6 +82,7 @@ func (s *Simulator) applyFaultsDue() error {
 		}
 		s.metrics.FaultEvents++
 		s.metrics.FaultTimeline = append(s.metrics.FaultTimeline, ev)
+		s.traceFault(ev)
 	}
 	return nil
 }
@@ -118,10 +119,12 @@ func (s *Simulator) killExecution(c *SimCore) error {
 			Config: c.jobCfg, Profiling: c.profiling, Failed: true,
 		})
 	}
+	s.traceKill(job, c, (c.chargedDyn+c.chargedStatic+c.chargedCore)*doneFrac)
 	c.job = nil
 	c.profiling = false
 	c.busyUntil = s.now
 	s.queue = append(s.queue, job)
+	s.traceEnqueue(job)
 	s.metrics.JobsRedispatched++
 	return nil
 }

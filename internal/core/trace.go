@@ -1,0 +1,176 @@
+package core
+
+// Decision-audit emission: every scheduling decision and lifecycle
+// transition the simulator makes is mirrored into the run's
+// trace.Recorder when one is attached (SimConfig.Trace). Each helper is
+// guarded by a nil check, so the disabled path does no work and allocates
+// nothing — the invariance tests in trace_invariance_test.go prove the
+// recorder's absence is bit-undetectable in the metrics.
+
+import (
+	"fmt"
+	"strings"
+
+	"hetsched/internal/cache"
+	"hetsched/internal/fault"
+	"hetsched/internal/stats"
+	"hetsched/internal/trace"
+)
+
+// VotePredictor is the optional Predictor extension the tracer consults
+// when auditing a prediction: how many ensemble members voted for each
+// cache size (keyed by size in KB). Implemented by ann.SizePredictor;
+// predictors without an ensemble simply omit vote counts from the event.
+type VotePredictor interface {
+	MemberVotes(f stats.Features) (map[int]int, error)
+}
+
+// Tracer returns the run's decision recorder, nil when tracing is off.
+func (s *Simulator) Tracer() *trace.Recorder { return s.tr }
+
+// traceEnqueue records a job entering the ready queue (arrival or
+// post-fault re-queue).
+func (s *Simulator) traceEnqueue(job *Job) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Record(trace.Event{
+		Cycle: s.now, Kind: trace.KindEnqueue,
+		Job: job.Index, App: job.AppID, Core: -1,
+	})
+}
+
+// traceDispatch records an execution starting: the (possibly
+// stuck-overridden) configuration, the profiling flag and the upfront
+// execution-energy charge.
+func (s *Simulator) traceDispatch(job *Job, c *SimCore, cfg cache.Config, profiling, overridden bool, energyNJ float64) {
+	if s.tr == nil {
+		return
+	}
+	detail := ""
+	if overridden {
+		detail = "stuck-override"
+	}
+	s.tr.Record(trace.Event{
+		Cycle: s.now, Kind: trace.KindDispatch,
+		Job: job.Index, App: job.AppID, Core: c.ID,
+		Config: cfg.String(), Profiling: profiling,
+		EnergyNJ: energyNJ, Detail: detail,
+	})
+}
+
+// traceComplete records an execution finishing; profiling runs additionally
+// emit the profiling window as its own interval event.
+func (s *Simulator) traceComplete(job *Job, c *SimCore, cfg cache.Config, profiled bool) {
+	if s.tr == nil {
+		return
+	}
+	if profiled {
+		s.tr.Record(trace.Event{
+			Cycle: c.busyUntil, Kind: trace.KindProfile,
+			Job: job.Index, App: job.AppID, Core: c.ID,
+			Config: cfg.String(), Start: c.startedAt,
+		})
+	}
+	s.tr.Record(trace.Event{
+		Cycle: c.busyUntil, Kind: trace.KindComplete,
+		Job: job.Index, App: job.AppID, Core: c.ID,
+		Config: cfg.String(), Start: c.startedAt, Profiling: profiled,
+	})
+}
+
+// tracePredict records the best-size prediction made from a completed
+// profiling run: the (noise-perturbed) input features and, when the
+// predictor exposes its ensemble, the per-size member vote counts.
+func (s *Simulator) tracePredict(job *Job, f stats.Features, sizeKB int) {
+	if s.tr == nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("features=[")
+	for i, v := range f {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%g", v)
+	}
+	b.WriteString("]")
+	if vp, ok := s.Pred.(VotePredictor); ok {
+		if votes, err := vp.MemberVotes(f); err == nil {
+			b.WriteString(" votes=")
+			first := true
+			for _, size := range cache.Sizes() { // ascending: deterministic
+				n, ok := votes[size]
+				if !ok {
+					continue
+				}
+				if !first {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%dKB:%d", size, n)
+				first = false
+			}
+		}
+	}
+	s.tr.Record(trace.Event{
+		Cycle: s.now, Kind: trace.KindPredict,
+		Job: job.Index, App: job.AppID, Core: -1,
+		SizeKB: sizeKB, Detail: b.String(),
+	})
+}
+
+// traceTune records one Figure 5 tuning step: the configuration executed,
+// the energy the tuner observed, and whether it improved the running best.
+func (s *Simulator) traceTune(job *Job, cfg cache.Config, energyNJ float64, accepted bool) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Record(trace.Event{
+		Cycle: s.now, Kind: trace.KindTune,
+		Job: job.Index, App: job.AppID, Core: -1,
+		Config: cfg.String(), EnergyNJ: energyNJ, Accepted: accepted,
+	})
+}
+
+// traceStall records the Section IV.E energy-advantageous comparison:
+// stallE (best-core execution energy plus the candidate's idle leakage over
+// the wait window) against the candidate's migration energy, and which way
+// the decision went. Core/Config identify the (best) migration candidate.
+func (s *Simulator) traceStall(job *Job, c *SimCore, cfg cache.Config, stallE, runE float64, stalled bool) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Record(trace.Event{
+		Cycle: s.now, Kind: trace.KindStall,
+		Job: job.Index, App: job.AppID, Core: c.ID,
+		Config: cfg.String(), EnergyNJ: stallE, AltEnergyNJ: runE,
+		Accepted: stalled,
+	})
+}
+
+// traceFault records one applied fault-injection event.
+func (s *Simulator) traceFault(ev fault.Event) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Record(trace.Event{
+		Cycle: ev.Cycle, Kind: trace.KindFault,
+		Job: -1, App: -1, Core: ev.Core,
+		Detail: ev.Kind.String(),
+	})
+}
+
+// traceKill records an execution killed by a core crash, with the energy
+// already spent (and therefore wasted). The job's re-queue follows as its
+// own enqueue event.
+func (s *Simulator) traceKill(job *Job, c *SimCore, wastedNJ float64) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Record(trace.Event{
+		Cycle: s.now, Kind: trace.KindKill,
+		Job: job.Index, App: job.AppID, Core: c.ID,
+		Config: c.jobCfg.String(), Start: c.startedAt,
+		EnergyNJ: wastedNJ, Profiling: c.profiling,
+	})
+}

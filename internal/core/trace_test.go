@@ -1,0 +1,160 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hetsched/internal/energy"
+	"hetsched/internal/fault"
+	"hetsched/internal/trace"
+)
+
+// tracedFaultPlan is a scripted degradation that exercises every audit
+// path: a transient crash killing an in-flight execution, its recovery,
+// and a stuck reconfiguration.
+func tracedFaultPlan() fault.Plan {
+	return fault.Plan{Script: []fault.Event{
+		{Cycle: 900_000, Core: 2, Kind: fault.StuckReconfig},
+		{Cycle: 1_000_000, Core: 1, Kind: fault.CrashTransient},
+		{Cycle: 1_300_000, Core: 1, Kind: fault.Recover},
+	}}
+}
+
+func runTraced(t *testing.T, pol Policy, pred Predictor, tr *trace.Recorder, faulted bool) Metrics {
+	t.Helper()
+	db := testDB(t)
+	jobs := testJobs(t, db, 120, 0.7, 7)
+	cfg := DefaultSimConfig()
+	cfg.Trace = tr
+	if faulted {
+		cfg.Faults = tracedFaultPlan()
+	}
+	if pol.Name() == "base" {
+		cfg.CoreSizesKB = BaseCoreSizes(4)
+	}
+	sim, err := NewSimulator(db, energy.NewDefault(), pol, pred, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestTraceDisabledNoOp is the tentpole's no-op proof: for every system,
+// with and without fault injection, a run carrying a recorder produces
+// metrics deeply equal to a run with Trace nil — recording observes the
+// simulation without perturbing it.
+func TestTraceDisabledNoOp(t *testing.T) {
+	db := testDB(t)
+	pred := OraclePredictor{DB: db}
+	for _, pol := range []Policy{BasePolicy{}, OptimalPolicy{}, EnergyCentricPolicy{}, ProposedPolicy{}, ProposedPolicy{DisableEadv: true}} {
+		var p Predictor
+		if pol.Name() != "base" && pol.Name() != "optimal" {
+			p = pred
+		}
+		for _, faulted := range []bool{false, true} {
+			plain := runTraced(t, pol, p, nil, faulted)
+			tr := trace.NewRecorder()
+			traced := runTraced(t, pol, p, tr, faulted)
+			if !reflect.DeepEqual(plain, traced) {
+				t.Errorf("%s (faulted=%v): tracing changed the metrics", pol.Name(), faulted)
+			}
+			if tr.Len() == 0 {
+				t.Errorf("%s (faulted=%v): recorder captured nothing", pol.Name(), faulted)
+			}
+		}
+	}
+}
+
+// TestTraceLifecycleAccounting cross-checks the event stream against the
+// run's metrics: every job enqueues, every completion and kill is recorded,
+// and the counters agree.
+func TestTraceLifecycleAccounting(t *testing.T) {
+	db := testDB(t)
+	tr := trace.NewRecorder()
+	m := runTraced(t, ProposedPolicy{}, OraclePredictor{DB: db}, tr, true)
+
+	if got, want := tr.Count(trace.KindEnqueue), uint64(m.Jobs+m.JobsRedispatched); got != want {
+		t.Errorf("enqueue events %d, want %d (jobs %d + redispatched %d)", got, want, m.Jobs, m.JobsRedispatched)
+	}
+	if got, want := tr.Count(trace.KindComplete), uint64(m.Completed); got != want {
+		t.Errorf("complete events %d, want %d", got, want)
+	}
+	if got, want := tr.Count(trace.KindDispatch), uint64(m.Completed+m.JobsRedispatched); got != want {
+		t.Errorf("dispatch events %d, want %d", got, want)
+	}
+	if got, want := tr.Count(trace.KindKill), uint64(m.JobsRedispatched); got != want {
+		t.Errorf("kill events %d, want %d", got, want)
+	}
+	if got, want := tr.Count(trace.KindFault), uint64(m.FaultEvents); got != want {
+		t.Errorf("fault events %d, want %d", got, want)
+	}
+	if tr.Count(trace.KindPredict) == 0 || tr.Count(trace.KindTune) == 0 {
+		t.Errorf("missing decision events: %d predictions, %d tuning steps",
+			tr.Count(trace.KindPredict), tr.Count(trace.KindTune))
+	}
+	if got := tr.Count(trace.KindTune); got > uint64(m.TuningRuns) {
+		t.Errorf("tune events %d exceed tuning runs %d", got, m.TuningRuns)
+	}
+
+	// Event-level invariants: cycle stamps never run backwards, every
+	// stall verdict is consistent with its recorded energies, and every
+	// prediction carries its features and vote counts.
+	evs := tr.Events()
+	var last uint64
+	for i, e := range evs {
+		if e.Cycle < last {
+			t.Fatalf("event %d (%v) at cycle %d after cycle %d", i, e.Kind, e.Cycle, last)
+		}
+		last = e.Cycle
+		switch e.Kind {
+		case trace.KindStall:
+			migrateWins := e.EnergyNJ > e.AltEnergyNJ
+			if e.Accepted == migrateWins {
+				t.Errorf("stall event inconsistent: stallE=%g runE=%g accepted=%v", e.EnergyNJ, e.AltEnergyNJ, e.Accepted)
+			}
+		case trace.KindPredict:
+			if !strings.Contains(e.Detail, "features=[") {
+				t.Errorf("prediction event missing features: %q", e.Detail)
+			}
+			if e.SizeKB == 0 {
+				t.Errorf("prediction event missing size: %+v", e)
+			}
+		case trace.KindProfile, trace.KindComplete:
+			if e.Start > e.Cycle {
+				t.Errorf("%v interval inverted: [%d, %d]", e.Kind, e.Start, e.Cycle)
+			}
+		}
+	}
+}
+
+// TestTraceDeterministic pins recording determinism: two identical traced
+// runs yield identical event streams.
+func TestTraceDeterministic(t *testing.T) {
+	db := testDB(t)
+	a, b := trace.NewRecorder(), trace.NewRecorder()
+	runTraced(t, ProposedPolicy{}, OraclePredictor{DB: db}, a, true)
+	runTraced(t, ProposedPolicy{}, OraclePredictor{DB: db}, b, true)
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Error("two identical traced runs produced different event streams")
+	}
+}
+
+// TestTraceStallEventsMatchDecisions checks the proposed system's
+// energy-advantageous audit trail exists exactly where the ablation says it
+// must: the noEadv ablation never records a stall verdict that chose to
+// stall.
+func TestTraceStallEventsMatchDecisions(t *testing.T) {
+	db := testDB(t)
+	tr := trace.NewRecorder()
+	runTraced(t, ProposedPolicy{DisableEadv: true}, OraclePredictor{DB: db}, tr, false)
+	for _, e := range tr.Events() {
+		if e.Kind == trace.KindStall && e.Accepted {
+			t.Fatalf("noEadv ablation recorded a stall verdict: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec fuzzes the -faults flag parser against its printer. For any
+// input the parser accepts, the rendered plan must re-parse to a fixed
+// point: an enabled plan round-trips field-for-field, a disabled one
+// renders "off" and re-parses to the zero plan.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"off",
+		"none",
+		"mttf=5e6,recover=1e5,noise=0.05,seed=1",
+		"permanent=5e7,stuck=2e7,maxdead=2",
+		"mttf=1000,recover=0,seed=-9223372036854775808",
+		"noise=0.999999999",
+		"noise=1e-320",
+		"mttf=1500.7",
+		" mttf = 5e6 , seed = 3 ",
+		"mttf=1e18",
+		"mttf",
+		"mttf=",
+		"noise=2",
+		"seed=abc",
+		"mttf=999",
+		"script=3",
+		"mttf=5e6,mttf=6e6",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseSpec(s)
+		if err != nil {
+			return // rejected input; nothing to round-trip
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted an invalid plan %+v: %v", s, p, verr)
+		}
+		if len(p.Script) != 0 {
+			t.Fatalf("ParseSpec(%q) produced a scripted plan: %+v", s, p)
+		}
+		rendered := p.String()
+		p2, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q) -> %q does not re-parse: %v", s, rendered, err)
+		}
+		if p.Enabled() {
+			if !reflect.DeepEqual(p2, p) {
+				t.Fatalf("enabled plan did not round-trip:\nin   %q\nout  %q\nwant %+v\ngot  %+v", s, rendered, p, p2)
+			}
+		} else {
+			if rendered != "off" {
+				t.Fatalf("disabled plan renders %q, want \"off\" (input %q)", rendered, s)
+			}
+			if !reflect.DeepEqual(p2, Plan{}) {
+				t.Fatalf("\"off\" re-parsed to non-zero plan %+v", p2)
+			}
+		}
+		if again := p2.String(); again != rendered {
+			t.Fatalf("String not a fixed point: %q -> %q (input %q)", rendered, again, s)
+		}
+		if strings.Contains(rendered, "script=") {
+			t.Fatalf("parser-produced plan rendered a script marker: %q", rendered)
+		}
+	})
+}

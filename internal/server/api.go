@@ -104,6 +104,49 @@ type ScheduleResponse struct {
 	FaultEnergyNJ      float64 `json:"fault_energy_nj,omitempty"`
 	StuckReconfigs     int     `json:"stuck_reconfigs,omitempty"`
 	FallbackPlacements int     `json:"fallback_placements,omitempty"`
+
+	// Trace block; present only when the request asked for ?trace=1.
+	Trace *TraceBlock `json:"trace,omitempty"`
+}
+
+// TraceBlock is the inline decision-audit trace of one ?trace=1 schedule
+// run: the newest events (capped; Dropped counts evictions) plus the
+// cumulative per-kind decision counters of the whole run.
+type TraceBlock struct {
+	Events  int               `json:"events"`
+	Dropped uint64            `json:"dropped,omitempty"`
+	Counts  map[string]uint64 `json:"counts"`
+	Entries []TraceEventWire  `json:"entries"`
+}
+
+// TraceEventWire is the wire form of one trace event (see internal/trace
+// for the field semantics; ints are -1 when not applicable).
+type TraceEventWire struct {
+	Seq         uint64  `json:"seq"`
+	Cycle       uint64  `json:"cycle"`
+	Kind        string  `json:"kind"`
+	System      string  `json:"system,omitempty"`
+	Job         int     `json:"job"`
+	App         int     `json:"app"`
+	Core        int     `json:"core"`
+	Config      string  `json:"config,omitempty"`
+	Start       uint64  `json:"start,omitempty"`
+	SizeKB      int     `json:"size_kb,omitempty"`
+	EnergyNJ    float64 `json:"energy_nj,omitempty"`
+	AltEnergyNJ float64 `json:"alt_energy_nj,omitempty"`
+	Accepted    bool    `json:"accepted,omitempty"`
+	Profiling   bool    `json:"profiling,omitempty"`
+	Detail      string  `json:"detail,omitempty"`
+}
+
+// DebugTraceResponse is the /debug/trace ring-buffer dump (default JSON
+// format; ?format=csv and ?format=chrome stream the flat and Perfetto
+// renderings instead).
+type DebugTraceResponse struct {
+	Events  int               `json:"events"`
+	Dropped uint64            `json:"dropped"`
+	Counts  map[string]uint64 `json:"counts"`
+	Entries []TraceEventWire  `json:"entries"`
 }
 
 // TuneRequest walks the Figure 5 tuning heuristic for one kernel on one

@@ -12,7 +12,13 @@ import (
 	"hetsched"
 	"hetsched/internal/cache"
 	"hetsched/internal/core"
+	"hetsched/internal/trace"
 )
+
+// maxInlineTraceEvents caps the per-run recorder behind ?trace=1 (and so
+// the trace block inlined into the response): longer runs keep their newest
+// events and report the eviction count as dropped.
+const maxInlineTraceEvents = 10000
 
 // maxBodyBytes bounds request bodies; every /v1 request is a small JSON
 // object, so 1 MiB is generous.
@@ -187,15 +193,25 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	traced := false
+	switch v := r.URL.Query().Get("trace"); v {
+	case "", "0", "false":
+	case "1", "true":
+		traced = true
+	default:
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			"trace=%q not in {0, 1, true, false}", v)
+		return
+	}
 	s.serveJob(w, r, "schedule", func(ctx context.Context) (any, error) {
-		return s.runSchedule(ctx, req)
+		return s.runSchedule(ctx, req, traced)
 	})
 }
 
 // runSchedule executes one schedule job on a worker: generate the workload,
 // decorate it, simulate, summarize. The context is checked between stages;
 // a single simulation is not interruptible mid-run.
-func (s *Server) runSchedule(ctx context.Context, req ScheduleRequest) (any, error) {
+func (s *Server) runSchedule(ctx context.Context, req ScheduleRequest, traced bool) (any, error) {
 	var (
 		jobs []hetsched.Job
 		err  error
@@ -225,6 +241,11 @@ func (s *Server) runSchedule(ctx context.Context, req ScheduleRequest) (any, err
 	if req.Faults != nil {
 		sim.Faults = req.Faults.plan()
 	}
+	var rec *hetsched.TraceRecorder
+	if traced {
+		rec = hetsched.NewTraceRing(maxInlineTraceEvents)
+		sim.Trace = rec
+	}
 	m, err := s.sys.RunSystemContext(ctx, req.System, jobs, sim)
 	if err != nil {
 		return nil, err
@@ -232,7 +253,82 @@ func (s *Server) runSchedule(ctx context.Context, req ScheduleRequest) (any, err
 	if m.FaultInjected {
 		s.met.ObserveFaults(m.FaultEvents, m.JobsRedispatched)
 	}
-	return summarize(m), nil
+	resp := summarize(m)
+	if rec != nil {
+		evs := rec.Events()
+		s.ring.Append(evs)
+		counts := traceCounts(rec.Count)
+		s.met.ObserveTrace(counts)
+		resp.Trace = &TraceBlock{
+			Events:  len(evs),
+			Dropped: rec.Dropped(),
+			Counts:  counts,
+			Entries: wireEvents(evs),
+		}
+	}
+	return resp, nil
+}
+
+// traceCounts materializes per-kind counters (keyed by kind name) from a
+// recorder's or ring's Count method, omitting zero kinds.
+func traceCounts(count func(trace.Kind) uint64) map[string]uint64 {
+	m := make(map[string]uint64)
+	for _, k := range trace.Kinds() {
+		if n := count(k); n > 0 {
+			m[k.String()] = n
+		}
+	}
+	return m
+}
+
+// wireEvents projects trace events onto the JSON wire schema.
+func wireEvents(evs []trace.Event) []TraceEventWire {
+	out := make([]TraceEventWire, len(evs))
+	for i, e := range evs {
+		out[i] = TraceEventWire{
+			Seq:         e.Seq,
+			Cycle:       e.Cycle,
+			Kind:        e.Kind.String(),
+			System:      e.System,
+			Job:         e.Job,
+			App:         e.App,
+			Core:        e.Core,
+			Config:      e.Config,
+			Start:       e.Start,
+			SizeKB:      e.SizeKB,
+			EnergyNJ:    e.EnergyNJ,
+			AltEnergyNJ: e.AltEnergyNJ,
+			Accepted:    e.Accepted,
+			Profiling:   e.Profiling,
+			Detail:      e.Detail,
+		}
+	}
+	return out
+}
+
+// handleDebugTrace serves GET /debug/trace: the daemon-wide ring of traced
+// schedule runs, as JSON (default), ?format=csv, or ?format=chrome
+// (Perfetto-loadable).
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	evs := s.ring.Snapshot()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, DebugTraceResponse{
+			Events:  len(evs),
+			Dropped: s.ring.Dropped(),
+			Counts:  traceCounts(s.ring.Count),
+			Entries: wireEvents(evs),
+		})
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		_ = trace.WriteCSV(w, evs)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = trace.WriteChrome(w, evs)
+	default:
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			"format=%q not in {json, csv, chrome}", format)
+	}
 }
 
 // plan converts the wire spec into the simulator's fault plan.

@@ -29,6 +29,13 @@ type Metrics struct {
 	faultEvents      atomic.Int64
 	jobsRedispatched atomic.Int64
 
+	// Decision-audit counters, cumulative across ?trace=1 schedule runs:
+	// how many runs were traced and, per event kind, how many scheduling
+	// decisions they recorded.
+	tracedRuns  atomic.Int64
+	traceMu     sync.Mutex
+	traceCounts map[string]uint64
+
 	mu  sync.Mutex
 	lat map[string]*latencySeries
 }
@@ -45,9 +52,10 @@ type latencySeries struct {
 // be nil for tests.
 func NewMetrics(pool *Pool) *Metrics {
 	return &Metrics{
-		start: time.Now(),
-		pool:  pool,
-		lat:   map[string]*latencySeries{},
+		start:       time.Now(),
+		pool:        pool,
+		traceCounts: map[string]uint64{},
+		lat:         map[string]*latencySeries{},
 	}
 }
 
@@ -77,6 +85,17 @@ func (m *Metrics) ObserveFaults(events, redispatched int) {
 	m.faultedRuns.Add(1)
 	m.faultEvents.Add(int64(events))
 	m.jobsRedispatched.Add(int64(redispatched))
+}
+
+// ObserveTrace accumulates one traced schedule run's per-kind decision
+// counters into the daemon-wide totals.
+func (m *Metrics) ObserveTrace(counts map[string]uint64) {
+	m.tracedRuns.Add(1)
+	m.traceMu.Lock()
+	defer m.traceMu.Unlock()
+	for kind, n := range counts {
+		m.traceCounts[kind] += n
+	}
 }
 
 // ObserveService records one compute job's end-to-end service time and
@@ -126,6 +145,11 @@ type Snapshot struct {
 	FaultEvents      int64 `json:"fault_events"`
 	JobsRedispatched int64 `json:"jobs_redispatched"`
 
+	// Decision-audit totals across all ?trace=1 schedule runs, keyed by
+	// trace event kind.
+	TracedRuns     int64             `json:"traced_runs"`
+	TraceDecisions map[string]uint64 `json:"trace_decisions,omitempty"`
+
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 }
 
@@ -142,8 +166,18 @@ func (m *Metrics) Snapshot() Snapshot {
 		FaultEvents:      m.faultEvents.Load(),
 		JobsRedispatched: m.jobsRedispatched.Load(),
 
+		TracedRuns: m.tracedRuns.Load(),
+
 		Endpoints: map[string]EndpointSnapshot{},
 	}
+	m.traceMu.Lock()
+	if len(m.traceCounts) > 0 {
+		snap.TraceDecisions = make(map[string]uint64, len(m.traceCounts))
+		for kind, n := range m.traceCounts {
+			snap.TraceDecisions[kind] = n
+		}
+	}
+	m.traceMu.Unlock()
 	if m.pool != nil {
 		snap.Workers = m.pool.Workers()
 		snap.WorkersBusy = m.pool.Busy()

@@ -12,7 +12,12 @@ import (
 	"time"
 
 	"hetsched"
+	"hetsched/internal/trace"
 )
+
+// debugTraceRingCap bounds the daemon-wide decision-audit ring served by
+// /debug/trace: traced schedule runs merge their events here, newest kept.
+const debugTraceRingCap = 8192
 
 // Config shapes the daemon.
 type Config struct {
@@ -66,6 +71,7 @@ type Server struct {
 	sys  *hetsched.System
 	pool *Pool
 	met  *Metrics
+	ring *trace.SharedRing // merged events of ?trace=1 runs (/debug/trace)
 
 	handler http.Handler
 	api     *http.Server
@@ -90,8 +96,9 @@ func New(sys *hetsched.System, cfg Config) (*Server, error) {
 		cfg:  cfg,
 		sys:  sys,
 		pool: pool,
-		met:  NewMetrics(pool),
+		ring: trace.NewSharedRing(debugTraceRingCap),
 	}
+	s.met = NewMetrics(pool)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
@@ -111,7 +118,8 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Metrics exposes the metrics layer (the daemon publishes it to expvar).
 func (s *Server) Metrics() *Metrics { return s.met }
 
-// DebugHandler returns the debug mux: /debug/pprof/* and /debug/vars.
+// DebugHandler returns the debug mux: /debug/pprof/*, /debug/vars and
+// /debug/trace (the merged ring buffer of ?trace=1 schedule runs).
 // Serve it on an internal-only address; profiles expose internals.
 func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
@@ -121,6 +129,7 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
 	return mux
 }
 

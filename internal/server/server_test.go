@@ -491,3 +491,158 @@ func TestScheduleFaults(t *testing.T) {
 		t.Errorf("bad fault plan: status %d, body %s", resp4.StatusCode, body4)
 	}
 }
+
+// TestScheduleTrace exercises the ?trace=1 decision-audit contract: the
+// response grows an inline trace block whose counters agree with the
+// summarized metrics, identical traced requests return identical bytes, the
+// plain response stays trace-free, and the trace toggle is validated.
+func TestScheduleTrace(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	payload := `{"system": "proposed", "arrivals": 80, "seed": 11}`
+	resp, body := postJSON(t, ts.URL+"/v1/schedule?trace=1", payload)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced schedule: status %d, body %s", resp.StatusCode, body)
+	}
+	var sr ScheduleResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Trace == nil {
+		t.Fatalf("trace block missing from ?trace=1 response: %s", body)
+	}
+	if sr.Trace.Events == 0 || len(sr.Trace.Entries) != sr.Trace.Events {
+		t.Fatalf("trace block inconsistent: events=%d entries=%d", sr.Trace.Events, len(sr.Trace.Entries))
+	}
+	if got, want := sr.Trace.Counts["complete"], uint64(sr.Completed); got != want {
+		t.Errorf("complete decisions = %d, want %d", got, want)
+	}
+	if got, want := sr.Trace.Counts["enqueue"], uint64(sr.Jobs); got != want {
+		t.Errorf("enqueue decisions = %d, want %d (fault-free run)", got, want)
+	}
+	for i, e := range sr.Trace.Entries {
+		if e.Kind == "" {
+			t.Fatalf("entry %d missing kind: %+v", i, e)
+		}
+	}
+
+	// Tracing is deterministic end to end: same request, same bytes.
+	_, body2 := postJSON(t, ts.URL+"/v1/schedule?trace=1", payload)
+	if !bytes.Equal(body, body2) {
+		t.Error("identical traced requests returned different bodies")
+	}
+
+	// Tracing must not perturb the run: the summary fields outside the
+	// trace block match the untraced run exactly.
+	_, plainBody := postJSON(t, ts.URL+"/v1/schedule", payload)
+	var plain ScheduleResponse
+	if err := json.Unmarshal(plainBody, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(plainBody, []byte(`"trace"`)) {
+		t.Errorf("trace block leaked into an untraced response: %s", plainBody)
+	}
+	tracedCopy := sr
+	tracedCopy.Trace = nil
+	if tracedCopy != plain {
+		t.Errorf("tracing changed the schedule summary:\ntraced   %+v\nuntraced %+v", tracedCopy, plain)
+	}
+
+	// Unknown toggle values are rejected, valid spellings accepted.
+	resp2, body3 := postJSON(t, ts.URL+"/v1/schedule?trace=yes", payload)
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("trace=yes: status %d, body %s, want 400", resp2.StatusCode, body3)
+	}
+	resp3, _ := postJSON(t, ts.URL+"/v1/schedule?trace=false", payload)
+	if resp3.StatusCode != http.StatusOK {
+		t.Errorf("trace=false: status %d, want 200", resp3.StatusCode)
+	}
+
+	// The daemon-wide totals count the two traced runs (not the plain ones).
+	snap := s.met.Snapshot()
+	if snap.TracedRuns != 2 {
+		t.Errorf("traced_runs = %d, want 2", snap.TracedRuns)
+	}
+	if got, want := snap.TraceDecisions["complete"], 2*uint64(sr.Completed); got != want {
+		t.Errorf("cumulative complete decisions = %d, want %d", got, want)
+	}
+}
+
+// TestDebugTrace exercises the /debug/trace ring-buffer dump in all three
+// formats after a traced run has fed the shared ring.
+func TestDebugTrace(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	dbg := httptest.NewServer(s.DebugHandler())
+	t.Cleanup(dbg.Close)
+
+	get := func(t *testing.T, path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(dbg.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, b
+	}
+
+	// Empty ring first: a well-formed, zero-event dump.
+	resp, body := get(t, "/debug/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty /debug/trace: status %d, body %s", resp.StatusCode, body)
+	}
+	var dump DebugTraceResponse
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Events != 0 || len(dump.Entries) != 0 {
+		t.Errorf("empty ring dump = %+v", dump)
+	}
+
+	resp2, sb := postJSON(t, ts.URL+"/v1/schedule?trace=1", `{"arrivals": 60, "seed": 4}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("traced schedule: status %d, body %s", resp2.StatusCode, sb)
+	}
+
+	resp, body = get(t, "/debug/trace")
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Events == 0 || len(dump.Entries) != dump.Events {
+		t.Fatalf("ring dump inconsistent after traced run: %+v", dump)
+	}
+	if dump.Counts["complete"] != 60 {
+		t.Errorf("ring complete count = %d, want 60", dump.Counts["complete"])
+	}
+
+	resp, body = get(t, "/debug/trace?format=csv")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/csv") {
+		t.Errorf("csv content-type = %q", ct)
+	}
+	lines := bytes.Count(body, []byte("\n"))
+	if lines != dump.Events+1 { // header + one row per event
+		t.Errorf("csv dump has %d lines, want %d", lines, dump.Events+1)
+	}
+
+	resp, body = get(t, "/debug/trace?format=chrome")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("chrome content-type = %q", ct)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &chrome); err != nil {
+		t.Fatalf("chrome dump is not the trace-event JSON object: %v", err)
+	}
+	if len(chrome.TraceEvents) <= dump.Events { // events + metadata records
+		t.Errorf("chrome dump has %d records, want > %d", len(chrome.TraceEvents), dump.Events)
+	}
+
+	resp, body = get(t, "/debug/trace?format=yaml")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad format: status %d, body %s, want 400", resp.StatusCode, body)
+	}
+}

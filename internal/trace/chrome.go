@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export (the JSON Object Format of the Trace Event
+// specification), loadable in Perfetto and chrome://tracing.
+//
+// Mapping: each simulated system becomes one process (pid assigned by first
+// appearance), each core one thread (tid = core + 1), with tid 0 reserved
+// for the scheduler's queue-level events (enqueue, predict, stall). Interval
+// kinds (profile, kill, complete) render as "X" complete events with
+// ts = Start and dur = Cycle - Start; everything else renders as "i"
+// instant events at ts = Cycle. Timestamps are simulated cycles (the ts
+// field's nominal microseconds are reinterpreted; the trace carries no wall
+// clock), so the export is bit-deterministic for a fixed event stream.
+
+type chromeEvent struct {
+	Name  string      `json:"name"`
+	Ph    string      `json:"ph"`
+	Ts    uint64      `json:"ts"`
+	Dur   *uint64     `json:"dur,omitempty"`
+	Pid   int         `json:"pid"`
+	Tid   int         `json:"tid"`
+	Scope string      `json:"s,omitempty"`
+	Args  interface{} `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	Seq         uint64  `json:"seq"`
+	Job         int     `json:"job"`
+	App         int     `json:"app"`
+	Config      string  `json:"config,omitempty"`
+	SizeKB      int     `json:"size_kb,omitempty"`
+	EnergyNJ    float64 `json:"energy_nj,omitempty"`
+	AltEnergyNJ float64 `json:"alt_energy_nj,omitempty"`
+	Outcome     string  `json:"outcome,omitempty"`
+	Detail      string  `json:"detail,omitempty"`
+}
+
+type chromeMetaArgs struct {
+	Name string `json:"name"`
+}
+
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// chromeName renders an event's display name.
+func chromeName(e Event) string {
+	switch e.Kind {
+	case KindDispatch, KindComplete:
+		tag := ""
+		if e.Profiling {
+			tag = " [profiling]"
+		}
+		return fmt.Sprintf("app%d %s%s", e.App, e.Config, tag)
+	case KindProfile:
+		return fmt.Sprintf("profile app%d", e.App)
+	case KindPredict:
+		return fmt.Sprintf("predict app%d -> %dKB", e.App, e.SizeKB)
+	case KindTune:
+		verdict := "reject"
+		if e.Accepted {
+			verdict = "accept"
+		}
+		return fmt.Sprintf("tune app%d %s %s", e.App, e.Config, verdict)
+	case KindStall:
+		if e.Accepted {
+			return fmt.Sprintf("stall app%d", e.App)
+		}
+		return fmt.Sprintf("migrate app%d", e.App)
+	case KindFault:
+		return fmt.Sprintf("fault %s", e.Detail)
+	case KindKill:
+		return fmt.Sprintf("killed app%d %s", e.App, e.Config)
+	default: // enqueue and future kinds
+		if e.App >= 0 {
+			return fmt.Sprintf("%s app%d", e.Kind, e.App)
+		}
+		return e.Kind.String()
+	}
+}
+
+// chromeOutcome renders the decision verdict for args.
+func chromeOutcome(e Event) string {
+	switch e.Kind {
+	case KindTune:
+		if e.Accepted {
+			return "accept"
+		}
+		return "reject"
+	case KindStall:
+		if e.Accepted {
+			return "stall"
+		}
+		return "migrate"
+	}
+	return ""
+}
+
+// WriteChrome renders events as a Chrome trace-event JSON document. The
+// output is a pure function of the event slice: pids and thread metadata are
+// assigned in first-appearance order and no wall-clock timestamp is emitted.
+func WriteChrome(w io.Writer, events []Event) error {
+	doc := chromeDoc{TraceEvents: []chromeEvent{}}
+
+	// pid per system and tid set per pid, both in first-appearance order.
+	pids := map[string]int{}
+	var systems []string
+	type ptid struct {
+		pid, tid int
+	}
+	tidSeen := map[ptid]bool{}
+	var tids []ptid
+
+	for _, e := range events {
+		if _, ok := pids[e.System]; !ok {
+			pids[e.System] = len(systems) + 1
+			systems = append(systems, e.System)
+		}
+		pid := pids[e.System]
+		tid := 0
+		if e.Core >= 0 {
+			tid = e.Core + 1
+		}
+		if !tidSeen[ptid{pid, tid}] {
+			tidSeen[ptid{pid, tid}] = true
+			tids = append(tids, ptid{pid, tid})
+		}
+	}
+
+	// Metadata first: process names (the systems) and thread names (cores
+	// plus the tid-0 scheduler lane).
+	for i, sys := range systems {
+		name := sys
+		if name == "" {
+			name = "sim"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: i + 1, Tid: 0,
+			Args: chromeMetaArgs{Name: name},
+		})
+	}
+	for _, pt := range tids {
+		name := "scheduler"
+		if pt.tid > 0 {
+			name = fmt.Sprintf("core%d", pt.tid-1)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pt.pid, Tid: pt.tid,
+			Args: chromeMetaArgs{Name: name},
+		})
+	}
+
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: chromeName(e),
+			Pid:  pids[e.System],
+			Tid:  0,
+			Args: chromeArgs{
+				Seq: e.Seq, Job: e.Job, App: e.App, Config: e.Config,
+				SizeKB: e.SizeKB, EnergyNJ: e.EnergyNJ, AltEnergyNJ: e.AltEnergyNJ,
+				Outcome: chromeOutcome(e), Detail: e.Detail,
+			},
+		}
+		if e.Core >= 0 {
+			ce.Tid = e.Core + 1
+		}
+		switch e.Kind {
+		case KindProfile, KindKill, KindComplete:
+			ce.Ph = "X"
+			ce.Ts = e.Start
+			dur := uint64(0)
+			if e.Cycle > e.Start {
+				dur = e.Cycle - e.Start
+			}
+			ce.Dur = &dur
+		default:
+			ce.Ph = "i"
+			ce.Ts = e.Cycle
+			ce.Scope = "t"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

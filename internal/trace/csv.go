@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the fixed column set of the flat CSV export. ReadCSV rejects
+// files whose header does not match exactly, so the format is versioned by
+// this line.
+var csvHeader = []string{
+	"seq", "cycle", "kind", "system", "job", "app", "core", "config",
+	"start", "size_kb", "energy_nj", "alt_energy_nj", "accepted",
+	"profiling", "detail",
+}
+
+// WriteCSV renders events as a flat CSV with a fixed header row. Floats use
+// the shortest round-trip representation, so WriteCSV ∘ ReadCSV is the
+// identity on event slices.
+func WriteCSV(w io.Writer, events []Event) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, e := range events {
+		row := []string{
+			strconv.FormatUint(e.Seq, 10),
+			strconv.FormatUint(e.Cycle, 10),
+			e.Kind.String(),
+			e.System,
+			strconv.Itoa(e.Job),
+			strconv.Itoa(e.App),
+			strconv.Itoa(e.Core),
+			e.Config,
+			strconv.FormatUint(e.Start, 10),
+			strconv.Itoa(e.SizeKB),
+			strconv.FormatFloat(e.EnergyNJ, 'g', -1, 64),
+			strconv.FormatFloat(e.AltEnergyNJ, 'g', -1, 64),
+			strconv.FormatBool(e.Accepted),
+			strconv.FormatBool(e.Profiling),
+			e.Detail,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV trace file written by WriteCSV back into events.
+// It is the untrusted-input half of the format (fuzzed by FuzzTraceFile):
+// any malformed header, row shape, kind name or numeric field is a returned
+// error, never a panic.
+func ReadCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV header: %v", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: CSV column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var events []Event
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading CSV: %v", err)
+		}
+		e, err := parseCSVRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: %v", line, err)
+		}
+		events = append(events, e)
+	}
+}
+
+func parseCSVRow(row []string) (Event, error) {
+	var e Event
+	var err error
+	if e.Seq, err = strconv.ParseUint(row[0], 10, 64); err != nil {
+		return e, fmt.Errorf("seq %q: %v", row[0], err)
+	}
+	if e.Cycle, err = strconv.ParseUint(row[1], 10, 64); err != nil {
+		return e, fmt.Errorf("cycle %q: %v", row[1], err)
+	}
+	if e.Kind, err = ParseKind(row[2]); err != nil {
+		return e, err
+	}
+	e.System = row[3]
+	if e.Job, err = strconv.Atoi(row[4]); err != nil {
+		return e, fmt.Errorf("job %q: %v", row[4], err)
+	}
+	if e.App, err = strconv.Atoi(row[5]); err != nil {
+		return e, fmt.Errorf("app %q: %v", row[5], err)
+	}
+	if e.Core, err = strconv.Atoi(row[6]); err != nil {
+		return e, fmt.Errorf("core %q: %v", row[6], err)
+	}
+	e.Config = row[7]
+	if e.Start, err = strconv.ParseUint(row[8], 10, 64); err != nil {
+		return e, fmt.Errorf("start %q: %v", row[8], err)
+	}
+	if e.SizeKB, err = strconv.Atoi(row[9]); err != nil {
+		return e, fmt.Errorf("size_kb %q: %v", row[9], err)
+	}
+	if e.EnergyNJ, err = strconv.ParseFloat(row[10], 64); err != nil {
+		return e, fmt.Errorf("energy_nj %q: %v", row[10], err)
+	}
+	if e.AltEnergyNJ, err = strconv.ParseFloat(row[11], 64); err != nil {
+		return e, fmt.Errorf("alt_energy_nj %q: %v", row[11], err)
+	}
+	if e.Accepted, err = strconv.ParseBool(row[12]); err != nil {
+		return e, fmt.Errorf("accepted %q: %v", row[12], err)
+	}
+	if e.Profiling, err = strconv.ParseBool(row[13]); err != nil {
+		return e, fmt.Errorf("profiling %q: %v", row[13], err)
+	}
+	e.Detail = row[14]
+	return e, nil
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzTraceFile fuzzes the untrusted half of the CSV trace format: ReadCSV
+// must never panic, and any input it accepts must re-serialize to a stable
+// canonical form (two write/read rounds reach a byte-level fixed point).
+func FuzzTraceFile(f *testing.F) {
+	// Seed with the checked-in sample trace and targeted mutations.
+	entries, err := filepath.Glob(filepath.Join("testdata", "*.csv"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range entries {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	header := strings.Join(csvHeader, ",")
+	f.Add([]byte(header + "\n"))
+	f.Add([]byte(header + "\n0,0,enqueue,sys,0,0,-1,,0,0,0,0,false,false,\n"))
+	f.Add([]byte(header + "\n0,0,tune,s,1,2,3,8KB_4W_64B,0,0,NaN,+Inf,true,false,\"a,b\"\n"))
+	f.Add([]byte(header + "\n99,18446744073709551615,stall,s,-1,-1,-1,,0,0,1e-300,1e300,1,0,x\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input rejected cleanly
+		}
+		// Canonicalize twice; the second and third serializations must be
+		// byte-identical (ParseBool's "1" and quoted-CRLF details converge
+		// to canonical form after one rewrite).
+		var b1 bytes.Buffer
+		if err := WriteCSV(&b1, evs); err != nil {
+			t.Fatalf("WriteCSV on accepted events: %v", err)
+		}
+		evs2, err := ReadCSV(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading own output: %v\noutput:\n%s", err, b1.String())
+		}
+		if len(evs2) != len(evs) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(evs), len(evs2))
+		}
+		var b2 bytes.Buffer
+		if err := WriteCSV(&b2, evs2); err != nil {
+			t.Fatalf("second WriteCSV: %v", err)
+		}
+		evs3, err := ReadCSV(bytes.NewReader(b2.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading canonical output: %v", err)
+		}
+		var b3 bytes.Buffer
+		if err := WriteCSV(&b3, evs3); err != nil {
+			t.Fatalf("third WriteCSV: %v", err)
+		}
+		if !bytes.Equal(b2.Bytes(), b3.Bytes()) {
+			t.Fatalf("canonical form is not a fixed point:\n--- round 2 ---\n%s\n--- round 3 ---\n%s", b2.String(), b3.String())
+		}
+	})
+}
