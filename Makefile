@@ -31,10 +31,12 @@ test:
 # Every package with a worker pool or parallel fan-out runs under the race
 # detector: the daemon's queue/shutdown paths, the stats sketch behind its
 # metrics, the parallel characterization engine and its disk cache, the
-# sweep grid, and the ensemble trainer/vote.
+# sweep grid, the ensemble trainer/vote, and the cluster's per-node
+# simulation pool.
 test-race:
 	$(GO) test -race ./internal/server/... ./internal/stats/... \
-		./internal/characterize/... ./internal/sweep/... ./internal/ann/...
+		./internal/characterize/... ./internal/sweep/... ./internal/ann/... \
+		./internal/cluster/...
 
 test-short:
 	$(GO) test -short ./...
@@ -46,11 +48,11 @@ bench:
 # Snapshot the hot-path microbenchmarks (L1 access, the one-pass multi-config
 # simulator vs per-config replay, characterization at 1-8 workers and on both
 # engines, kernel trace recording, kernel execution, one proposed-system
-# simulation, ANN forward pass) as committed JSON, for before/after comparison
-# across PRs.
+# simulation, ANN forward pass, the cluster dispatcher's routing pass) as
+# committed JSON, for before/after comparison across PRs.
 bench-baseline:
-	$(GO) test -run=NONE -bench='BenchmarkL1Access|BenchmarkHierarchyAccess|BenchmarkMultiSim|BenchmarkReplayAllConfigs|BenchmarkCharacterizeWorkers|BenchmarkCharacterizeOneKernel|BenchmarkRecordTrace|BenchmarkKernelExecution|BenchmarkProposedSimulation|BenchmarkForward' \
-		-benchmem ./internal/cache/ ./internal/characterize/ ./internal/eembc/ ./internal/core/ ./internal/ann/ \
+	$(GO) test -run=NONE -bench='BenchmarkL1Access|BenchmarkHierarchyAccess|BenchmarkMultiSim|BenchmarkReplayAllConfigs|BenchmarkCharacterizeWorkers|BenchmarkCharacterizeOneKernel|BenchmarkRecordTrace|BenchmarkKernelExecution|BenchmarkProposedSimulation|BenchmarkForward|BenchmarkClusterDispatch' \
+		-benchmem ./internal/cache/ ./internal/characterize/ ./internal/eembc/ ./internal/core/ ./internal/ann/ ./internal/cluster/ \
 		| $(GO) run ./cmd/benchjson > BENCH_core.json
 	@echo wrote BENCH_core.json
 

@@ -1,0 +1,123 @@
+package hetsched
+
+import (
+	"context"
+
+	"hetsched/internal/cluster"
+	"hetsched/internal/core"
+	"hetsched/internal/eembc"
+	"hetsched/internal/trace"
+)
+
+// Cluster-facing re-exports: the two-level scheduler of internal/cluster
+// behind the facade's vocabulary.
+type (
+	// SystemSpec declares one node's shape (core sizes and latencies);
+	// parse with ParseSystemSpec ("4x8,16x2", "quad").
+	SystemSpec = core.SystemSpec
+	// ClusterConfig shapes a multi-node cluster run.
+	ClusterConfig = cluster.Config
+	// ClusterResult aggregates one cluster run.
+	ClusterResult = cluster.Result
+	// ClusterNodeResult is one node's share of a cluster run.
+	ClusterNodeResult = cluster.NodeResult
+	// ScorerKind selects the cluster dispatcher's scoring strategy.
+	ScorerKind = cluster.ScorerKind
+)
+
+// Cluster scoring strategies.
+const (
+	ScoreHybrid     = cluster.ScoreHybrid
+	ScoreBalance    = cluster.ScoreBalance
+	ScoreEnergy     = cluster.ScoreEnergy
+	ScoreRoundRobin = cluster.ScoreRoundRobin
+)
+
+// Cluster trace event kinds (the dispatcher's routing audit).
+const (
+	TraceKindRoute = trace.KindRoute
+	TraceKindSteal = trace.KindSteal
+)
+
+// DefaultSystemSpec returns the paper's Figure 1 quad-core node shape.
+func DefaultSystemSpec() SystemSpec { return core.DefaultSystemSpec() }
+
+// ParseSystemSpec parses one node shape: comma-separated core sizes in KB,
+// NxS repetitions and named shapes — "2,4,8,8", "4x8,16x2", "quad".
+func ParseSystemSpec(s string) (SystemSpec, error) { return core.ParseSystemSpec(s) }
+
+// ParseClusterSpec parses the CLIs' shared -cluster flag vocabulary:
+// node shapes joined by ';' with optional N* repetition — "16*quad",
+// "8*4x8;8*16x2".
+func ParseClusterSpec(s string) ([]SystemSpec, error) { return cluster.ParseClusterSpec(s) }
+
+// FormatClusterSpec is the inverse of ParseClusterSpec.
+func FormatClusterSpec(nodes []SystemSpec) string { return cluster.FormatClusterSpec(nodes) }
+
+// ParseScorer parses a cluster scorer name
+// ("hybrid"|"balance"|"energy"|"roundrobin").
+func ParseScorer(s string) (ScorerKind, error) { return cluster.ParseScorer(s) }
+
+// ScorerNames lists the valid cluster scorer names.
+func ScorerNames() []string { return cluster.ScorerNames() }
+
+// RunCluster schedules jobs across a multi-node cluster: the two-level
+// dispatcher routes every arrival through the filter/score pipeline, then
+// each node runs the named per-node system over its share. A ClusterConfig
+// whose Faults/Trace are unset inherits the System's defaults, mirroring
+// RunSystem.
+func (s *System) RunCluster(cfg ClusterConfig, jobs []Job) (*ClusterResult, error) {
+	return s.RunClusterContext(context.Background(), cfg, jobs)
+}
+
+// RunClusterContext is RunCluster honoring cancellation at every
+// node-simulation boundary.
+func (s *System) RunClusterContext(ctx context.Context, cfg ClusterConfig, jobs []Job) (*ClusterResult, error) {
+	if !cfg.Faults.Enabled() && s.faults.Enabled() {
+		cfg.Faults = s.faults
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = s.tracer
+	}
+	cl, err := cluster.New(s.Eval, s.Energy, s.Pred, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cl.RunContext(ctx, jobs)
+}
+
+// ClusterWorkload generates the paper-style arrival stream sized for a
+// whole cluster: the utilization target spreads arrivals over the
+// cluster's total core count, not a single node's. A non-empty kernels
+// list weights the application mix by name (repeat a name to weight it);
+// empty draws uniformly over the whole suite.
+func (s *System) ClusterWorkload(nodes []SystemSpec, kernels []string, arrivals int, utilization float64, seed int64) ([]Job, error) {
+	ids := core.AllAppIDs(s.Eval)
+	if len(kernels) > 0 {
+		ids = ids[:0]
+		for _, name := range kernels {
+			rec, err := s.Eval.Find(name, eembc.DefaultParams())
+			if err != nil {
+				return nil, err
+			}
+			ids = append(ids, rec.ID)
+		}
+	}
+	cores := 0
+	for _, spec := range nodes {
+		cores += spec.Cores()
+	}
+	if cores == 0 {
+		cores = len(core.DefaultSimConfig().CoreSizesKB)
+	}
+	horizon, err := core.HorizonForUtilization(s.Eval, ids, arrivals, cores, utilization)
+	if err != nil {
+		return nil, err
+	}
+	return core.GenerateWorkload(core.WorkloadConfig{
+		Arrivals:      arrivals,
+		AppIDs:        ids,
+		HorizonCycles: horizon,
+		Seed:          seed,
+	})
+}

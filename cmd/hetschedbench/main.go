@@ -11,6 +11,14 @@
 // is a self-contained load test: 64 in-flight requests against a 4-worker
 // pool, with 429s counted as correct backpressure rather than failures.
 //
+// -cluster switches the target to POST /v1/cluster/schedule, routing each
+// request's workload across the given multi-node topology; the report then
+// also shows the daemon's cumulative cluster run/steal counters.
+//
+// Client-side latency percentiles (p50/p95/p99/p99.9) come from the same
+// streaming reservoir the daemon uses for /metrics, so the two views are
+// directly comparable.
+//
 // Exit status is non-zero when any request fails with a status other than
 // 200 or 429, so the benchmark is scriptable in CI.
 package main
@@ -25,14 +33,18 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hetsched"
 	"hetsched/internal/server"
+	"hetsched/internal/stats"
 )
+
+// latencyReservoirCap bounds the client-side latency sample; 4096 samples
+// hold p99.9 of any benchmark run this tool can realistically issue.
+const latencyReservoirCap = 4096
 
 func main() {
 	log.SetFlags(0)
@@ -53,6 +65,7 @@ func run() error {
 	flag.TextVar(&kind, "predictor", hetsched.PredictOracle, "in-process predictor (oracle avoids ANN training)")
 	workers := flag.Int("workers", 4, "in-process worker pool size")
 	queue := flag.Int("queue", 32, "in-process queue depth (small enough to exercise 429s)")
+	cluster := flag.String("cluster", "", "benchmark /v1/cluster/schedule over this topology instead of /v1/schedule (e.g. 8*quad;8*16x2)")
 	flag.Parse()
 
 	if *requests < 1 || *concurrency < 1 {
@@ -84,23 +97,39 @@ func run() error {
 		base = "http://" + ln.Addr().String()
 	}
 
-	payload, err := json.Marshal(map[string]any{
+	endpoint, epName := "/v1/schedule", "schedule"
+	fields := map[string]any{
 		"system":      *system,
 		"arrivals":    *arrivals,
 		"utilization": *util,
-	})
+	}
+	if *cluster != "" {
+		if _, err := hetsched.ParseClusterSpec(*cluster); err != nil {
+			return fmt.Errorf("-cluster: %w", err)
+		}
+		endpoint, epName = "/v1/cluster/schedule", "cluster"
+		fields["nodes"] = *cluster
+	}
+	payload, err := json.Marshal(fields)
 	if err != nil {
 		return err
 	}
 
 	client := &http.Client{Timeout: 5 * time.Minute}
+	// Successful-request latencies go through the same streaming reservoir
+	// the daemon uses for /metrics, so client and server percentiles are
+	// directly comparable.
+	latencies, err := stats.NewReservoir(latencyReservoirCap, 1)
+	if err != nil {
+		return err
+	}
 	var (
-		next      atomic.Int64
-		ok        atomic.Int64
-		rejected  atomic.Int64
-		failed    atomic.Int64
-		mu        sync.Mutex
-		latencies []time.Duration // successful requests only
+		next     atomic.Int64
+		ok       atomic.Int64
+		rejected atomic.Int64
+		failed   atomic.Int64
+		mu       sync.Mutex
+		maxLat   time.Duration
 	)
 	fmt.Fprintf(os.Stderr, "firing %d requests (%d in flight) at %s ...\n",
 		*requests, *concurrency, base)
@@ -120,7 +149,7 @@ func run() error {
 				body := bytes.Replace(payload, []byte(`"system"`),
 					[]byte(fmt.Sprintf(`"seed":%d,"system"`, i+1)), 1)
 				t0 := time.Now()
-				resp, err := client.Post(base+"/v1/schedule", "application/json", bytes.NewReader(body))
+				resp, err := client.Post(base+endpoint, "application/json", bytes.NewReader(body))
 				if err != nil {
 					failed.Add(1)
 					continue
@@ -130,8 +159,12 @@ func run() error {
 				switch resp.StatusCode {
 				case http.StatusOK:
 					ok.Add(1)
+					lat := time.Since(t0)
 					mu.Lock()
-					latencies = append(latencies, time.Since(t0))
+					latencies.Observe(ms(lat))
+					if lat > maxLat {
+						maxLat = lat
+					}
 					mu.Unlock()
 				case http.StatusTooManyRequests:
 					rejected.Add(1)
@@ -150,29 +183,22 @@ func run() error {
 	fmt.Printf("throughput:  %.1f scheduled workloads/s (%.0f simulated arrivals/s)\n",
 		float64(ok.Load())/elapsed.Seconds(),
 		float64(ok.Load())*float64(*arrivals)/elapsed.Seconds())
-	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		pct := func(p float64) time.Duration {
-			idx := int(p/100*float64(len(latencies))+0.9999) - 1
-			if idx < 0 {
-				idx = 0
-			}
-			if idx >= len(latencies) {
-				idx = len(latencies) - 1
-			}
-			return latencies[idx]
-		}
-		fmt.Printf("latency:     p50 %.1fms  p95 %.1fms  p99 %.1fms  max %.1fms\n",
-			ms(pct(50)), ms(pct(95)), ms(pct(99)), ms(latencies[len(latencies)-1]))
+	if qs, err := latencies.Quantiles(0.50, 0.95, 0.99, 0.999); err == nil {
+		fmt.Printf("latency:     p50 %.1fms  p95 %.1fms  p99 %.1fms  p99.9 %.1fms  max %.1fms\n",
+			qs[0], qs[1], qs[2], qs[3], ms(maxLat))
 	}
 
 	// Pull the daemon's own view of the run.
 	if resp, err := client.Get(base + "/metrics"); err == nil {
 		var snap server.Snapshot
 		if json.NewDecoder(resp.Body).Decode(&snap) == nil {
-			ep := snap.Endpoints["schedule"]
+			ep := snap.Endpoints[epName]
 			fmt.Printf("server view: accepted=%d rejected=%d p95=%.1fms queue_wait_p95=%.1fms workers=%d\n",
 				snap.JobsAccepted, snap.JobsRejected, ep.P95Ms, ep.QueueWaitP95, snap.Workers)
+			if *cluster != "" {
+				fmt.Printf("cluster view: runs=%d steals=%d across %d nodes\n",
+					snap.ClusterRuns, snap.ClusterSteals, len(snap.ClusterNodes))
+			}
 		}
 		resp.Body.Close()
 	}

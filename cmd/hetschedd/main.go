@@ -5,9 +5,11 @@
 //
 // Endpoints (JSON; see DESIGN.md for schemas):
 //
-//	POST /v1/predict      {"kernel": "tblook"}
-//	POST /v1/schedule     {"system": "proposed", "arrivals": 500, ...}
-//	POST /v1/tune         {"kernel": "tblook", "size_kb": 8}
+//	POST /v1/predict           {"kernel": "tblook"}
+//	POST /v1/schedule          {"system": "proposed", "arrivals": 500, ...}
+//	POST /v1/tune              {"kernel": "tblook", "size_kb": 8}
+//	POST /v1/cluster/schedule  {"nodes": "8*quad;8*16x2", "arrivals": 5000, ...}
+//	GET  /v1/cluster/status
 //	GET  /v1/designspace
 //	GET  /healthz
 //	GET  /metrics
@@ -23,6 +25,10 @@
 //	          [-timeout 2m] [-max-arrivals 20000] [-predictor ann] [-seed 42]
 //	          [-j N] [-cache-dir auto] [-engine onepass]
 //	          [-faults mttf=5e6,recover=1e5,seed=1]
+//	          [-cluster 4*quad] [-scorer hybrid]
+//
+// -cluster and -scorer set the default topology and dispatcher scoring
+// strategy for /v1/cluster requests that omit their own.
 //
 // -faults sets the daemon-wide default fault-injection plan: schedule
 // requests inherit it unless they carry their own "faults" object, and
@@ -72,6 +78,9 @@ func run() error {
 	var engine hetsched.Engine
 	flag.TextVar(&engine, "engine", hetsched.EngineOnePass, "cache simulation engine for cold-start characterization: onepass|replay")
 	faultsFlag := flag.String("faults", "off", "default fault-injection plan for schedule requests: off, or mttf=..,recover=..,permanent=..,stuck=..,noise=..,seed=..")
+	clusterFlag := flag.String("cluster", "4*quad", "default cluster topology for /v1/cluster requests: ';'-joined node shapes with N* repetition")
+	var scorer hetsched.ScorerKind
+	flag.TextVar(&scorer, "scorer", hetsched.ScoreHybrid, "default cluster dispatcher scorer: hybrid|balance|energy|roundrobin")
 	flag.Parse()
 
 	dir, err := hetsched.ResolveCacheDir(*cacheDir)
@@ -81,6 +90,10 @@ func run() error {
 	faults, err := hetsched.ParseFaultPlan(*faultsFlag)
 	if err != nil {
 		return err
+	}
+	clusterNodes, err := hetsched.ParseClusterSpec(*clusterFlag)
+	if err != nil {
+		return fmt.Errorf("-cluster: %w", err)
 	}
 
 	fmt.Fprintf(os.Stderr, "hetschedd: characterizing suite (%s engine) and training %s predictor...\n", engine, kind)
@@ -102,6 +115,8 @@ func run() error {
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
 		MaxArrivals:    *maxArrivals,
+		ClusterNodes:   clusterNodes,
+		ClusterScorer:  scorer,
 	})
 	if err != nil {
 		return err

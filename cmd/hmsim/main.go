@@ -8,6 +8,13 @@
 //	hmsim [-arrivals 5000] [-util 0.9] [-seed 1] [-predictor ann|oracle|linear|knn|stump]
 //	      [-j N] [-cache-dir auto] [-faults mttf=5e6,recover=1e5,noise=0.05,seed=1]
 //	      [-trace file.json]
+//	      [-cluster 8*quad;8*16x2] [-scorer hybrid] [-no-steal]
+//
+// -cluster switches to cluster mode: the workload is routed across the
+// given multi-node topology by the two-level dispatcher (internal/cluster)
+// and each node runs the proposed system; the report is the per-node
+// routing table plus cluster totals. -timeline prints the merged
+// cross-node schedule, -trace captures the dispatcher's route/steal audit.
 //
 // -faults injects a deterministic fault plan (transient/permanent core
 // crashes, stuck reconfigurations, profiling-counter noise) into every
@@ -53,6 +60,10 @@ func run() error {
 	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")
 	faultsFlag := flag.String("faults", "off", "fault-injection plan: off, or mttf=..,recover=..,permanent=..,stuck=..,noise=..,seed=..")
 	traceFile := flag.String("trace", "", "write the proposed system's decision-audit trace to this file (.json = Chrome/Perfetto, else CSV)")
+	clusterFlag := flag.String("cluster", "", "run in cluster mode over this topology (';'-joined node shapes with N* repetition, e.g. 8*quad;8*16x2)")
+	var scorer hetsched.ScorerKind
+	flag.TextVar(&scorer, "scorer", hetsched.ScoreHybrid, "cluster dispatcher scorer: hybrid|balance|energy|roundrobin")
+	noSteal := flag.Bool("no-steal", false, "disable cross-node work stealing in cluster mode")
 	flag.Parse()
 
 	dir, err := hetsched.ResolveCacheDir(*cacheDir)
@@ -80,6 +91,10 @@ func run() error {
 
 	if faults.Enabled() {
 		fmt.Fprintf(os.Stderr, "injecting faults: %s\n", faults)
+	}
+
+	if *clusterFlag != "" {
+		return runCluster(sys, *clusterFlag, scorer, *noSteal, cfg, *timeline, *traceFile)
 	}
 	fmt.Fprintf(os.Stderr, "simulating 4 systems x %d arrivals at utilization %.2f...\n",
 		cfg.Arrivals, cfg.Utilization)
@@ -118,6 +133,51 @@ func run() error {
 			}
 			fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", rec.Len(), *traceFile)
 		}
+	}
+	return nil
+}
+
+// runCluster is hmsim's cluster mode: route the workload across the given
+// topology with the two-level dispatcher, simulate every node, and print
+// the per-node routing table (plus, on request, the merged timeline and
+// the dispatcher's route/steal trace).
+func runCluster(sys *hetsched.System, spec string, scorer hetsched.ScorerKind,
+	noSteal bool, cfg hetsched.ExperimentConfig, timeline int, traceFile string) error {
+	nodes, err := hetsched.ParseClusterSpec(spec)
+	if err != nil {
+		return fmt.Errorf("-cluster: %w", err)
+	}
+	jobs, err := sys.ClusterWorkload(nodes, nil, cfg.Arrivals, cfg.Utilization, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	ccfg := hetsched.ClusterConfig{
+		Nodes:           nodes,
+		Scorer:          scorer,
+		DisableStealing: noSteal,
+		RecordSchedule:  timeline > 0,
+	}
+	var rec *hetsched.TraceRecorder
+	if traceFile != "" {
+		rec = hetsched.NewTraceRecorder()
+		ccfg.Trace = rec
+	}
+	fmt.Fprintf(os.Stderr, "routing %d arrivals across %d nodes (scorer=%s)...\n",
+		cfg.Arrivals, len(nodes), scorer)
+	res, err := sys.RunCluster(ccfg, jobs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(hetsched.FormatCluster(res))
+	if timeline > 0 {
+		fmt.Println()
+		fmt.Print(hetsched.FormatClusterSchedule(sys, res, timeline))
+	}
+	if rec != nil {
+		if err := hetsched.WriteTraceFile(traceFile, rec.Events()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", rec.Len(), traceFile)
 	}
 	return nil
 }

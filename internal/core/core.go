@@ -401,7 +401,11 @@ func (s *Simulator) CoresOfSize(sizeKB int) []*SimCore {
 // to the largest surviving size (see profilingConfigFor).
 func (s *Simulator) ProfilingCores() []*SimCore {
 	size := cache.BaseConfig.SizeKB
-	if s.inj != nil && !s.sizeAlive(size) {
+	// The machine may lack base-size cores either because permanent faults
+	// killed them or because the configured SystemSpec shape never had any
+	// (e.g. a uniform little-core node); either way profiling degrades to
+	// the largest size class that is present and alive.
+	if !s.sizeAlive(size) {
 		for _, cand := range cache.Sizes() { // ascending: ends at largest alive
 			if s.sizeAlive(cand) {
 				size = cand

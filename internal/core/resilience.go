@@ -163,14 +163,17 @@ func (s *Simulator) sizeAlive(sizeKB int) bool {
 }
 
 // resolvePredictedSize maps a predicted best cache size onto the surviving
-// machine. When every core of the predicted size is permanently dead, the
-// prediction falls back along the size ladder — next smaller size first
-// (the generalization of Figure 1's Core 4 → Core 3 secondary rule), then
-// next larger — to the nearest size that still has a living core. With no
-// permanent losses (in particular, with faults disabled) the prediction is
+// machine. When no living core of the predicted size exists — every one is
+// permanently dead, or the configured shape never included that class —
+// the prediction falls back along the size ladder — next smaller size
+// first (the generalization of Figure 1's Core 4 → Core 3 secondary rule),
+// then next larger — to the nearest size that still has a living core. On
+// a full-ladder machine without permanent losses the prediction is
 // returned unchanged.
 func (s *Simulator) resolvePredictedSize(want int) int {
-	if s.inj == nil || s.sizeAlive(want) {
+	// A size class can be missing because faults killed it or because the
+	// configured shape never had it; the fallback ladder covers both.
+	if s.sizeAlive(want) {
 		return want
 	}
 	sizes := cache.Sizes() // ascending

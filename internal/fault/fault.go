@@ -351,6 +351,40 @@ func (p Plan) NewInjector(cores int) *Injector {
 	return in
 }
 
+// PermanentDeaths returns the plan's permanent core losses for a machine
+// with the given core count, sorted by (cycle, core). Because a plan's
+// timeline is a pure function of (Seed, core count), this is exactly the
+// set of CrashPermanent events an Injector built from the same plan will
+// deliver — the cluster dispatcher uses it to know which cores survive
+// without consuming (or being blocked by) the infinite transient streams.
+func (p Plan) PermanentDeaths(cores int) []Event {
+	if cores <= 0 || !p.Enabled() {
+		return nil
+	}
+	var out []Event
+	if len(p.Script) > 0 {
+		for _, ev := range p.Script {
+			if ev.Kind == CrashPermanent && ev.Core >= 0 && ev.Core < cores {
+				out = append(out, ev)
+			}
+		}
+	} else if p.PermanentMTTF > 0 {
+		in := p.NewInjector(cores)
+		for core, cs := range in.streams {
+			if cs.permanentAt > 0 {
+				out = append(out, Event{Cycle: cs.permanentAt, Core: core, Kind: CrashPermanent})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycle != out[j].Cycle {
+			return out[i].Cycle < out[j].Cycle
+		}
+		return out[i].Core < out[j].Core
+	})
+	return out
+}
+
 // expDraw returns an exponential interval with the given mean, at least 1.
 func expDraw(rng *rand.Rand, mean float64) uint64 {
 	v := rng.ExpFloat64() * mean

@@ -215,3 +215,53 @@ func TestParseSpecErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestPermanentDeathsMatchInjector(t *testing.T) {
+	p := Plan{Seed: 7, PermanentMTTF: 100_000, MaxPermanent: 3}
+	const cores = 8
+	deaths := p.PermanentDeaths(cores)
+	if len(deaths) == 0 || len(deaths) > 3 {
+		t.Fatalf("%d deaths, want 1..3", len(deaths))
+	}
+	// A permanent-only plan's injector exhausts, so the full delivered
+	// timeline is comparable.
+	var delivered []Event
+	for _, ev := range drain(p.NewInjector(cores), ^uint64(0)>>1) {
+		if ev.Kind == CrashPermanent {
+			delivered = append(delivered, ev)
+		}
+	}
+	if !reflect.DeepEqual(deaths, delivered) {
+		t.Errorf("PermanentDeaths = %v, injector delivered %v", deaths, delivered)
+	}
+	for i := 1; i < len(deaths); i++ {
+		if deaths[i].Cycle < deaths[i-1].Cycle {
+			t.Errorf("deaths unsorted: %v", deaths)
+		}
+	}
+}
+
+func TestPermanentDeathsScriptAndDisabled(t *testing.T) {
+	if got := (Plan{}).PermanentDeaths(4); got != nil {
+		t.Errorf("zero plan deaths = %v", got)
+	}
+	// Transient-only plans never lose a core permanently.
+	p := Plan{Seed: 1, TransientMTTF: 50_000}
+	if got := p.PermanentDeaths(4); got != nil {
+		t.Errorf("transient-only plan deaths = %v", got)
+	}
+	s := Plan{Script: []Event{
+		{Cycle: 500, Core: 9, Kind: CrashPermanent}, // out of range: dropped
+		{Cycle: 300, Core: 1, Kind: CrashPermanent},
+		{Cycle: 100, Core: 0, Kind: CrashTransient},
+		{Cycle: 200, Core: 2, Kind: CrashPermanent},
+	}}
+	got := s.PermanentDeaths(4)
+	want := []Event{
+		{Cycle: 200, Core: 2, Kind: CrashPermanent},
+		{Cycle: 300, Core: 1, Kind: CrashPermanent},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("scripted deaths = %v, want %v", got, want)
+	}
+}

@@ -188,4 +188,111 @@ type HealthResponse struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code"`
+	// QueueDepth reports the job-queue depth at rejection time on
+	// queue_full (429) responses, so clients can modulate their backoff
+	// (first step toward admission control).
+	QueueDepth int `json:"queue_depth,omitempty"`
+}
+
+// ClusterScheduleRequest runs one workload across a multi-node cluster
+// (POST /v1/cluster/schedule).
+type ClusterScheduleRequest struct {
+	// Nodes is the cluster topology in the -cluster spec grammar
+	// ("16*quad", "8*4x8;8*16x2"); empty uses the daemon's configured
+	// default topology.
+	Nodes string `json:"nodes,omitempty"`
+	// System names the per-node scheduling system (default "proposed").
+	System string `json:"system,omitempty"`
+	// Scorer names the dispatcher's scoring strategy
+	// ("hybrid"|"balance"|"energy"|"roundrobin"; empty uses the daemon
+	// default).
+	Scorer string `json:"scorer,omitempty"`
+	// Arrivals is the workload length (default 500, capped by the
+	// server's MaxArrivals).
+	Arrivals int `json:"arrivals,omitempty"`
+	// Utilization is the offered load over the whole cluster's cores
+	// (default 0.9).
+	Utilization float64 `json:"utilization,omitempty"`
+	// Seed drives workload generation (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// StealThreshold overrides the work-stealing backlog threshold
+	// (0 = cluster default).
+	StealThreshold int `json:"steal_threshold,omitempty"`
+	// DisableStealing turns cross-node work stealing off.
+	DisableStealing bool `json:"disable_stealing,omitempty"`
+	// Kernels optionally weights the application mix by name.
+	Kernels []string `json:"kernels,omitempty"`
+	// Faults injects a cluster-level fault plan (per-node seeds are
+	// derived deterministically); absent inherits the daemon's -faults
+	// default.
+	Faults *FaultSpec `json:"faults,omitempty"`
+}
+
+// ClusterNodeWire is one node's share of a cluster run.
+type ClusterNodeWire struct {
+	Node           int     `json:"node"`
+	Shape          string  `json:"shape"`
+	Cores          int     `json:"cores"`
+	Jobs           int     `json:"jobs"`
+	Completed      int     `json:"completed"`
+	StolenIn       int     `json:"stolen_in"`
+	StolenOut      int     `json:"stolen_out"`
+	MaxPending     int     `json:"max_pending"`
+	MakespanCycles uint64  `json:"makespan_cycles"`
+	TotalEnergyNJ  float64 `json:"total_energy_nj"`
+}
+
+// ClusterScheduleResponse summarizes one cluster run.
+type ClusterScheduleResponse struct {
+	System    string `json:"system"`
+	Scorer    string `json:"scorer"`
+	Nodes     string `json:"nodes"`
+	NodeCount int    `json:"node_count"`
+	Cores     int    `json:"cores"`
+	Jobs      int    `json:"jobs"`
+	Completed int    `json:"completed"`
+	Steals    int    `json:"steals"`
+
+	MakespanCycles   uint64 `json:"makespan_cycles"`
+	TurnaroundCycles uint64 `json:"turnaround_cycles"`
+	TurnaroundP50    uint64 `json:"turnaround_p50_cycles"`
+	TurnaroundP95    uint64 `json:"turnaround_p95_cycles"`
+	TurnaroundP99    uint64 `json:"turnaround_p99_cycles"`
+
+	TotalEnergyNJ     float64 `json:"total_energy_nj"`
+	IdleEnergyNJ      float64 `json:"idle_energy_nj"`
+	DynamicEnergyNJ   float64 `json:"dynamic_energy_nj"`
+	StaticEnergyNJ    float64 `json:"static_energy_nj"`
+	CoreEnergyNJ      float64 `json:"core_energy_nj"`
+	ProfilingEnergyNJ float64 `json:"profiling_energy_nj"`
+
+	PerNode []ClusterNodeWire `json:"per_node"`
+
+	// Trace block; present only when the request asked for ?trace=1 —
+	// the dispatcher's route/steal audit.
+	Trace *TraceBlock `json:"trace,omitempty"`
+}
+
+// ClusterStatusResponse answers GET /v1/cluster/status: the daemon's
+// default topology plus cumulative cluster counters.
+type ClusterStatusResponse struct {
+	Nodes     string `json:"nodes"`
+	NodeCount int    `json:"node_count"`
+	Cores     int    `json:"cores"`
+	Scorer    string `json:"scorer"`
+
+	ClusterRuns int64 `json:"cluster_runs"`
+	Steals      int64 `json:"steals_total"`
+	// NodeCounters accumulates per-node-index routing counters across
+	// every cluster run, keyed by node index.
+	NodeCounters map[string]ClusterNodeCounters `json:"node_counters,omitempty"`
+}
+
+// ClusterNodeCounters is one node index's cumulative routing counters.
+type ClusterNodeCounters struct {
+	Jobs          int64   `json:"jobs"`
+	StolenIn      int64   `json:"stolen_in"`
+	StolenOut     int64   `json:"stolen_out"`
+	MaxPending    int64   `json:"max_pending"`
+	TotalEnergyNJ float64 `json:"total_energy_nj"`
 }

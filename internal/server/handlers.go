@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"hetsched"
@@ -103,10 +104,18 @@ func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, endpoint strin
 	case err == nil:
 		writeJSON(w, http.StatusOK, v)
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, codeQueueFull,
-			"job queue full (%d queued, %d workers busy); retry later",
-			s.pool.QueueDepth(), s.pool.Busy())
+		// Scale the advised backoff with the backlog: a full queue behind
+		// few workers takes proportionally longer to drain than one behind
+		// many. The envelope carries the raw depth so clients can do better.
+		depth := s.pool.QueueDepth()
+		retry := 1 + depth/s.pool.Workers()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+			Error: fmt.Sprintf("job queue full (%d queued, %d workers busy); retry after %ds",
+				depth, s.pool.Busy(), retry),
+			Code:       codeQueueFull,
+			QueueDepth: depth,
+		})
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, codeDraining, "server is shutting down")
 	case errors.Is(err, context.DeadlineExceeded):

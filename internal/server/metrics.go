@@ -2,10 +2,12 @@ package server
 
 import (
 	"expvar"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"hetsched"
 	"hetsched/internal/stats"
 )
 
@@ -36,6 +38,13 @@ type Metrics struct {
 	traceMu     sync.Mutex
 	traceCounts map[string]uint64
 
+	// Cluster-dispatch counters, cumulative across /v1/cluster/schedule
+	// runs: run/steal totals plus per-node-index routing counters.
+	clusterRuns   atomic.Int64
+	clusterSteals atomic.Int64
+	clusterMu     sync.Mutex
+	clusterNodes  map[int]*ClusterNodeCounters
+
 	mu  sync.Mutex
 	lat map[string]*latencySeries
 }
@@ -52,10 +61,11 @@ type latencySeries struct {
 // be nil for tests.
 func NewMetrics(pool *Pool) *Metrics {
 	return &Metrics{
-		start:       time.Now(),
-		pool:        pool,
-		traceCounts: map[string]uint64{},
-		lat:         map[string]*latencySeries{},
+		start:        time.Now(),
+		pool:         pool,
+		traceCounts:  map[string]uint64{},
+		clusterNodes: map[int]*ClusterNodeCounters{},
+		lat:          map[string]*latencySeries{},
 	}
 }
 
@@ -96,6 +106,47 @@ func (m *Metrics) ObserveTrace(counts map[string]uint64) {
 	for kind, n := range counts {
 		m.traceCounts[kind] += n
 	}
+}
+
+// ObserveCluster accumulates one cluster run's routing outcome into the
+// daemon-wide totals: the steal count plus each node's routed jobs, steal
+// flows, peak backlog (a high-water mark, not a sum) and attributed energy.
+func (m *Metrics) ObserveCluster(res *hetsched.ClusterResult) {
+	m.clusterRuns.Add(1)
+	m.clusterSteals.Add(int64(res.Steals))
+	m.clusterMu.Lock()
+	defer m.clusterMu.Unlock()
+	for _, nr := range res.Nodes {
+		c, ok := m.clusterNodes[nr.Node]
+		if !ok {
+			c = &ClusterNodeCounters{}
+			m.clusterNodes[nr.Node] = c
+		}
+		c.Jobs += int64(nr.JobsRouted)
+		c.StolenIn += int64(nr.StolenIn)
+		c.StolenOut += int64(nr.StolenOut)
+		if int64(nr.MaxPending) > c.MaxPending {
+			c.MaxPending = int64(nr.MaxPending)
+		}
+		c.TotalEnergyNJ += nr.Metrics.TotalEnergy()
+	}
+}
+
+// ClusterCounters returns the cumulative cluster run/steal totals and a
+// copy of the per-node counters keyed by node index ("0", "1", ...).
+func (m *Metrics) ClusterCounters() (runs, steals int64, nodes map[string]ClusterNodeCounters) {
+	runs = m.clusterRuns.Load()
+	steals = m.clusterSteals.Load()
+	m.clusterMu.Lock()
+	defer m.clusterMu.Unlock()
+	if len(m.clusterNodes) == 0 {
+		return runs, steals, nil
+	}
+	nodes = make(map[string]ClusterNodeCounters, len(m.clusterNodes))
+	for i, c := range m.clusterNodes {
+		nodes[strconv.Itoa(i)] = *c
+	}
+	return runs, steals, nodes
 }
 
 // ObserveService records one compute job's end-to-end service time and
@@ -150,6 +201,12 @@ type Snapshot struct {
 	TracedRuns     int64             `json:"traced_runs"`
 	TraceDecisions map[string]uint64 `json:"trace_decisions,omitempty"`
 
+	// Cluster-dispatch totals across all /v1/cluster/schedule runs; the
+	// per-node map is keyed by node index.
+	ClusterRuns   int64                          `json:"cluster_runs"`
+	ClusterSteals int64                          `json:"cluster_steals"`
+	ClusterNodes  map[string]ClusterNodeCounters `json:"cluster_nodes,omitempty"`
+
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 }
 
@@ -178,6 +235,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		}
 	}
 	m.traceMu.Unlock()
+	snap.ClusterRuns, snap.ClusterSteals, snap.ClusterNodes = m.ClusterCounters()
 	if m.pool != nil {
 		snap.Workers = m.pool.Workers()
 		snap.WorkersBusy = m.pool.Busy()

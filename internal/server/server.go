@@ -38,6 +38,12 @@ type Config struct {
 	// MaxArrivals caps a schedule request's workload length (default
 	// 20000) so a single request cannot monopolize a worker for minutes.
 	MaxArrivals int
+	// ClusterNodes is the default topology for /v1/cluster requests that
+	// omit one (default four paper-shaped quad-core nodes, "4*quad").
+	ClusterNodes []hetsched.SystemSpec
+	// ClusterScorer is the default dispatcher scoring strategy for
+	// /v1/cluster requests (default hybrid).
+	ClusterScorer hetsched.ScorerKind
 	// Logger receives one structured line per request (default stderr).
 	Logger *log.Logger
 }
@@ -58,6 +64,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxArrivals == 0 {
 		c.MaxArrivals = 20000
+	}
+	if len(c.ClusterNodes) == 0 {
+		c.ClusterNodes, _ = hetsched.ParseClusterSpec("4*quad")
 	}
 	if c.Logger == nil {
 		c.Logger = log.New(os.Stderr, "hetschedd ", log.LstdFlags|log.Lmsgprefix)
@@ -104,6 +113,8 @@ func New(sys *hetsched.System, cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	mux.HandleFunc("POST /v1/tune", s.handleTune)
+	mux.HandleFunc("POST /v1/cluster/schedule", s.handleClusterSchedule)
+	mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
 	mux.HandleFunc("GET /v1/designspace", s.handleDesignSpace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

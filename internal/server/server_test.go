@@ -9,6 +9,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -222,12 +223,15 @@ func TestScheduleBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("full queue: status %d, body %s, want 429", resp.StatusCode, body)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 without Retry-After header")
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("429 Retry-After = %q, want integer seconds >= 1", resp.Header.Get("Retry-After"))
 	}
 	var er ErrorResponse
 	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
 		t.Errorf("429 body = %s", body)
+	}
+	if er.Code != "queue_full" || er.QueueDepth < 1 {
+		t.Errorf("429 envelope = %+v, want queue_full with queue_depth >= 1", er)
 	}
 
 	snap := s.met.Snapshot()

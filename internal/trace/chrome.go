@@ -77,6 +77,10 @@ func chromeName(e Event) string {
 		return fmt.Sprintf("fault %s", e.Detail)
 	case KindKill:
 		return fmt.Sprintf("killed app%d %s", e.App, e.Config)
+	case KindRoute:
+		return fmt.Sprintf("route job%d -> node%d", e.Job, e.Core)
+	case KindSteal:
+		return fmt.Sprintf("steal job%d node%d -> node%d", e.Job, int(e.Start), e.Core)
 	default: // enqueue and future kinds
 		if e.App >= 0 {
 			return fmt.Sprintf("%s app%d", e.Kind, e.App)

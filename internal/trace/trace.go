@@ -61,13 +61,22 @@ const (
 	// KindComplete marks an execution finishing: the interval
 	// [Start, Cycle] on core Core in configuration Config.
 	KindComplete
+	// KindRoute is a cluster dispatcher decision: job Job was routed to
+	// node Core (the node index rides the core field at cluster level);
+	// SizeKB is the predicted best size used for affinity, EnergyNJ the
+	// winning node's score, and Detail the scorer plus per-node filter
+	// verdicts.
+	KindRoute
+	// KindSteal is one cross-node work-steal: job Job moved from the
+	// victim node (Start holds its index) to the thief node Core.
+	KindSteal
 
 	kindCount // sentinel
 )
 
 var kindNames = [kindCount]string{
 	"enqueue", "dispatch", "profile", "predict", "tune",
-	"stall", "fault", "kill", "complete",
+	"stall", "fault", "kill", "complete", "route", "steal",
 }
 
 // String names the kind as used in CSV files and metric keys.

@@ -21,6 +21,8 @@ func sampleEvents() []Event {
 		{Cycle: 7000, Kind: KindFault, System: "proposed", Job: -1, App: -1, Core: 1, Detail: "crash"},
 		{Cycle: 7000, Kind: KindKill, System: "proposed", Job: 2, App: 5, Core: 1, Config: "2KB_1W_16B", Start: 6500, EnergyNJ: 42.125},
 		{Cycle: 9000, Kind: KindComplete, System: "proposed", Job: 2, App: 5, Core: 0, Config: "2KB_1W_16B", Start: 7500},
+		{Cycle: 9500, Kind: KindRoute, System: "cluster", Job: 3, App: 4, Core: 2, SizeKB: 8, EnergyNJ: 321.5, Detail: "scorer=hybrid cand=3/4"},
+		{Cycle: 9800, Kind: KindSteal, System: "cluster", Job: 4, App: 1, Core: 1, Start: 3, Detail: "victim=3 depth=2"},
 	}
 }
 
@@ -198,9 +200,10 @@ func TestWriteChromeStructure(t *testing.T) {
 		}
 	}
 	// The sample stream has 3 interval events (profile, kill, complete),
-	// 6 instants, and metadata for 1 process + its threads.
-	if phases["X"] != 3 || phases["i"] != 6 || phases["M"] == 0 {
-		t.Errorf("phase census %v, want 3 X / 6 i / >0 M", phases)
+	// 8 instants (incl. the cluster route/steal pair), and metadata for the
+	// proposed + cluster processes and their threads.
+	if phases["X"] != 3 || phases["i"] != 8 || phases["M"] == 0 {
+		t.Errorf("phase census %v, want 3 X / 8 i / >0 M", phases)
 	}
 }
 

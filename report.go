@@ -173,6 +173,86 @@ func FormatSchedule(s *System, m Metrics, maxEvents int) string {
 	return b.String()
 }
 
+// FormatCluster renders a cluster run: the per-node routing and simulation
+// table (shape, routed jobs, steal flows, completion, makespan, energy)
+// followed by the cluster-wide totals.
+func FormatCluster(res *ClusterResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster (%s, scorer=%s): %d nodes, %d cores, %d jobs\n",
+		res.System, res.Scorer, len(res.Nodes), res.Cores(), res.Jobs)
+	fmt.Fprintf(&b, "  %-5s %-14s %6s %7s %7s %7s %15s %16s\n",
+		"node", "shape", "jobs", "in", "out", "maxq", "makespan", "energy nJ")
+	for _, nr := range res.Nodes {
+		fmt.Fprintf(&b, "  %-5d %-14s %6d %7d %7d %7d %15d %16.0f\n",
+			nr.Node, nr.Spec.String(), nr.JobsRouted, nr.StolenIn, nr.StolenOut,
+			nr.MaxPending, nr.Metrics.Makespan, nr.Metrics.TotalEnergy())
+	}
+	fmt.Fprintf(&b, "  completed %d/%d, steals %d, makespan %d cycles\n",
+		res.Completed, res.Jobs, res.Steals, res.Makespan)
+	fmt.Fprintf(&b, "  turnaround %d cycles (p50 %d, p99 %d)\n",
+		res.TurnaroundCycles, res.TurnaroundPercentile(50), res.TurnaroundPercentile(99))
+	fmt.Fprintf(&b, "  total energy %.0f nJ (idle %.0f, dynamic %.0f, static %.0f, core %.0f, profiling %.0f)\n",
+		res.TotalEnergyNJ(), res.IdleEnergyNJ, res.DynamicEnergyNJ,
+		res.StaticEnergyNJ, res.CoreEnergyNJ, res.ProfilingEnergyNJ)
+	return b.String()
+}
+
+// FormatClusterSchedule renders the first maxEvents entries of the merged
+// cluster execution timeline (ClusterConfig.RecordSchedule): every node's
+// recorded placements interleaved chronologically with node-qualified core
+// names ("n3/core1").
+func FormatClusterSchedule(s *System, res *ClusterResult, maxEvents int) string {
+	type row struct {
+		node int
+		e    core.PlacementEvent
+	}
+	var rows []row
+	total := 0
+	for _, nr := range res.Nodes {
+		total += len(nr.Metrics.Schedule)
+		for _, e := range nr.Metrics.Schedule {
+			rows = append(rows, row{node: nr.Node, e: e})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].e.Start != rows[j].e.Start {
+			return rows[i].e.Start < rows[j].e.Start
+		}
+		if rows[i].node != rows[j].node {
+			return rows[i].node < rows[j].node
+		}
+		return rows[i].e.CoreID < rows[j].e.CoreID
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster schedule timeline (%s): %d executions across %d nodes\n",
+		res.System, total, len(res.Nodes))
+	if maxEvents <= 0 || maxEvents > len(rows) {
+		maxEvents = len(rows)
+	}
+	for _, r := range rows[:maxEvents] {
+		name := fmt.Sprintf("app-%d", r.e.AppID)
+		if rec, err := s.Eval.Record(r.e.AppID); err == nil {
+			name = rec.Kernel
+		}
+		tag := ""
+		if r.e.Profiling {
+			tag = " [profiling]"
+		}
+		if r.e.Preempted {
+			tag = " [preempted]"
+		}
+		if r.e.Failed {
+			tag = " [failed]"
+		}
+		fmt.Fprintf(&b, "  n%d/core%d %12d..%-12d %-8s %s%s\n",
+			r.node, r.e.CoreID, r.e.Start, r.e.End, name, r.e.Config, tag)
+	}
+	if maxEvents < len(rows) {
+		fmt.Fprintf(&b, "  ... %d more\n", len(rows)-maxEvents)
+	}
+	return b.String()
+}
+
 // FormatDesignSpace renders Table 1.
 func FormatDesignSpace() string {
 	var b strings.Builder
