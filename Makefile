@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-short test-race bench bench-baseline cover cover-check fuzz reproduce serve loadtest sweep clean
+.PHONY: all check build vet lint test test-short test-race bench bench-baseline bench-gate profile cover cover-check fuzz reproduce serve loadtest sweep clean
 
 all: check
 
@@ -55,6 +55,28 @@ bench-baseline:
 		-benchmem ./internal/cache/ ./internal/characterize/ ./internal/eembc/ ./internal/core/ ./internal/ann/ ./internal/cluster/ \
 		| $(GO) run ./cmd/benchjson > BENCH_core.json
 	@echo wrote BENCH_core.json
+
+# The CI bench-regression gate: rerun the baseline suite, convert it with
+# benchjson, and compare against the committed BENCH_core.json. The tolerance
+# is generous because shared CI runners are noisy; a genuine regression on the
+# characterization hot path overshoots it anyway. Tune with
+# `make bench-gate BENCH_TOLERANCE=0.15`.
+BENCH_TOLERANCE ?= 0.40
+
+bench-gate:
+	$(GO) test -run=NONE -bench='BenchmarkL1Access|BenchmarkHierarchyAccess|BenchmarkMultiSim|BenchmarkReplayAllConfigs|BenchmarkCharacterizeWorkers|BenchmarkCharacterizeOneKernel|BenchmarkRecordTrace|BenchmarkKernelExecution|BenchmarkProposedSimulation|BenchmarkForward|BenchmarkClusterDispatch' \
+		-benchmem ./internal/cache/ ./internal/characterize/ ./internal/eembc/ ./internal/core/ ./internal/ann/ ./internal/cluster/ \
+		| $(GO) run ./cmd/benchjson > bench-fresh.json
+	$(GO) run ./cmd/benchjson -compare BENCH_core.json bench-fresh.json -tolerance $(BENCH_TOLERANCE)
+
+# Reproducible profiling workflow for the characterization hot path: CPU and
+# heap profiles from the fused-engine benchmark, ready for
+# `go tool pprof cpu.out`. EXPERIMENTS.md documents reading them and the
+# live-daemon variant (pprof on :6060 under hetschedbench load).
+profile:
+	$(GO) test -run=NONE -bench='BenchmarkCharacterizeOneKernel$$|BenchmarkCharacterizeWorkers' \
+		-benchtime 200x -cpuprofile cpu.out -memprofile mem.out ./internal/characterize/
+	@echo "wrote cpu.out and mem.out; inspect with: $(GO) tool pprof -top cpu.out"
 
 # Full-suite coverage profile + per-function summary (coverage.out is an
 # artifact, not a commit; CI uploads it).

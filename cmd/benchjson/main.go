@@ -1,10 +1,18 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // document on stdout, so benchmark baselines can be committed and diffed
-// (`make bench-baseline` writes BENCH_core.json with it).
+// (`make bench-baseline` writes BENCH_core.json with it), and compares two
+// such documents as a regression gate (`make bench-gate` in CI).
 //
 // Usage:
 //
 //	go test -bench=. -benchmem ./internal/cache/ | benchjson > BENCH_core.json
+//	benchjson -compare BENCH_core.json fresh.json -tolerance 0.15
+//
+// Compare mode matches benchmarks by package and name, prints a per-benchmark
+// ns/op delta table, and exits nonzero when any matched benchmark slowed by
+// more than the tolerance (a fraction; 0.15 means +15%) or a baseline
+// benchmark disappeared from the fresh run. New benchmarks absent from the
+// baseline are reported but never fail the gate.
 //
 // The parser understands the standard benchmark line
 //
@@ -52,8 +60,13 @@ type Report struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
-	if len(os.Args) > 1 { // pure filter: any argument is a usage error
-		fmt.Fprintln(os.Stderr, "usage: go test -bench=... -benchmem <pkgs> | benchjson > out.json")
+	args := os.Args[1:]
+	if len(args) > 0 && (args[0] == "-compare" || args[0] == "--compare") {
+		os.Exit(compareMain(args[1:]))
+	}
+	if len(args) > 0 { // filter mode takes no arguments
+		fmt.Fprintln(os.Stderr, `usage: go test -bench=... -benchmem <pkgs> | benchjson > out.json
+       benchjson -compare old.json new.json [-tolerance 0.15]`)
 		os.Exit(2)
 	}
 	rep, err := parse(bufio.NewScanner(os.Stdin))
@@ -142,4 +155,112 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		return Benchmark{}, false
 	}
 	return b, true
+}
+
+// compareMain implements `benchjson -compare old.json new.json
+// [-tolerance f]`. It returns the process exit code: 0 when every matched
+// benchmark is within tolerance, 1 on any regression or missing baseline
+// benchmark, 2 on usage errors.
+func compareMain(args []string) int {
+	tol := 0.15
+	var files []string
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; {
+		case a == "-tolerance" || a == "--tolerance":
+			i++
+			if i >= len(args) {
+				log.Print("-tolerance needs a value")
+				return 2
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v < 0 {
+				log.Printf("bad tolerance %q", args[i])
+				return 2
+			}
+			tol = v
+		case strings.HasPrefix(a, "-tolerance="):
+			v, err := strconv.ParseFloat(strings.TrimPrefix(a, "-tolerance="), 64)
+			if err != nil || v < 0 {
+				log.Printf("bad tolerance %q", a)
+				return 2
+			}
+			tol = v
+		case strings.HasPrefix(a, "-"):
+			log.Printf("unknown flag %q", a)
+			return 2
+		default:
+			files = append(files, a)
+		}
+	}
+	if len(files) != 2 {
+		log.Print("usage: benchjson -compare old.json new.json [-tolerance 0.15]")
+		return 2
+	}
+	oldRep, err := loadReport(files[0])
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	newRep, err := loadReport(files[1])
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+
+	type key struct{ pkg, name string }
+	fresh := map[key]Benchmark{}
+	for _, b := range newRep.Benchmarks {
+		fresh[key{b.Package, b.Name}] = b
+	}
+	seen := map[key]bool{}
+
+	fmt.Printf("%-58s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	failed := 0
+	for _, ob := range oldRep.Benchmarks {
+		k := key{ob.Package, ob.Name}
+		seen[k] = true
+		nb, ok := fresh[k]
+		if !ok {
+			fmt.Printf("%-58s %14.0f %14s %8s  MISSING\n", ob.Name, ob.NsPerOp, "-", "-")
+			failed++
+			continue
+		}
+		delta := 0.0
+		if ob.NsPerOp > 0 {
+			delta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		}
+		status := ""
+		if delta > tol {
+			status = "  REGRESSION"
+			failed++
+		}
+		fmt.Printf("%-58s %14.0f %14.0f %+7.1f%%%s\n", ob.Name, ob.NsPerOp, nb.NsPerOp, delta*100, status)
+	}
+	for _, nb := range newRep.Benchmarks {
+		if k := (key{nb.Package, nb.Name}); !seen[k] {
+			fmt.Printf("%-58s %14s %14.0f %8s  new\n", nb.Name, "-", nb.NsPerOp, "-")
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("FAIL: %d benchmark(s) regressed beyond %.0f%% or went missing\n", failed, tol*100)
+		return 1
+	}
+	fmt.Printf("OK: all matched benchmarks within %.0f%% of baseline\n", tol*100)
+	return 0
+}
+
+// loadReport reads one benchjson document from disk.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return &rep, nil
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -100,5 +103,61 @@ BenchmarkDangling-8 400 3000 ns/op 64.00 MB/s stray
 	b = rep.Benchmarks[2]
 	if b.NsPerOp != 3000 || b.Metrics["MB/s"] != 64 {
 		t.Errorf("metrics before a dangling token dropped: %+v", b)
+	}
+}
+
+// writeReport drops a minimal benchjson document for compare-mode tests.
+func writeReport(t *testing.T, name string, benches []Benchmark) string {
+	t.Helper()
+	data, err := json.Marshal(Report{Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareMain covers the regression gate: within-tolerance passes,
+// beyond-tolerance fails, a vanished baseline benchmark fails, improvements
+// and new benchmarks never fail, and usage errors exit 2.
+func TestCompareMain(t *testing.T) {
+	old := writeReport(t, "old.json", []Benchmark{
+		{Name: "BenchmarkA", Package: "p", Iterations: 1, NsPerOp: 1000},
+		{Name: "BenchmarkB", Package: "p", Iterations: 1, NsPerOp: 500},
+	})
+	within := writeReport(t, "within.json", []Benchmark{
+		{Name: "BenchmarkA", Package: "p", Iterations: 1, NsPerOp: 1100},
+		{Name: "BenchmarkB", Package: "p", Iterations: 1, NsPerOp: 400}, // improvement
+		{Name: "BenchmarkNew", Package: "p", Iterations: 1, NsPerOp: 9},
+	})
+	beyond := writeReport(t, "beyond.json", []Benchmark{
+		{Name: "BenchmarkA", Package: "p", Iterations: 1, NsPerOp: 1300},
+		{Name: "BenchmarkB", Package: "p", Iterations: 1, NsPerOp: 500},
+	})
+	missing := writeReport(t, "missing.json", []Benchmark{
+		{Name: "BenchmarkA", Package: "p", Iterations: 1, NsPerOp: 1000},
+	})
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"within tolerance", []string{old, within, "-tolerance", "0.15"}, 0},
+		{"regression", []string{old, beyond, "-tolerance", "0.15"}, 1},
+		{"regression forgiven by loose tolerance", []string{old, beyond, "-tolerance=0.5"}, 0},
+		{"missing benchmark", []string{old, missing}, 1},
+		{"identical", []string{old, old}, 0},
+		{"one file", []string{old}, 2},
+		{"bad tolerance", []string{old, within, "-tolerance", "x"}, 2},
+		{"unreadable file", []string{old, filepath.Join(t.TempDir(), "nope.json")}, 2},
+	}
+	for _, c := range cases {
+		if got := compareMain(c.args); got != c.want {
+			t.Errorf("%s: compareMain(%v) = %d, want %d", c.name, c.args, got, c.want)
+		}
 	}
 }

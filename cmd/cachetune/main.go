@@ -1,13 +1,15 @@
 // Command cachetune explores the cache design space for one benchmark: it
-// records the kernel's memory trace, scores every Table 1 configuration
-// under the Figure 4 energy model — in a single trace traversal by default
-// (-engine=onepass), or one replay per configuration with -engine=replay —
+// executes the kernel, scores every Table 1 configuration under the
+// Figure 4 energy model — streaming accesses straight into the one-pass
+// simulator by default (-engine=stream), from a recorded trace in a single
+// traversal with -engine=onepass, or one replay per configuration with
+// -engine=replay —
 // prints the full sweep, and then walks the Figure 5 tuning heuristic on
 // each core size to show how few configurations the heuristic needs.
 //
 // Usage:
 //
-//	cachetune [-kernel tblook] [-scale 1] [-seed 1] [-engine onepass|replay] [-space]
+//	cachetune [-kernel tblook] [-scale 1] [-seed 1] [-engine stream|onepass|replay] [-space]
 //	          [-trace walk.json]
 //	cachetune -list
 //
@@ -34,8 +36,9 @@ import (
 )
 
 // sweepTrace scores a saved trace across the full design space: one pass
-// through the trace for all 18 configurations by default, or the reference
-// per-configuration replay loop under -engine=replay.
+// through the trace for all 18 configurations by default (a saved trace is
+// already materialized, so stream and onepass coincide here), or the
+// reference per-configuration replay loop under -engine=replay.
 func sweepTrace(path string, engine characterize.Engine) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -53,7 +56,7 @@ func sweepTrace(path string, engine characterize.Engine) error {
 	space := cache.DesignSpace()
 	traversals := len(space)
 	var stats []cache.MultiStats
-	if engine == characterize.EngineOnePass {
+	if engine != characterize.EngineReplay {
 		ms, err := cache.NewMultiSim(space)
 		if err != nil {
 			return err
@@ -103,7 +106,7 @@ func run() error {
 	space := flag.Bool("space", false, "print the Table 1 design space and exit")
 	fromTrace := flag.String("fromtrace", "", "sweep a saved trace file (see tracegen) instead of a kernel")
 	var engine characterize.Engine
-	flag.TextVar(&engine, "engine", characterize.EngineOnePass, "cache simulation engine: onepass (score all configs in one trace traversal) or replay (reference per-config path)")
+	flag.TextVar(&engine, "engine", characterize.EngineStream, "cache simulation engine: stream (fused execution+scoring, no trace), onepass (record then score in one traversal) or replay (reference per-config path)")
 	traceFile := flag.String("trace", "", "write the tuning walk as decision-audit tune events to this file (.json = Chrome/Perfetto, else CSV)")
 	flag.Parse()
 

@@ -23,7 +23,7 @@
 //
 //	hetschedd [-addr :8080] [-debug-addr :6060] [-workers 4] [-queue 64]
 //	          [-timeout 2m] [-max-arrivals 20000] [-predictor ann] [-seed 42]
-//	          [-j N] [-cache-dir auto] [-engine onepass]
+//	          [-j N] [-cache-dir auto] [-engine stream]
 //	          [-faults mttf=5e6,recover=1e5,seed=1]
 //	          [-cluster 4*quad] [-scorer hybrid]
 //
@@ -76,7 +76,7 @@ func run() error {
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel workers for characterization and training")
 	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")
 	var engine hetsched.Engine
-	flag.TextVar(&engine, "engine", hetsched.EngineOnePass, "cache simulation engine for cold-start characterization: onepass|replay")
+	flag.TextVar(&engine, "engine", hetsched.EngineStream, "cache simulation engine for cold-start characterization: stream|onepass|replay")
 	faultsFlag := flag.String("faults", "off", "default fault-injection plan for schedule requests: off, or mttf=..,recover=..,permanent=..,stuck=..,noise=..,seed=..")
 	clusterFlag := flag.String("cluster", "4*quad", "default cluster topology for /v1/cluster requests: ';'-joined node shapes with N* repetition")
 	var scorer hetsched.ScorerKind

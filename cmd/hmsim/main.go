@@ -6,7 +6,8 @@
 // Usage:
 //
 //	hmsim [-arrivals 5000] [-util 0.9] [-seed 1] [-predictor ann|oracle|linear|knn|stump]
-//	      [-j N] [-cache-dir auto] [-faults mttf=5e6,recover=1e5,noise=0.05,seed=1]
+//	      [-j N] [-cache-dir auto] [-engine stream|onepass|replay]
+//	      [-faults mttf=5e6,recover=1e5,noise=0.05,seed=1]
 //	      [-trace file.json]
 //	      [-cluster 8*quad;8*16x2] [-scorer hybrid] [-no-steal]
 //
@@ -58,6 +59,8 @@ func run() error {
 	timeline := flag.Int("timeline", 0, "also print the first N proposed-system schedule events")
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel workers for characterization and training")
 	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")
+	var engine hetsched.Engine
+	flag.TextVar(&engine, "engine", hetsched.EngineStream, "cache simulation engine for characterization: stream|onepass|replay")
 	faultsFlag := flag.String("faults", "off", "fault-injection plan: off, or mttf=..,recover=..,permanent=..,stuck=..,noise=..,seed=..")
 	traceFile := flag.String("trace", "", "write the proposed system's decision-audit trace to this file (.json = Chrome/Perfetto, else CSV)")
 	clusterFlag := flag.String("cluster", "", "run in cluster mode over this topology (';'-joined node shapes with N* repetition, e.g. 8*quad;8*16x2)")
@@ -76,7 +79,7 @@ func run() error {
 	}
 
 	fmt.Fprintf(os.Stderr, "characterizing suite and training %s predictor...\n", kind)
-	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Workers: *jobs, CacheDir: dir, Faults: faults})
+	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Workers: *jobs, CacheDir: dir, Engine: engine, Faults: faults})
 	if err != nil {
 		return err
 	}

@@ -6,7 +6,7 @@
 //
 //	hmsweep [-arrivals 1500] [-utils 0.5,0.75,0.9] [-models uniform,poisson,bursty]
 //	        [-systems base,optimal,sat,energy-centric,proposed]
-//	        [-predictor ann] [-engine onepass] [-seed 1] [-j N] [-cache-dir auto]
+//	        [-predictor ann] [-engine stream] [-seed 1] [-j N] [-cache-dir auto]
 //	        [-faults mttf=5e6,recover=1e5,seed=1] [-trace cell.json] > sweep.csv
 //
 // -faults injects one deterministic fault plan into every grid cell (the
@@ -59,7 +59,7 @@ func run() error {
 	var kind hetsched.PredictorKind
 	flag.TextVar(&kind, "predictor", hetsched.PredictANN, "predictor: ann|oracle|linear|knn|stump|tree")
 	var engine hetsched.Engine
-	flag.TextVar(&engine, "engine", hetsched.EngineOnePass, "cache simulation engine: onepass|replay")
+	flag.TextVar(&engine, "engine", hetsched.EngineStream, "cache simulation engine: stream|onepass|replay")
 	seed := flag.Int64("seed", 1, "workload seed")
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel workers for setup and grid simulation")
 	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")

@@ -192,22 +192,28 @@ const (
 // Engine selects the cache-simulation engine characterization runs on.
 type Engine = characterize.Engine
 
-// Simulation engines. EngineOnePass (the zero value) scores all 18 Table 1
-// configurations in a single trace traversal; EngineReplay is the reference
-// per-configuration path. The two are bit-identical, so the choice never
-// changes results — only how long characterization takes.
+// Simulation engines. EngineStream (the zero value) fuses kernel execution
+// and simulation: packed accesses stream straight into the one-pass
+// simulator in fixed-size chunks, with no trace ever materialized and the
+// simulator state reused per worker. EngineOnePass records a packed trace
+// and scores all 18 Table 1 configurations in a single traversal;
+// EngineReplay is the reference per-configuration path. All three are
+// bit-identical, so the choice never changes results — only how long
+// characterization takes.
 const (
+	EngineStream  = characterize.EngineStream
 	EngineOnePass = characterize.EngineOnePass
 	EngineReplay  = characterize.EngineReplay
 )
 
 // ParseEngine parses the CLIs' shared -engine flag vocabulary
-// ("onepass"|"replay").
+// ("stream"|"onepass"|"replay").
 func ParseEngine(s string) (Engine, error) { return characterize.ParseEngine(s) }
 
 // ReplayCount reports the process-wide number of kernel trace traversals
 // performed so far: one per (variant, configuration) under EngineReplay,
-// one per variant under EngineOnePass — the observable 18×→1 reduction.
+// one per variant under EngineStream and EngineOnePass — the observable
+// 18×→1 reduction.
 func ReplayCount() uint64 { return characterize.ReplayCount() }
 
 // ParsePredictorKind parses a predictor name as printed by
@@ -304,9 +310,10 @@ type Options struct {
 	// count never changes results.
 	Workers int
 	// Engine selects the cache-simulation engine for characterization.
-	// The default EngineOnePass traverses each kernel trace once and
-	// scores all 18 configurations at once; EngineReplay is the reference
-	// per-configuration path. Bit-identical results either way.
+	// The default EngineStream streams each kernel's accesses straight
+	// into the one-pass simulator as it executes, materializing no trace;
+	// EngineOnePass and EngineReplay are the reference paths.
+	// Bit-identical results every way.
 	Engine Engine
 	// CacheDir enables the persistent characterization cache: DBs are
 	// content-keyed (design space, energy constants, variant list) and
@@ -403,7 +410,7 @@ func New(opts Options) (*System, error) {
 	// non-default engine cannot change results, but it must actually run —
 	// sharing the process-wide DBs would silently ignore the request.
 	custom := opts.WithL2 || opts.EnergyParams != nil || opts.IncludeTelecom ||
-		opts.Engine != characterize.EngineOnePass
+		opts.Engine != characterize.EngineStream
 
 	var (
 		eval, train *DB

@@ -528,7 +528,7 @@ func TestFlagTextRoundTrip(t *testing.T) {
 		t.Error("out-of-range predictor marshaled")
 	}
 
-	for _, want := range []Engine{EngineOnePass, EngineReplay} {
+	for _, want := range []Engine{EngineStream, EngineOnePass, EngineReplay} {
 		text, err := want.MarshalText()
 		if err != nil {
 			t.Fatalf("%v.MarshalText: %v", want, err)

@@ -1,6 +1,9 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // MultiSim scores every configuration of a design space in a single
 // traversal of a memory trace, replacing the replay-per-configuration loop
@@ -28,16 +31,20 @@ import "fmt"
 // A MultiSim allocates all state at construction; AccessBatch performs no
 // allocation and no interface dispatch.
 type MultiSim struct {
-	space   []Config
-	groups  []msGroup  // Mattson engine (L1-only mode)
-	sims    []*msHier  // per-config two-level state (hierarchy mode)
-	scratch []uint64   // per-chunk shared block decomposition
-	total   uint64     // accesses observed
+	space  []Config
+	groups []msGroup // Mattson engine (L1-only mode), ascending line size
+	sims   []*msHier // per-config two-level state (hierarchy mode)
+	// scratchA/B ping-pong the per-chunk deduplicated block decomposition
+	// as it is coarsened group by group.
+	scratchA []uint64
+	scratchB []uint64
+	total    uint64 // accesses observed
 }
 
-// msChunk bounds how many packed accesses are decomposed per group at a
-// time: large enough to amortize the per-group loop switch, small enough
-// that the scratch buffer and the touched stack state stay cache-resident.
+// msChunk bounds how many packed accesses each stack traverses at a time:
+// large enough to amortize the per-group loop switch, small enough that the
+// chunk and the touched stack state stay cache-resident while every stack in
+// every group walks the same window.
 const msChunk = 2048
 
 // msStack is one per-set LRU stack shared by every configuration of a
@@ -57,6 +64,11 @@ type msStack struct {
 // shifted line and write bits out.
 const msInvalid = ^uint64(0)
 
+// msNoBlock marks a group's dedup state as empty. No decomposed block can
+// equal it: the decomposition shifts at least the write bit out, so real
+// blocks top out below 1<<63.
+const msNoBlock = ^uint64(0)
+
 func newMsStack(sets, depth int) *msStack {
 	s := &msStack{
 		tagShift: uint(log2(sets)),
@@ -65,16 +77,26 @@ func newMsStack(sets, depth int) *msStack {
 		tags:     make([]uint64, sets*depth),
 		hist:     make([]uint64, depth),
 	}
-	for i := range s.tags {
-		s.tags[i] = msInvalid
-	}
+	s.reset()
 	return s
 }
 
-// run pushes a chunk of block addresses through the stack. The depth-1 and
-// depth-2 and depth-4 cases cover the whole Table 1 space and keep the inner
-// loop free of inner-loop bounds checks; other depths fall back to the
-// generic move-to-front.
+// reset restores the freshly-constructed state: every slot invalid, every
+// counter zero.
+func (s *msStack) reset() {
+	for i := range s.tags {
+		s.tags[i] = msInvalid
+	}
+	for i := range s.hist {
+		s.hist[i] = 0
+	}
+	s.misses = 0
+}
+
+// run pushes a chunk of already-decomposed, run-length-deduplicated block
+// addresses through the stack. The depth-1/2/4 cases cover the whole Table 1
+// space and keep the inner loop free of bounds checks; other depths fall
+// back to the generic move-to-front.
 func (s *msStack) run(blocks []uint64) {
 	mask, shift := s.setMask, s.tagShift
 	tags := s.tags
@@ -176,7 +198,8 @@ func (s *msStack) hitsUpTo(ways int) uint64 {
 // msGroup is one line-size group: a shared block decomposition feeding the
 // group's set-count clusters.
 type msGroup struct {
-	shift  uint // log2(lineBytes) + 1: drops the write bit and the offset
+	shift  uint   // log2(lineBytes) + 1: drops the write bit and the offset
+	last   uint64 // last block observed, for run-length dedup (msNoBlock when none)
 	stacks []*msStack
 	// byConfig maps design-space index -> the stack scoring that config
 	// (only indices whose config belongs to this group are present).
@@ -192,8 +215,9 @@ func NewMultiSim(space []Config) (*MultiSim, error) {
 		return nil, fmt.Errorf("cache: multisim: empty design space")
 	}
 	m := &MultiSim{
-		space:   append([]Config(nil), space...),
-		scratch: make([]uint64, msChunk),
+		space:    append([]Config(nil), space...),
+		scratchA: make([]uint64, 0, msChunk),
+		scratchB: make([]uint64, 0, msChunk),
 	}
 	// Group by line size, cluster by set count, one stack per cluster at
 	// the cluster's maximum associativity.
@@ -208,6 +232,7 @@ func NewMultiSim(space []Config) (*MultiSim, error) {
 			groupIdx[cfg.LineBytes] = gi
 			m.groups = append(m.groups, msGroup{
 				shift:    uint(log2(cfg.LineBytes)) + 1,
+				last:     msNoBlock,
 				byConfig: map[int]*msStack{},
 			})
 		}
@@ -232,7 +257,34 @@ func NewMultiSim(space []Config) (*MultiSim, error) {
 		}
 		g.byConfig[i] = stack
 	}
+	// Ascending line-size order lets AccessBatch derive each group's block
+	// stream by coarsening the previous group's deduplicated stream instead
+	// of re-decomposing the full chunk (line sizes nest, and run-length
+	// dedup commutes with coarsening).
+	sort.Slice(m.groups, func(a, b int) bool { return m.groups[a].shift < m.groups[b].shift })
 	return m, nil
+}
+
+// Reset returns the simulator to its freshly-constructed state — every
+// stack slot and cache line invalid, every counter zero — without touching
+// any allocation, and is proven bit-identical to building a new MultiSim
+// (TestMultiSimResetReuse). It is the reuse hook behind the streaming
+// characterization engine's per-worker simulator, which scores kernel after
+// kernel on one set of arrays instead of reconstructing ~50 KB of state per
+// trace.
+func (m *MultiSim) Reset() {
+	m.total = 0
+	for gi := range m.groups {
+		m.groups[gi].last = msNoBlock
+		for _, s := range m.groups[gi].stacks {
+			s.reset()
+		}
+	}
+	for _, h := range m.sims {
+		h.l1.reset()
+		h.l2.reset()
+		h.l1Hits, h.l2Hits, h.offChip = 0, 0, 0
+	}
 }
 
 // AccessBatch replays a batch of packed accesses (vm.Pack encoding:
@@ -250,16 +302,40 @@ func (m *MultiSim) AccessBatch(packed []uint64) {
 			n = msChunk
 		}
 		part := packed[:n]
+		// Run-length dedup: a repeat of a group's previous block is a
+		// guaranteed depth-0 hit in every stack of the group (same set, same
+		// tag, just moved to MRU), so consecutive duplicates are counted
+		// once instead of traversing each stack. Groups are sorted by line
+		// size, so each group coarsens the previous group's surviving
+		// stream (delta shift) rather than re-decomposing the full chunk —
+		// every access dropped at a finer line is by construction a repeat
+		// at every coarser line too.
+		src := part
+		applied := uint(0)
 		for gi := range m.groups {
 			g := &m.groups[gi]
-			scratch := m.scratch[:n]
-			shift := g.shift
-			for i, p := range part {
-				scratch[i] = p >> shift
+			dst := m.scratchA
+			if gi&1 == 1 {
+				dst = m.scratchB
 			}
+			dst = dst[:0]
+			last := g.last
+			for _, x := range src {
+				b := x >> (g.shift - applied)
+				if b == last {
+					continue
+				}
+				last = b
+				dst = append(dst, b)
+			}
+			g.last = last
+			dup0 := uint64(n - len(dst))
 			for _, s := range g.stacks {
-				s.run(scratch)
+				s.hist[0] += dup0
+				s.run(dst)
 			}
+			src = dst
+			applied = g.shift
 		}
 		packed = packed[n:]
 	}
@@ -339,10 +415,21 @@ func newMsCache(cfg Config) *msCache {
 		tags:     make([]uint64, cfg.Sets()*cfg.Ways),
 		meta:     make([]uint64, cfg.Sets()*cfg.Ways),
 	}
+	c.reset()
+	return c
+}
+
+// reset restores the freshly-constructed state: all lines invalid, the LRU
+// clock and every counter back to zero.
+func (c *msCache) reset() {
 	for i := range c.tags {
 		c.tags[i] = msInvalid
 	}
-	return c
+	for i := range c.meta {
+		c.meta[i] = 0
+	}
+	c.clock = 0
+	c.hits, c.misses, c.writebacks = 0, 0, 0
 }
 
 // access performs one access; wb reports a dirty eviction and its
@@ -425,7 +512,11 @@ func NewMultiSimHierarchy(space []Config, l2 L2Config) (*MultiSim, error) {
 	if !l2cfg.Valid() {
 		return nil, fmt.Errorf("cache: multisim: bad L2: %+v", l2)
 	}
-	m := &MultiSim{space: append([]Config(nil), space...)}
+	m := &MultiSim{
+		space:    append([]Config(nil), space...),
+		scratchA: make([]uint64, 0, msChunk),
+		scratchB: make([]uint64, 0, msChunk),
+	}
 	for _, cfg := range space {
 		if !cfg.Valid() {
 			return nil, fmt.Errorf("cache: multisim: invalid config %+v", cfg)

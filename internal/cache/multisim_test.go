@@ -327,3 +327,46 @@ func ExampleMultiSim() {
 	// Output:
 	// 8KB_4W_64B: 3308 hits, 788 misses
 }
+
+// TestMultiSimResetReuse pins the contract behind the streaming engine's
+// per-worker simulator reuse: Reset must be bit-identical to constructing a
+// fresh MultiSim, in both L1-only and hierarchy modes, even when the traces
+// run before and after the Reset differ wildly.
+func TestMultiSimResetReuse(t *testing.T) {
+	space := DesignSpace()
+	traces := msTestTraces()
+	order := []string{"random-large", "streaming", "strided-conflict", "write-only", "random-small"}
+	build := map[string]func() (*MultiSim, error){
+		"l1": func() (*MultiSim, error) { return NewMultiSim(space) },
+		"hier": func() (*MultiSim, error) {
+			return NewMultiSimHierarchy(space, DefaultL2)
+		},
+	}
+	for mode, mk := range build {
+		t.Run(mode, func(t *testing.T) {
+			reused, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range order {
+				tr := traces[name]
+				reused.Reset()
+				reused.AccessBatch(tr)
+				fresh, err := mk()
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh.AccessBatch(tr)
+				if reused.Accesses() != fresh.Accesses() {
+					t.Fatalf("%s: Accesses %d after reuse, %d fresh", name, reused.Accesses(), fresh.Accesses())
+				}
+				got, want := reused.Stats(), fresh.Stats()
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s config %s: reuse %+v, fresh %+v", name, want[i].Config, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}

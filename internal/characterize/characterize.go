@@ -6,12 +6,15 @@
 // cache accesses and miss rates with SimpleScalar for every configuration
 // and evaluating them under the Figure 4 energy model.
 //
-// Scoring runs on one of two engines (Options.Engine): the default one-pass
-// engine traverses each trace once and scores all 18 configurations
-// simultaneously (cache.MultiSim); the replay engine reruns the trace once
-// per configuration. The two produce bit-identical DBs — the replay engine
-// is kept as the reference the equivalence tests check the fast path
-// against.
+// Scoring runs on one of three engines (Options.Engine). The default
+// streaming engine never materializes a trace at all: kernel execution
+// feeds packed accesses straight into cache.MultiSim through a fixed-size
+// vm.StreamSink chunk buffer, on per-worker reusable simulator state. The
+// one-pass engine records a packed vm.FlatTrace and then scores all 18
+// configurations in a single traversal; the replay engine reruns the trace
+// once per configuration. All three produce bit-identical DBs — onepass and
+// replay are kept as the references the equivalence tests check the fast
+// path against.
 //
 // The resulting DB is the ground truth the experiments draw from: the
 // scheduler's profiling table learns *parts* of it at runtime, the ANN is
@@ -210,22 +213,30 @@ func AugmentedExtendedVariants() []Variant {
 }
 
 // Engine selects the simulation engine characterization scores traces on.
-// Both engines produce bit-identical DBs; see TestEnginesBitIdentical.
+// All engines produce bit-identical DBs; see TestEnginesBitIdentical.
 type Engine int
 
 // Engines.
 const (
-	// EngineOnePass traverses each trace once and scores every
-	// configuration simultaneously (cache.MultiSim) — the default.
-	EngineOnePass Engine = iota
-	// EngineReplay is the reference implementation: one full trace replay
-	// per configuration (18× the traversals of EngineOnePass).
+	// EngineStream fuses execution and simulation — the default: kernel
+	// execution streams packed accesses into cache.MultiSim in fixed-size
+	// chunks (vm.StreamSink) without materializing a trace, on per-worker
+	// reusable simulator state.
+	EngineStream Engine = iota
+	// EngineOnePass records a packed vm.FlatTrace, then traverses it once
+	// scoring every configuration simultaneously (cache.MultiSim) — the
+	// first reference engine.
+	EngineOnePass
+	// EngineReplay is the ground-truth reference implementation: one full
+	// trace replay per configuration (18× the traversals of EngineOnePass).
 	EngineReplay
 )
 
 // String names the engine in the CLI flag vocabulary.
 func (e Engine) String() string {
 	switch e {
+	case EngineStream:
+		return "stream"
 	case EngineOnePass:
 		return "onepass"
 	case EngineReplay:
@@ -235,15 +246,17 @@ func (e Engine) String() string {
 }
 
 // ParseEngine parses an engine name as printed by Engine.String — the
-// -engine flag vocabulary of cachetune, hmsweep and hetschedd.
+// -engine flag vocabulary of cachetune, hmsweep, hmsim and hetschedd.
 func ParseEngine(s string) (Engine, error) {
 	switch s {
+	case "stream":
+		return EngineStream, nil
 	case "onepass":
 		return EngineOnePass, nil
 	case "replay":
 		return EngineReplay, nil
 	}
-	return 0, fmt.Errorf("characterize: unknown engine %q (want onepass|replay)", s)
+	return 0, fmt.Errorf("characterize: unknown engine %q (want stream|onepass|replay)", s)
 }
 
 // Set implements flag.Value, so CLIs bind -engine straight to an Engine.
@@ -259,7 +272,7 @@ func (e *Engine) Set(s string) error {
 // MarshalText implements encoding.TextMarshaler; an out-of-range engine is
 // an error rather than a silently serialized "engine(N)".
 func (e Engine) MarshalText() ([]byte, error) {
-	if e != EngineOnePass && e != EngineReplay {
+	if e < EngineStream || e > EngineReplay {
 		return nil, fmt.Errorf("characterize: unknown engine %d", int(e))
 	}
 	return []byte(e.String()), nil
@@ -283,17 +296,20 @@ type Options struct {
 	// whole build serially. Workers never changes results — the DB is
 	// assembled slot-by-slot in variant and design-space order.
 	Workers int
-	// Engine selects the simulation engine; the zero value is the one-pass
-	// simulator. Engines never change results (the DB is bit-identical
-	// either way), so the disk-cache content key ignores this field.
+	// Engine selects the simulation engine; the zero value is the fused
+	// streaming simulator. Engines never change results (the DB is
+	// bit-identical every way), so the disk-cache content key ignores this
+	// field.
 	Engine Engine
 }
 
 // replays counts trace traversals performed by this process: one per
 // (variant, configuration) pair under EngineReplay, one per variant under
-// EngineOnePass — which is exactly the 18×→1 reduction the one-pass engine
-// exists for, observable via hmsweep/cachetune. The disk-cache tests
-// assert a warm load does not move it.
+// EngineOnePass and EngineStream (the stream engine's single fused
+// execution+simulation pass counts as one traversal) — which is exactly the
+// 18×→1 reduction the fast engines exist for, observable via
+// hmsweep/cachetune. The disk-cache tests assert a warm load does not move
+// it.
 var replays atomic.Uint64
 
 // ReplayCount reports the number of trace traversals performed by this
@@ -309,15 +325,80 @@ func Characterize(variants []Variant, em *energy.Model) (*DB, error) {
 	return CharacterizeWithOptions(variants, em, Options{})
 }
 
+// jobFunc is one pool job. The scratch argument is the executing worker's
+// private reusable simulation state; jobs that don't need it ignore it.
+type jobFunc func(*engineScratch)
+
+// engineScratch is one pool worker's reusable simulation state: a MultiSim
+// that is Reset between kernels instead of reconstructed, and a StreamSink
+// whose chunk buffer and footprint bitset are recycled across programs.
+// Workers own their scratch exclusively, so no synchronization is needed,
+// and because Reset is bit-identical to fresh construction the reuse can
+// never leak state between variants. This is what makes worker scaling
+// additive: the per-variant allocation churn (a ~50 KB simulator plus a
+// full packed trace per kernel under the old layout) previously grew the
+// GC's share of every worker's time until 8 workers ran *slower* than 1.
+type engineScratch struct {
+	ms   *cache.MultiSim
+	mode string // simulator mode key: "" for L1-only, else the L2 config
+	sink *vm.StreamSink
+}
+
+// scratchPool recycles worker scratch across CharacterizeWithOptions calls,
+// so repeated characterization (sweeps, the daemon's periodic refresh) reuses
+// the simulators instead of rebuilding ~50 KB of stack state per worker per
+// call. Reset is proven bit-identical to fresh construction, so pooling is
+// invisible in the output.
+var scratchPool = sync.Pool{New: func() any { return new(engineScratch) }}
+
+// multiSim returns the worker's simulator for the call's mode, freshly
+// Reset, constructing it on first use or when the mode changed. The mode
+// (L2 or not) is fixed for the lifetime of one CharacterizeWithOptions
+// pool, so one simulator per worker suffices.
+func (sc *engineScratch) multiSim(opts Options) (*cache.MultiSim, error) {
+	mode := ""
+	if opts.L2 != nil {
+		c := opts.L2.L2Params().Config
+		mode = fmt.Sprintf("%d/%d/%d", c.SizeKB, c.Ways, c.LineBytes)
+	}
+	if sc.ms != nil && sc.mode == mode {
+		sc.ms.Reset()
+		return sc.ms, nil
+	}
+	var err error
+	if opts.L2 != nil {
+		sc.ms, err = cache.NewMultiSimHierarchy(cache.DesignSpace(), opts.L2.L2Params().Config)
+	} else {
+		sc.ms, err = cache.NewMultiSim(cache.DesignSpace())
+	}
+	if err != nil {
+		sc.ms, sc.mode = nil, ""
+		return nil, err
+	}
+	sc.mode = mode
+	return sc.ms, nil
+}
+
+// stream returns the worker's StreamSink rebound to ms with the footprint
+// bitset sized for memBytes of address space.
+func (sc *engineScratch) stream(ms *cache.MultiSim, memBytes int) *vm.StreamSink {
+	if sc.sink == nil {
+		sc.sink = vm.NewStreamSink(ms, memBytes)
+	} else {
+		sc.sink.Reset(ms, memBytes)
+	}
+	return sc.sink
+}
+
 // CharacterizeWithOptions is Characterize with extension knobs.
 //
 // Concurrency layout: a pool of opts.Workers goroutines executes every
-// CPU-bound job — kernel recording and per-configuration trace replay —
-// while one lightweight driver per in-flight variant records its trace,
-// enqueues one replay job per design-space configuration, and assembles
-// the Record once all replies land. In-flight variants are bounded by the
-// worker count so at most that many full memory traces are live at once.
-// Each replay job builds its own private cache hierarchy; nothing mutable
+// CPU-bound job — fused kernel streaming, trace recording, and
+// per-configuration trace replay — while one lightweight driver per
+// in-flight variant enqueues its jobs and assembles the Record once all
+// replies land. In-flight variants are bounded by the worker count so at
+// most that many variants' states are live at once. Each pool worker owns
+// a private reusable scratch (simulator + stream buffer); nothing mutable
 // is shared, and every result is written to a pre-assigned slot, so the
 // output is byte-identical to a serial build.
 func CharacterizeWithOptions(variants []Variant, em *energy.Model, opts Options) (*DB, error) {
@@ -335,15 +416,17 @@ func CharacterizeWithOptions(variants []Variant, em *energy.Model, opts Options)
 	// The job pool: drivers submit closures, pool goroutines run them.
 	// Drivers never occupy a pool slot themselves, so waiting for a
 	// sub-job cannot deadlock.
-	jobs := make(chan func())
+	jobs := make(chan jobFunc)
 	var poolWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		poolWG.Add(1)
 		go func() {
 			defer poolWG.Done()
+			sc := scratchPool.Get().(*engineScratch)
 			for f := range jobs {
-				f()
+				f(sc)
 			}
+			scratchPool.Put(sc)
 		}()
 	}
 
@@ -378,27 +461,90 @@ func CharacterizeWithOptions(variants []Variant, em *energy.Model, opts Options)
 }
 
 // submit runs f on the pool and returns a completion channel.
-func submit(jobs chan func(), f func()) <-chan struct{} {
+func submit(jobs chan jobFunc, f jobFunc) <-chan struct{} {
 	done := make(chan struct{})
-	jobs <- func() {
+	jobs <- func(sc *engineScratch) {
 		defer close(done)
-		f()
+		f(sc)
 	}
 	return done
 }
 
-func characterizeOne(v Variant, em *energy.Model, opts Options, jobs chan func()) (Record, error) {
-	if opts.Engine == EngineReplay {
+func characterizeOne(v Variant, em *energy.Model, opts Options, jobs chan jobFunc) (Record, error) {
+	switch opts.Engine {
+	case EngineReplay:
 		return characterizeOneReplay(v, em, opts, jobs)
+	case EngineOnePass:
+		return characterizeOneOnePass(v, em, opts, jobs)
+	default:
+		return characterizeOneStream(v, em, opts, jobs)
 	}
-	return characterizeOneOnePass(v, em, opts, jobs)
+}
+
+// characterizeOneStream is the default path: one fused pool job executes
+// the kernel with its memory stream feeding the worker's reusable MultiSim
+// through a chunked StreamSink, so no trace is ever materialized — the
+// ~2 MB/variant of trace and simulator allocations of the other engines
+// collapse to the Record itself. The aggregate statistics the feature
+// vector needs (access/write counts, distinct-block footprints) are
+// maintained inline by the sink during execution.
+func characterizeOneStream(v Variant, em *energy.Model, opts Options, jobs chan jobFunc) (Record, error) {
+	k, err := eembc.ByName(v.Kernel)
+	if err != nil {
+		return Record{}, err
+	}
+	space := cache.DesignSpace()
+	var (
+		rec    Record
+		jobErr error
+	)
+	<-submit(jobs, func(sc *engineScratch) {
+		ms, err := sc.multiSim(opts)
+		if err != nil {
+			jobErr = err
+			return
+		}
+		sink := sc.stream(ms, k.MemBytes(v.Params))
+		replays.Add(1)
+		ctr, err := eembc.Run(k, v.Params, sink)
+		if err != nil {
+			jobErr = err
+			return
+		}
+		sink.Flush()
+		rec = Record{
+			Kernel:     v.Kernel,
+			Params:     v.Params,
+			BaseCycles: ctr.Cycles,
+			Accesses:   uint64(sink.Len()),
+			Configs:    make([]ConfigResult, len(space)),
+		}
+		for j, s := range ms.Stats() {
+			if opts.L2 != nil {
+				rec.Configs[j] = resultL2(s.Config, s.Hits, s.L2Hits, s.OffChip, ctr.Cycles, opts.L2)
+			} else {
+				rec.Configs[j] = resultL1(s.Config, s.Hits, s.Misses, ctr.Cycles, em)
+			}
+		}
+		var baseHits, baseMisses uint64
+		for j, cfg := range space {
+			if cfg == cache.BaseConfig {
+				baseHits, baseMisses = rec.Configs[j].Hits, rec.Configs[j].Misses
+			}
+		}
+		rec.Features = stats.FromExecution(ctr, sink, baseHits, baseMisses)
+	})
+	if jobErr != nil {
+		return Record{}, jobErr
+	}
+	return rec, nil
 }
 
 // characterizeOneOnePass is the default path: record the kernel in the
 // packed representation, then score the whole design space in a single
 // trace traversal (one pool job, since the traversal costs about as much as
 // one legacy replay).
-func characterizeOneOnePass(v Variant, em *energy.Model, opts Options, jobs chan func()) (Record, error) {
+func characterizeOneOnePass(v Variant, em *energy.Model, opts Options, jobs chan jobFunc) (Record, error) {
 	k, err := eembc.ByName(v.Kernel)
 	if err != nil {
 		return Record{}, err
@@ -408,7 +554,7 @@ func characterizeOneOnePass(v Variant, em *energy.Model, opts Options, jobs chan
 		ftr    *vm.FlatTrace
 		recErr error
 	)
-	<-submit(jobs, func() { ctr, ftr, recErr = eembc.RecordFlat(k, v.Params) })
+	<-submit(jobs, func(*engineScratch) { ctr, ftr, recErr = eembc.RecordFlat(k, v.Params) })
 	if recErr != nil {
 		return Record{}, recErr
 	}
@@ -425,7 +571,7 @@ func characterizeOneOnePass(v Variant, em *energy.Model, opts Options, jobs chan
 	if msErr != nil {
 		return Record{}, msErr
 	}
-	<-submit(jobs, func() {
+	<-submit(jobs, func(*engineScratch) {
 		replays.Add(1)
 		ms.AccessBatch(ftr.Packed)
 	})
@@ -455,7 +601,7 @@ func characterizeOneOnePass(v Variant, em *energy.Model, opts Options, jobs chan
 
 // characterizeOneReplay is the reference path: one trace replay per
 // configuration, fanned across the pool.
-func characterizeOneReplay(v Variant, em *energy.Model, opts Options, jobs chan func()) (Record, error) {
+func characterizeOneReplay(v Variant, em *energy.Model, opts Options, jobs chan jobFunc) (Record, error) {
 	k, err := eembc.ByName(v.Kernel)
 	if err != nil {
 		return Record{}, err
@@ -467,7 +613,7 @@ func characterizeOneReplay(v Variant, em *energy.Model, opts Options, jobs chan 
 		tr     *vm.Trace
 		recErr error
 	)
-	<-submit(jobs, func() { ctr, tr, recErr = eembc.Record(k, v.Params) })
+	<-submit(jobs, func(*engineScratch) { ctr, tr, recErr = eembc.Record(k, v.Params) })
 	if recErr != nil {
 		return Record{}, recErr
 	}
@@ -483,8 +629,8 @@ func characterizeOneReplay(v Variant, em *energy.Model, opts Options, jobs chan 
 	var wg sync.WaitGroup
 	for j, cfg := range space {
 		wg.Add(1)
-		jobs <- func(j int, cfg cache.Config) func() {
-			return func() {
+		jobs <- func(j int, cfg cache.Config) jobFunc {
+			return func(*engineScratch) {
 				defer wg.Done()
 				if opts.L2 != nil {
 					rec.Configs[j], replayErrs[j] = replayL2(tr, cfg, ctr.Cycles, opts.L2)

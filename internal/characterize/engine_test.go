@@ -39,15 +39,19 @@ func diffDBs(t *testing.T, onepass, replay *DB) {
 	}
 }
 
-// TestEnginesBitIdentical is the golden equivalence gate: the one-pass
-// engine must produce a DB bit-identical (hits, misses, L2 splits, cycles,
-// features, every energy float) to the per-configuration replay across
-// every EEMBC kernel and all 18 configurations.
+// TestEnginesBitIdentical is the golden equivalence gate: the streaming and
+// one-pass engines must produce DBs bit-identical (hits, misses, L2 splits,
+// cycles, features, every energy float) to the per-configuration replay
+// across every EEMBC kernel and all 18 configurations.
 func TestEnginesBitIdentical(t *testing.T) {
 	em := energy.NewDefault()
 	variants := ExtendedVariants() // all 20 kernels: automotive + telecom
 	if testing.Short() {
 		variants = variants[:4]
+	}
+	stream, err := CharacterizeWithOptions(variants, em, Options{Engine: EngineStream})
+	if err != nil {
+		t.Fatal(err)
 	}
 	onepass, err := CharacterizeWithOptions(variants, em, Options{Engine: EngineOnePass})
 	if err != nil {
@@ -59,7 +63,11 @@ func TestEnginesBitIdentical(t *testing.T) {
 	}
 	if !reflect.DeepEqual(onepass, replay) {
 		diffDBs(t, onepass, replay)
-		t.Fatal("engines diverge (see per-field diffs above)")
+		t.Fatal("one-pass and replay engines diverge (see per-field diffs above)")
+	}
+	if !reflect.DeepEqual(stream, onepass) {
+		diffDBs(t, stream, onepass)
+		t.Fatal("streaming and one-pass engines diverge (see per-field diffs above)")
 	}
 }
 
@@ -76,6 +84,10 @@ func TestEnginesBitIdenticalL2(t *testing.T) {
 	if testing.Short() {
 		variants = variants[:3]
 	}
+	stream, err := CharacterizeWithOptions(variants, em, Options{Engine: EngineStream, L2: l2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	onepass, err := CharacterizeWithOptions(variants, em, Options{Engine: EngineOnePass, L2: l2})
 	if err != nil {
 		t.Fatal(err)
@@ -87,6 +99,10 @@ func TestEnginesBitIdenticalL2(t *testing.T) {
 	if !reflect.DeepEqual(onepass, replay) {
 		diffDBs(t, onepass, replay)
 		t.Fatal("engines diverge under L2 mode (see per-field diffs above)")
+	}
+	if !reflect.DeepEqual(stream, onepass) {
+		diffDBs(t, stream, onepass)
+		t.Fatal("streaming engine diverges under L2 mode (see per-field diffs above)")
 	}
 }
 
@@ -113,9 +129,9 @@ func randomVariants(seed int64, n int) []Variant {
 
 // TestEnginesEquivalentRandom is the property-based equivalence gate: for a
 // table of seeds, randomly drawn kernel variants must characterize
-// bit-identically under the one-pass and replay engines. The fixed golden
-// tests above pin the canonical suites; this one probes the space between
-// them (and runs under -race via make test-race).
+// bit-identically under the streaming, one-pass and replay engines. The
+// fixed golden tests above pin the canonical suites; this one probes the
+// space between them (and runs under -race via make test-race).
 func TestEnginesEquivalentRandom(t *testing.T) {
 	em := energy.NewDefault()
 	seeds := []int64{2, 17, 404, 9001, 271828}
@@ -129,6 +145,10 @@ func TestEnginesEquivalentRandom(t *testing.T) {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			t.Parallel()
 			variants := randomVariants(seed, perSeed)
+			stream, err := CharacterizeWithOptions(variants, em, Options{Engine: EngineStream})
+			if err != nil {
+				t.Fatalf("stream on %+v: %v", variants, err)
+			}
 			onepass, err := CharacterizeWithOptions(variants, em, Options{Engine: EngineOnePass})
 			if err != nil {
 				t.Fatalf("one-pass on %+v: %v", variants, err)
@@ -139,7 +159,11 @@ func TestEnginesEquivalentRandom(t *testing.T) {
 			}
 			if !reflect.DeepEqual(onepass, replay) {
 				diffDBs(t, onepass, replay)
-				t.Fatalf("engines diverge on random variants %+v", variants)
+				t.Fatalf("one-pass vs replay diverge on random variants %+v", variants)
+			}
+			if !reflect.DeepEqual(stream, onepass) {
+				diffDBs(t, stream, onepass)
+				t.Fatalf("stream vs one-pass diverge on random variants %+v", variants)
 			}
 		})
 	}
@@ -147,7 +171,7 @@ func TestEnginesEquivalentRandom(t *testing.T) {
 
 // TestEngineFlagVocabulary pins the -engine flag round trip.
 func TestEngineFlagVocabulary(t *testing.T) {
-	for _, e := range []Engine{EngineOnePass, EngineReplay} {
+	for _, e := range []Engine{EngineStream, EngineOnePass, EngineReplay} {
 		got, err := ParseEngine(e.String())
 		if err != nil || got != e {
 			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, err)
@@ -159,19 +183,30 @@ func TestEngineFlagVocabulary(t *testing.T) {
 	if Engine(99).String() == "" {
 		t.Error("unknown engine must still print something")
 	}
-	if EngineOnePass != 0 {
-		t.Error("EngineOnePass must be the zero value (the default engine)")
+	if EngineStream != 0 {
+		t.Error("EngineStream must be the zero value (the default engine)")
+	}
+	if _, err := (Engine(99)).MarshalText(); err == nil {
+		t.Error("MarshalText accepted an out-of-range engine")
 	}
 }
 
-// TestOnePassReplayCount asserts the observable 18×→1 reduction: one-pass
-// characterization performs exactly one traversal per variant, the replay
-// engine one per (variant, configuration).
+// TestOnePassReplayCount asserts the observable 18×→1 reduction: streaming
+// and one-pass characterization perform exactly one traversal per variant,
+// the replay engine one per (variant, configuration).
 func TestOnePassReplayCount(t *testing.T) {
 	em := energy.NewDefault()
 	variants := CanonicalVariants()[:2]
 
 	before := ReplayCount()
+	if _, err := CharacterizeWithOptions(variants, em, Options{Engine: EngineStream}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ReplayCount() - before; got != uint64(len(variants)) {
+		t.Errorf("stream traversals = %d, want %d (one per variant)", got, len(variants))
+	}
+
+	before = ReplayCount()
 	if _, err := CharacterizeWithOptions(variants, em, Options{Engine: EngineOnePass}); err != nil {
 		t.Fatal(err)
 	}

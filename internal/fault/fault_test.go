@@ -110,7 +110,7 @@ func TestPermanentLossCapped(t *testing.T) {
 	// Ferocious permanent rate: every core draws an early death, but the
 	// injector must keep at least one survivor (and honor MaxPermanent).
 	p := Plan{Seed: 5, PermanentMTTF: 1000}
-	evs := drain(p.NewInjector(4), 1 << 40)
+	evs := drain(p.NewInjector(4), 1<<40)
 	deaths := 0
 	for _, ev := range evs {
 		if ev.Kind == CrashPermanent {
@@ -122,7 +122,7 @@ func TestPermanentLossCapped(t *testing.T) {
 	}
 
 	p.MaxPermanent = 1
-	evs = drain(p.NewInjector(4), 1 << 40)
+	evs = drain(p.NewInjector(4), 1<<40)
 	deaths = 0
 	for _, ev := range evs {
 		if ev.Kind == CrashPermanent {

@@ -9,6 +9,15 @@ package vm
 type FlatTrace struct {
 	// Packed holds addr<<1 | writeBit per access, in program order.
 	Packed []uint64
+
+	// Record-time memos, valid while memoLen == len(Packed): the write
+	// count (Writes was an O(n) recount per call) and the highest address
+	// (saves Footprint its max-scan pass). Code that mutates Packed
+	// directly implicitly invalidates them by changing the length; the
+	// accessors then fall back to a single recount.
+	memoLen    int
+	memoWrites int
+	memoMax    uint64
 }
 
 // NewFlatTrace returns a trace with capacity preallocated for n accesses, so
@@ -37,6 +46,15 @@ func Unpack(p uint64) (addr uint64, write bool) {
 
 // Access implements MemSink.
 func (t *FlatTrace) Access(addr uint64, write bool) {
+	if t.memoLen == len(t.Packed) {
+		t.memoLen++
+		if write {
+			t.memoWrites++
+		}
+		if addr > t.memoMax {
+			t.memoMax = addr
+		}
+	}
 	t.Packed = append(t.Packed, Pack(addr, write))
 }
 
@@ -46,13 +64,28 @@ func (t *FlatTrace) Len() int { return len(t.Packed) }
 // Reads counts the read accesses.
 func (t *FlatTrace) Reads() int { return t.Len() - t.Writes() }
 
-// Writes counts the write accesses.
+// Writes returns the write-access count. Traces built through Access or
+// Flatten answer from the record-time memo; a trace whose Packed slice was
+// mutated directly pays one recount, after which the memo is valid again.
 func (t *FlatTrace) Writes() int {
-	n := 0
-	for _, p := range t.Packed {
-		n += int(p & 1)
+	t.revalidate()
+	return t.memoWrites
+}
+
+// revalidate recomputes the memos if Packed changed length behind them.
+func (t *FlatTrace) revalidate() {
+	if t.memoLen == len(t.Packed) {
+		return
 	}
-	return n
+	writes := 0
+	var maxAddr uint64
+	for _, p := range t.Packed {
+		writes += int(p & 1)
+		if a := p >> 1; a > maxAddr {
+			maxAddr = a
+		}
+	}
+	t.memoLen, t.memoWrites, t.memoMax = len(t.Packed), writes, maxAddr
 }
 
 // Footprint returns the number of distinct blocks of the given size touched
@@ -64,19 +97,17 @@ func (t *FlatTrace) Footprint(blockBytes int) int {
 		return 0
 	}
 	bb := uint64(blockBytes)
-	var maxBlock uint64
 	if bb&(bb-1) == 0 {
-		// Power-of-two block (every real call): shift instead of divide.
+		// Power-of-two block (every real call): shift instead of divide,
+		// and bound the bitset by the memoized maximum address instead of
+		// a dedicated max-scan pass over the trace.
 		shift := uint(0)
 		for 1<<shift != bb {
 			shift++
 		}
+		t.revalidate()
+		maxBlock := t.memoMax >> shift
 		shift++ // fold in the write-bit shift
-		for _, p := range t.Packed {
-			if b := p >> shift; b > maxBlock {
-				maxBlock = b
-			}
-		}
 		if maxBlock < 1<<24 {
 			words := make([]uint64, maxBlock/64+1)
 			count := 0
@@ -118,7 +149,7 @@ func (t *FlatTrace) ReplayBatch(s BatchSink) { s.AccessBatch(t.Packed) }
 func (t *Trace) Flatten() *FlatTrace {
 	f := NewFlatTrace(t.Len())
 	for _, a := range t.Accesses {
-		f.Packed = append(f.Packed, Pack(a.Addr, a.Write))
+		f.Access(a.Addr, a.Write)
 	}
 	return f
 }

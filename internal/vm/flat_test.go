@@ -114,3 +114,35 @@ func TestNewFlatTracePreallocates(t *testing.T) {
 		t.Fatal("NewFlatTrace(-1) returned nil")
 	}
 }
+
+// TestFlatTraceMemoInvalidation covers the record-time memos behind Writes
+// and Footprint: they answer without re-traversal while the trace is built
+// through Access/Flatten, and fall back to an exact recount when code
+// mutates Packed directly (the memo is validated by length).
+func TestFlatTraceMemoInvalidation(t *testing.T) {
+	ft := NewFlatTrace(0)
+	for i := 0; i < 100; i++ {
+		ft.Access(uint64(i)*16, i%2 == 0)
+	}
+	if got := ft.Writes(); got != 50 {
+		t.Fatalf("Writes = %d, want 50", got)
+	}
+	// Mutate Packed behind the accessors: append raw writes and re-ask.
+	ft.Packed = append(ft.Packed, Pack(5000, true), Pack(6000, true))
+	if got := ft.Writes(); got != 52 {
+		t.Fatalf("Writes after raw append = %d, want 52", got)
+	}
+	if got, want := ft.Footprint(16), 102; got != want {
+		t.Fatalf("Footprint(16) after raw append = %d, want %d", got, want)
+	}
+	// Truncation must also invalidate (length changed downward).
+	ft.Packed = ft.Packed[:10]
+	if got := ft.Writes(); got != 5 {
+		t.Fatalf("Writes after truncation = %d, want 5", got)
+	}
+	// And the memo revalidates: building further through Access stays exact.
+	ft.Access(7000, true)
+	if got := ft.Writes(); got != 6 {
+		t.Fatalf("Writes after resumed recording = %d, want 6", got)
+	}
+}

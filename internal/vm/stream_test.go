@@ -1,0 +1,153 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collectBatch records every packed access it receives, preserving order, so
+// a StreamSink's chunked delivery can be compared against the flat trace.
+type collectBatch struct {
+	packed []uint64
+	calls  int
+}
+
+func (c *collectBatch) AccessBatch(packed []uint64) {
+	c.calls++
+	c.packed = append(c.packed, packed...)
+}
+
+// TestStreamSinkMatchesFlatTrace drives the same access stream into a
+// StreamSink and a FlatTrace and requires every aggregate the
+// characterization pipeline consumes to agree: counts, both feature-vector
+// footprints, and the exact packed stream delivered to the batch sink.
+func TestStreamSinkMatchesFlatTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ft := NewFlatTrace(0)
+	var got collectBatch
+	ss := NewStreamSink(&got, 1<<20)
+	n := 3*StreamChunk + 137 // several full chunks plus a partial
+	for i := 0; i < n; i++ {
+		addr := uint64(rng.Intn(1 << 20))
+		write := rng.Intn(3) == 0
+		ft.Access(addr, write)
+		ss.Access(addr, write)
+	}
+	ss.Flush()
+	if ss.Len() != ft.Len() || ss.Writes() != ft.Writes() || ss.Reads() != ft.Reads() {
+		t.Fatalf("counts: stream %d/%d/%d, flat %d/%d/%d",
+			ss.Len(), ss.Writes(), ss.Reads(), ft.Len(), ft.Writes(), ft.Reads())
+	}
+	for _, block := range []int{16, 64} {
+		if g, w := ss.Footprint(block), ft.Footprint(block); g != w {
+			t.Fatalf("Footprint(%d): stream %d, flat %d", block, g, w)
+		}
+	}
+	if len(got.packed) != len(ft.Packed) {
+		t.Fatalf("delivered %d packed accesses, want %d", len(got.packed), len(ft.Packed))
+	}
+	for i := range got.packed {
+		if got.packed[i] != ft.Packed[i] {
+			t.Fatalf("packed access %d: stream %#x, flat %#x", i, got.packed[i], ft.Packed[i])
+		}
+	}
+	if got.calls < n/StreamChunk {
+		t.Fatalf("expected chunked delivery, got %d batch calls for %d accesses", got.calls, n)
+	}
+}
+
+// TestStreamSinkFootprintContract pins the granularity contract: only
+// positive multiples of the 16-byte tracking grain are answerable; anything
+// else returns -1 instead of a silently wrong count.
+func TestStreamSinkFootprintContract(t *testing.T) {
+	ss := NewStreamSink(&collectBatch{}, 1<<12)
+	ss.Access(0, false)
+	ss.Access(100, true)
+	for _, bad := range []int{-16, 0, 8, 24, 40} {
+		if got := ss.Footprint(bad); got != -1 {
+			t.Errorf("Footprint(%d) = %d, want -1", bad, got)
+		}
+	}
+	if got := ss.Footprint(16); got != 2 {
+		t.Errorf("Footprint(16) = %d, want 2", got)
+	}
+	if got := ss.Footprint(128); got != 1 {
+		t.Errorf("Footprint(128) = %d, want 1", got)
+	}
+}
+
+// TestStreamSinkGrowsBeyondHint covers the bitset growth path: a sink whose
+// construction hint undersold the address space must still count exactly.
+func TestStreamSinkGrowsBeyondHint(t *testing.T) {
+	for _, hint := range []int{0, 64} {
+		ss := NewStreamSink(&collectBatch{}, hint)
+		ft := NewFlatTrace(0)
+		for i := 0; i < 2000; i++ {
+			addr := uint64(i) * 48 // walks far past any small hint
+			ss.Access(addr, false)
+			ft.Access(addr, false)
+		}
+		if g, w := ss.Footprint(16), ft.Footprint(16); g != w {
+			t.Errorf("hint %d: Footprint(16) = %d, want %d", hint, g, w)
+		}
+		if g, w := ss.Footprint(64), ft.Footprint(64); g != w {
+			t.Errorf("hint %d: Footprint(64) = %d, want %d", hint, g, w)
+		}
+	}
+}
+
+// TestStreamSinkResetReuse runs one sink across three different programs with
+// Reset in between and requires each run's aggregates to match a fresh sink
+// fed the same stream — the per-worker reuse contract of the streaming
+// engine.
+func TestStreamSinkResetReuse(t *testing.T) {
+	var reusedOut collectBatch
+	reused := NewStreamSink(&reusedOut, 1<<18) // large first hint, later hints shrink
+	for run := 0; run < 3; run++ {
+		rng := rand.New(rand.NewSource(int64(100 + run)))
+		hint := 1 << (18 - 2*run)
+		var freshOut collectBatch
+		fresh := NewStreamSink(&freshOut, hint)
+		reusedOut.packed = reusedOut.packed[:0]
+		reused.Reset(&reusedOut, hint)
+		for i := 0; i < 5000+run*777; i++ {
+			addr := uint64(rng.Intn(hint))
+			write := rng.Intn(4) == 0
+			fresh.Access(addr, write)
+			reused.Access(addr, write)
+		}
+		if fresh.Len() != reused.Len() || fresh.Writes() != reused.Writes() {
+			t.Fatalf("run %d: counts diverge: fresh %d/%d, reused %d/%d",
+				run, fresh.Len(), fresh.Writes(), reused.Len(), reused.Writes())
+		}
+		for _, block := range []int{16, 64} {
+			if f, r := fresh.Footprint(block), reused.Footprint(block); f != r {
+				t.Fatalf("run %d: Footprint(%d): fresh %d, reused %d", run, block, f, r)
+			}
+		}
+		if len(freshOut.packed) != len(reusedOut.packed) {
+			t.Fatalf("run %d: delivered %d vs %d packed accesses", run, len(freshOut.packed), len(reusedOut.packed))
+		}
+	}
+}
+
+// TestStreamSinkZeroAllocSteadyState pins the tentpole's allocation contract:
+// once constructed with an adequate memory hint, streaming performs zero
+// per-access allocations — the access path is an append into a recycled
+// chunk plus batched accounting.
+func TestStreamSinkZeroAllocSteadyState(t *testing.T) {
+	var out collectBatch
+	out.packed = make([]uint64, 0, 1<<16)
+	ss := NewStreamSink(&out, 1<<20)
+	allocs := testing.AllocsPerRun(10, func() {
+		out.packed = out.packed[:0]
+		ss.Reset(&out, 1<<20)
+		for i := 0; i < 3*StreamChunk; i++ {
+			ss.Access(uint64(i)*8, i%5 == 0)
+		}
+		ss.Flush()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state streaming allocated %.1f times per run, want 0", allocs)
+	}
+}
