@@ -2,6 +2,7 @@ package hetsched
 
 import (
 	"context"
+	"fmt"
 
 	"hetsched/internal/cluster"
 	"hetsched/internal/core"
@@ -73,13 +74,24 @@ func (s *System) RunCluster(cfg ClusterConfig, jobs []Job) (*ClusterResult, erro
 // RunClusterContext is RunCluster honoring cancellation at every
 // node-simulation boundary.
 func (s *System) RunClusterContext(ctx context.Context, cfg ClusterConfig, jobs []Job) (*ClusterResult, error) {
+	return s.RunClusterOnDBContext(ctx, s.Eval, cfg, jobs)
+}
+
+// RunClusterOnDBContext is RunClusterContext over an explicit
+// characterization DB: job AppIDs index db, and the oracle predictor (if
+// configured) is re-bound to it — the cluster half of the serving tier's
+// batch path (see RunOnDBContext).
+func (s *System) RunClusterOnDBContext(ctx context.Context, db *DB, cfg ClusterConfig, jobs []Job) (*ClusterResult, error) {
+	if db == nil {
+		return nil, fmt.Errorf("hetsched: nil characterization DB")
+	}
 	if !cfg.Faults.Enabled() && s.faults.Enabled() {
 		cfg.Faults = s.faults
 	}
 	if cfg.Trace == nil {
 		cfg.Trace = s.tracer
 	}
-	cl, err := cluster.New(s.Eval, s.Energy, s.Pred, cfg)
+	cl, err := cluster.New(db, s.Energy, s.predictorFor(db), cfg)
 	if err != nil {
 		return nil, err
 	}

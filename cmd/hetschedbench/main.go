@@ -15,12 +15,20 @@
 // request's workload across the given multi-node topology; the report then
 // also shows the daemon's cumulative cluster run/steal counters.
 //
+// -batch N switches to the batch serving path (POST /v1/schedule/batch, or
+// the cluster variant with -cluster): each request carries N explicit jobs,
+// and -dup-skew controls what fraction of them reuse one hot kernel
+// variant. The report then adds the coalescing-effectiveness line —
+// characterization lookups issued vs kernels actually computed — pulled
+// from the daemon's /metrics characterization block.
+//
 // Client-side latency percentiles (p50/p95/p99/p99.9) come from the same
 // streaming reservoir the daemon uses for /metrics, so the two views are
 // directly comparable.
 //
-// Exit status is non-zero when any request fails with a status other than
-// 200 or 429, so the benchmark is scriptable in CI.
+// Exit status is non-zero when the failed-request fraction (statuses other
+// than 200 or 429) exceeds -max-errors (default 0), so the benchmark is
+// scriptable in CI.
 package main
 
 import (
@@ -66,10 +74,22 @@ func run() error {
 	workers := flag.Int("workers", 4, "in-process worker pool size")
 	queue := flag.Int("queue", 32, "in-process queue depth (small enough to exercise 429s)")
 	cluster := flag.String("cluster", "", "benchmark /v1/cluster/schedule over this topology instead of /v1/schedule (e.g. 8*quad;8*16x2)")
+	batch := flag.Int("batch", 0, "jobs per request; > 0 targets the batch endpoint (/v1/schedule/batch) instead")
+	dupSkew := flag.Float64("dup-skew", 0.8, "fraction of each batch reusing one hot kernel variant (duplicate-key skew; batch mode only)")
+	maxErrors := flag.Float64("max-errors", 0, "tolerated failed-request fraction in [0, 1) before a non-zero exit")
 	flag.Parse()
 
 	if *requests < 1 || *concurrency < 1 {
 		return fmt.Errorf("requests and concurrency must be >= 1")
+	}
+	if *batch < 0 || *batch > 20000 {
+		return fmt.Errorf("-batch %d out of range [0, 20000]", *batch)
+	}
+	if *dupSkew < 0 || *dupSkew > 1 {
+		return fmt.Errorf("-dup-skew %v out of range [0, 1]", *dupSkew)
+	}
+	if *maxErrors < 0 || *maxErrors >= 1 {
+		return fmt.Errorf("-max-errors %v out of range [0, 1)", *maxErrors)
 	}
 
 	base := *addr
@@ -110,11 +130,20 @@ func run() error {
 		endpoint, epName = "/v1/cluster/schedule", "cluster"
 		fields["nodes"] = *cluster
 	}
+	if *batch > 0 {
+		delete(fields, "arrivals")
+		if *cluster != "" {
+			endpoint, epName = "/v1/cluster/schedule/batch", "cluster_batch"
+		} else {
+			endpoint, epName = "/v1/schedule/batch", "batch"
+		}
+	}
 	payload, err := json.Marshal(fields)
 	if err != nil {
 		return err
 	}
 
+	kernels := hetsched.Kernels()
 	client := &http.Client{Timeout: 5 * time.Minute}
 	// Successful-request latencies go through the same streaming reservoir
 	// the daemon uses for /metrics, so client and server percentiles are
@@ -145,9 +174,14 @@ func run() error {
 				if i >= int64(*requests) {
 					return
 				}
-				// Vary the seed per request so runs aren't byte-identical.
-				body := bytes.Replace(payload, []byte(`"system"`),
-					[]byte(fmt.Sprintf(`"seed":%d,"system"`, i+1)), 1)
+				var body []byte
+				if *batch > 0 {
+					body = batchBody(payload, i, *batch, *dupSkew, kernels)
+				} else {
+					// Vary the seed per request so runs aren't byte-identical.
+					body = bytes.Replace(payload, []byte(`"system"`),
+						[]byte(fmt.Sprintf(`"seed":%d,"system"`, i+1)), 1)
+				}
 				t0 := time.Now()
 				resp, err := client.Post(base+endpoint, "application/json", bytes.NewReader(body))
 				if err != nil {
@@ -180,9 +214,13 @@ func run() error {
 	fmt.Printf("requests:    %d total, %d ok, %d backpressured (429), %d failed\n",
 		*requests, ok.Load(), rejected.Load(), failed.Load())
 	fmt.Printf("wall time:   %.2fs\n", elapsed.Seconds())
+	jobsPer := *arrivals
+	if *batch > 0 {
+		jobsPer = *batch
+	}
 	fmt.Printf("throughput:  %.1f scheduled workloads/s (%.0f simulated arrivals/s)\n",
 		float64(ok.Load())/elapsed.Seconds(),
-		float64(ok.Load())*float64(*arrivals)/elapsed.Seconds())
+		float64(ok.Load())*float64(jobsPer)/elapsed.Seconds())
 	if qs, err := latencies.Quantiles(0.50, 0.95, 0.99, 0.999); err == nil {
 		fmt.Printf("latency:     p50 %.1fms  p95 %.1fms  p99 %.1fms  p99.9 %.1fms  max %.1fms\n",
 			qs[0], qs[1], qs[2], qs[3], ms(maxLat))
@@ -193,18 +231,30 @@ func run() error {
 		var snap server.Snapshot
 		if json.NewDecoder(resp.Body).Decode(&snap) == nil {
 			ep := snap.Endpoints[epName]
-			fmt.Printf("server view: accepted=%d rejected=%d p95=%.1fms queue_wait_p95=%.1fms workers=%d\n",
-				snap.JobsAccepted, snap.JobsRejected, ep.P95Ms, ep.QueueWaitP95, snap.Workers)
+			fmt.Printf("server view: accepted=%d rejected=%d shed=%d p95=%.1fms queue_wait_p95=%.1fms workers=%d\n",
+				snap.JobsAccepted, snap.JobsRejected, snap.JobsShed, ep.P95Ms, ep.QueueWaitP95, snap.Workers)
 			if *cluster != "" {
 				fmt.Printf("cluster view: runs=%d steals=%d across %d nodes\n",
 					snap.ClusterRuns, snap.ClusterSteals, len(snap.ClusterNodes))
+			}
+			// Coalescing effectiveness: how many characterization lookups the
+			// serving tier absorbed vs how many actually ran the kernel.
+			if c := snap.Characterization; c != nil && c.Requests > 0 {
+				computed := c.Computed
+				if computed == 0 {
+					computed = 1
+				}
+				fmt.Printf("characterize: %d tier requests -> %d computed (%.1fx reduction; %d mem hits, %d coalesced, %d disk hits)\n",
+					c.Requests, c.Computed, float64(c.Requests)/float64(computed),
+					c.Mem.Hits, c.Mem.Coalesced, c.DiskHits)
 			}
 		}
 		resp.Body.Close()
 	}
 
-	if failed.Load() > 0 {
-		return fmt.Errorf("%d requests failed", failed.Load())
+	if frac := float64(failed.Load()) / float64(*requests); frac > *maxErrors {
+		return fmt.Errorf("%d of %d requests failed (%.1f%% > -max-errors %.1f%%)",
+			failed.Load(), *requests, 100*frac, 100**maxErrors)
 	}
 	if ok.Load() == 0 {
 		return fmt.Errorf("no request succeeded")
@@ -213,3 +263,29 @@ func run() error {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// batchBody splices a deterministic jobs array into the base payload:
+// round(skew×n) jobs per request reuse one hot kernel variant (the first
+// kernel at canonical parameters) and the rest cycle through a cold pool
+// of distinct kernel/data-seed variants, so the serving tier's coalescing
+// and LRU face a realistic duplicate-key distribution.
+func batchBody(payload []byte, req int64, n int, skew float64, kernels []hetsched.Kernel) []byte {
+	hot := int(skew*float64(n) + 0.5)
+	var jobs bytes.Buffer
+	jobs.WriteString(`"jobs":[`)
+	for j := 0; j < n; j++ {
+		if j > 0 {
+			jobs.WriteByte(',')
+		}
+		if j < hot || len(kernels) < 2 {
+			fmt.Fprintf(&jobs, `{"kernel":%q}`, kernels[0].Name)
+			continue
+		}
+		v := int(req)*n + j
+		cold := kernels[1+v%(len(kernels)-1)]
+		fmt.Fprintf(&jobs, `{"kernel":%q,"data_seed":%d}`,
+			cold.Name, 2+v/(len(kernels)-1)%8)
+	}
+	jobs.WriteString(`],`)
+	return bytes.Replace(payload, []byte(`"system"`), append(jobs.Bytes(), []byte(`"system"`)...), 1)
+}

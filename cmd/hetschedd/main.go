@@ -5,10 +5,12 @@
 //
 // Endpoints (JSON; see DESIGN.md for schemas):
 //
-//	POST /v1/predict           {"kernel": "tblook"}
-//	POST /v1/schedule          {"system": "proposed", "arrivals": 500, ...}
-//	POST /v1/tune              {"kernel": "tblook", "size_kb": 8}
-//	POST /v1/cluster/schedule  {"nodes": "8*quad;8*16x2", "arrivals": 5000, ...}
+//	POST /v1/predict                 {"kernel": "tblook"}
+//	POST /v1/schedule                {"system": "proposed", "arrivals": 500, ...}
+//	POST /v1/schedule/batch          {"jobs": [{"kernel": "tblook"}, ...], ...}
+//	POST /v1/tune                    {"kernel": "tblook", "size_kb": 8}
+//	POST /v1/cluster/schedule        {"nodes": "8*quad;8*16x2", "arrivals": 5000, ...}
+//	POST /v1/cluster/schedule/batch  {"nodes": "8*quad", "jobs": [...], ...}
 //	GET  /v1/cluster/status
 //	GET  /v1/designspace
 //	GET  /healthz
@@ -26,9 +28,18 @@
 //	          [-j N] [-cache-dir auto] [-engine stream]
 //	          [-faults mttf=5e6,recover=1e5,seed=1]
 //	          [-cluster 4*quad] [-scorer hybrid]
+//	          [-char-cache-entries 256] [-char-cache-ttl 15m]
+//	          [-shed-highwater 0.75] [-shed-levels 8]
 //
 // -cluster and -scorer set the default topology and dispatcher scoring
 // strategy for /v1/cluster requests that omit their own.
+//
+// The batch endpoints characterize kernel variants on demand through a
+// serving tier — a bounded in-memory LRU (-char-cache-entries,
+// -char-cache-ttl) with in-flight coalescing in front of the disk cache —
+// and -shed-highwater/-shed-levels tune the priority-aware admission
+// control that sheds low-priority work once the queue passes the
+// high-water mark.
 //
 // -faults sets the daemon-wide default fault-injection plan: schedule
 // requests inherit it unless they carry their own "faults" object, and
@@ -81,6 +92,10 @@ func run() error {
 	clusterFlag := flag.String("cluster", "4*quad", "default cluster topology for /v1/cluster requests: ';'-joined node shapes with N* repetition")
 	var scorer hetsched.ScorerKind
 	flag.TextVar(&scorer, "scorer", hetsched.ScoreHybrid, "default cluster dispatcher scorer: hybrid|balance|energy|roundrobin")
+	charEntries := flag.Int("char-cache-entries", 256, "in-memory characterization LRU size for batch requests (negative disables)")
+	charTTL := flag.Duration("char-cache-ttl", 15*time.Minute, "in-memory characterization entry TTL (negative never expires)")
+	shedHighWater := flag.Float64("shed-highwater", 0.75, "queue-depth fraction past which low-priority requests are shed (outside (0,1) disables)")
+	shedLevels := flag.Int("shed-levels", 8, "admission-bar scale: priority needed to survive a full queue at maximum cost")
 	flag.Parse()
 
 	dir, err := hetsched.ResolveCacheDir(*cacheDir)
@@ -109,14 +124,20 @@ func run() error {
 		time.Since(start).Round(time.Millisecond), sys.Setup.EvalFromCache, sys.Setup.TrainFromCache)
 
 	srv, err := server.New(sys, server.Config{
-		Addr:           *addr,
-		DebugAddr:      *debugAddr,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		MaxArrivals:    *maxArrivals,
-		ClusterNodes:   clusterNodes,
-		ClusterScorer:  scorer,
+		Addr:               *addr,
+		DebugAddr:          *debugAddr,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		RequestTimeout:     *timeout,
+		MaxArrivals:        *maxArrivals,
+		ClusterNodes:       clusterNodes,
+		ClusterScorer:      scorer,
+		CacheDir:           dir,
+		Engine:             engine,
+		CharCacheEntries:   *charEntries,
+		CharCacheTTL:       *charTTL,
+		AdmissionHighWater: *shedHighWater,
+		ShedLevels:         *shedLevels,
 	})
 	if err != nil {
 		return err

@@ -68,6 +68,9 @@ type (
 	DB = characterize.DB
 	// Record is one benchmark variant's characterization.
 	Record = characterize.Record
+	// Variant names one benchmark variant (kernel + params) to
+	// characterize — the unit the serving tier's content keys cover.
+	Variant = characterize.Variant
 	// Kernel is one synthetic benchmark.
 	Kernel = eembc.Kernel
 	// KernelParams scales a kernel.
@@ -547,6 +550,20 @@ func (s *System) RunSystem(name string, jobs []Job, sim SimConfig) (Metrics, err
 // RunSystemContext is RunSystem honoring cancellation at every
 // job-dispatch boundary.
 func (s *System) RunSystemContext(ctx context.Context, name string, jobs []Job, sim SimConfig) (Metrics, error) {
+	return s.RunOnDBContext(ctx, s.Eval, name, jobs, sim)
+}
+
+// RunOnDBContext is RunSystemContext over an explicit characterization DB
+// instead of the System's canonical Eval set: job AppIDs index db, and the
+// predictor reads db's ground truth where applicable. This is the serving
+// tier's batch path — a request-supplied variant set is characterized on
+// demand (see characterize.Tier) and scheduled without rebuilding the
+// System. With the oracle predictor the oracle is re-bound to db, since
+// the System's own oracle only knows the canonical records.
+func (s *System) RunOnDBContext(ctx context.Context, db *DB, name string, jobs []Job, sim SimConfig) (Metrics, error) {
+	if db == nil {
+		return Metrics{}, fmt.Errorf("hetsched: nil characterization DB")
+	}
 	// Fill machine defaults field-wise so caller-set scheduling flags
 	// (PriorityScheduling, Preemptive, SingleProfilingCore, Faults)
 	// survive.
@@ -572,14 +589,25 @@ func (s *System) RunSystemContext(ctx context.Context, name string, jobs []Job, 
 	}
 	var pred Predictor
 	if needsPred {
-		pred = s.Pred
+		pred = s.predictorFor(db)
 	}
 	sim.CoreSizesKB = core.CoreSizesFor(name, sim.CoreSizesKB)
-	simulator, err := core.NewSimulator(s.Eval, s.Energy, pol, pred, sim)
+	simulator, err := core.NewSimulator(db, s.Energy, pol, pred, sim)
 	if err != nil {
 		return Metrics{}, err
 	}
 	return simulator.RunContext(ctx, jobs)
+}
+
+// predictorFor returns the predictor to schedule db with: the trained
+// predictor (feature-based kinds generalize to any variant set), except
+// the oracle, which must read ground truth from the DB actually being
+// scheduled. For db == s.Eval this is exactly s.Pred.
+func (s *System) predictorFor(db *DB) Predictor {
+	if s.kind == PredictOracle && db != s.Eval {
+		return core.OraclePredictor{DB: db}
+	}
+	return s.Pred
 }
 
 // Workload generates the paper-style uniform arrival stream over the whole

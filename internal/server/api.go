@@ -4,6 +4,8 @@ package server
 // contract documented in DESIGN.md; unknown request fields are rejected so
 // client typos fail loudly instead of silently using defaults.
 
+import "hetsched/internal/characterize"
+
 // PredictRequest asks the trained predictor for one kernel's best cache
 // size.
 type PredictRequest struct {
@@ -49,6 +51,12 @@ type ScheduleRequest struct {
 	// or not enabled (all rates zero), the run inherits the daemon's
 	// -faults default plan, if one was configured.
 	Faults *FaultSpec `json:"faults,omitempty"`
+	// Priority is the client-asserted importance of this request for
+	// admission control (0 = lowest, the default): past the queue
+	// high-water mark the daemon sheds low-priority work first, scaled by
+	// predicted cost. Distinct from PriorityLevels, which shapes the
+	// *simulated* workload's job priorities.
+	Priority int `json:"priority,omitempty"`
 }
 
 // FaultSpec is the wire form of a fault-injection plan (see internal/fault).
@@ -176,9 +184,19 @@ type HealthResponse struct {
 	Predictor     string `json:"predictor"`
 	Workers       int    `json:"workers"`
 	QueueCapacity int    `json:"queue_capacity"`
+	// QueueDepth and WorkersBusy are the live load gauges; Saturation is
+	// WorkersBusy/Workers in [0, 1] — the worker-pool utilization health
+	// probes alert on.
+	QueueDepth  int     `json:"queue_depth"`
+	WorkersBusy int64   `json:"workers_busy"`
+	Saturation  float64 `json:"saturation"`
 	// WarmStart reports whether this process's characterization DBs were
 	// loaded from the persistent cache (no kernel replay at startup).
 	WarmStart bool `json:"warm_start"`
+	// Characterization is the serving tier's cache/coalescing counter
+	// snapshot (memory LRU hits, in-flight coalesces, disk hits, full
+	// computes).
+	Characterization characterize.TierStats `json:"characterization"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response. Code is a
@@ -226,6 +244,9 @@ type ClusterScheduleRequest struct {
 	// derived deterministically); absent inherits the daemon's -faults
 	// default.
 	Faults *FaultSpec `json:"faults,omitempty"`
+	// Priority is the client-asserted request importance for admission
+	// control (see ScheduleRequest.Priority).
+	Priority int `json:"priority,omitempty"`
 }
 
 // ClusterNodeWire is one node's share of a cluster run.
@@ -295,4 +316,142 @@ type ClusterNodeCounters struct {
 	StolenOut     int64   `json:"stolen_out"`
 	MaxPending    int64   `json:"max_pending"`
 	TotalEnergyNJ float64 `json:"total_energy_nj"`
+}
+
+// BatchJob is one explicit job in a batch schedule request: a named kernel
+// variant (characterized on demand through the serving tier) plus optional
+// arrival placement and priority.
+type BatchJob struct {
+	// Kernel is the benchmark name.
+	Kernel string `json:"kernel"`
+	// Scale, Iterations and DataSeed select the kernel variant (defaults
+	// 1, 4, 1 — the canonical parameters). Non-canonical variants are what
+	// make the batch path interesting: they are characterized on demand,
+	// deduplicated by content key across the batch and across concurrent
+	// requests.
+	Scale      int   `json:"scale,omitempty"`
+	Iterations int   `json:"iterations,omitempty"`
+	DataSeed   int64 `json:"data_seed,omitempty"`
+	// Priority orders the simulated ready queue when any job in the batch
+	// sets one (higher runs first).
+	Priority int `json:"priority,omitempty"`
+	// ArrivalCycle places the job explicitly on the simulated timeline.
+	// Either every job in the batch sets it or none does; when none does,
+	// arrivals are spread deterministically at the request's utilization.
+	ArrivalCycle *uint64 `json:"arrival_cycle,omitempty"`
+}
+
+// BatchScheduleRequest runs an explicit job array through one simulator
+// pass (POST /v1/schedule/batch): distinct kernel variants are
+// characterized once, then the whole set is scheduled together.
+type BatchScheduleRequest struct {
+	// System names the scheduling system (default "proposed").
+	System string `json:"system,omitempty"`
+	// Utilization spreads implicit arrivals (jobs without arrival_cycle)
+	// over a deterministic horizon at this offered load (default 0.9).
+	Utilization float64 `json:"utilization,omitempty"`
+	// Preemptive lets higher-priority arrivals preempt running jobs (only
+	// meaningful when jobs carry priorities).
+	Preemptive bool `json:"preemptive,omitempty"`
+	// Priority is the client-asserted request importance for admission
+	// control; the effective value is the maximum of this and every job's
+	// priority.
+	Priority int `json:"priority,omitempty"`
+	// Jobs is the batch (1 to the server's MaxArrivals). Invalid jobs are
+	// reported per-row and never fail the batch.
+	Jobs []BatchJob `json:"jobs"`
+}
+
+// BatchJobResult is one request job's outcome, order-stable with the
+// request's jobs array. A row with a non-empty Error was rejected during
+// validation and excluded from the simulation; the rest of its fields are
+// zero.
+type BatchJobResult struct {
+	Index  int    `json:"index"`
+	Kernel string `json:"kernel"`
+	Error  string `json:"error,omitempty"`
+
+	ArrivalCycle     uint64 `json:"arrival_cycle"`
+	StartCycle       uint64 `json:"start_cycle"`
+	CompletionCycle  uint64 `json:"completion_cycle"`
+	TurnaroundCycles uint64 `json:"turnaround_cycles"`
+	// Core and Config describe the job's final execution interval;
+	// Executions counts its intervals (re-dispatches, preemption resumes).
+	Core       int    `json:"core"`
+	Config     string `json:"config"`
+	Executions int    `json:"executions"`
+	Profiled   bool   `json:"profiled"`
+}
+
+// BatchCharacterizationWire reports how this batch's distinct variants
+// were characterized, per serving-tier level.
+type BatchCharacterizationWire struct {
+	UniqueVariants int `json:"unique_variants"`
+	Memory         int `json:"memory"`
+	Coalesced      int `json:"coalesced"`
+	Disk           int `json:"disk"`
+	Computed       int `json:"computed"`
+}
+
+// BatchScheduleResponse answers POST /v1/schedule/batch.
+type BatchScheduleResponse struct {
+	System string `json:"system"`
+	Jobs   int    `json:"jobs"`
+	// Scheduled counts jobs that entered the simulation; Rejected counts
+	// per-row validation failures (see each row's error).
+	Scheduled int `json:"scheduled"`
+	Rejected  int `json:"rejected"`
+	Completed int `json:"completed"`
+
+	MakespanCycles uint64 `json:"makespan_cycles"`
+	TurnaroundP50  uint64 `json:"turnaround_p50_cycles"`
+	TurnaroundP95  uint64 `json:"turnaround_p95_cycles"`
+	TurnaroundP99  uint64 `json:"turnaround_p99_cycles"`
+
+	TotalEnergyNJ float64 `json:"total_energy_nj"`
+
+	Characterization BatchCharacterizationWire `json:"characterization"`
+	Results          []BatchJobResult          `json:"results"`
+}
+
+// BatchClusterScheduleRequest is the cluster variant of the batch endpoint
+// (POST /v1/cluster/schedule/batch): the same explicit job array, routed
+// across a multi-node topology by the two-level dispatcher.
+type BatchClusterScheduleRequest struct {
+	// Nodes is the topology in the -cluster spec grammar; empty uses the
+	// daemon default.
+	Nodes string `json:"nodes,omitempty"`
+	// System names the per-node scheduling system (default "proposed").
+	System string `json:"system,omitempty"`
+	// Scorer names the dispatcher scoring strategy (empty = daemon
+	// default).
+	Scorer string `json:"scorer,omitempty"`
+	// Utilization spreads implicit arrivals over the cluster's total core
+	// count (default 0.9).
+	Utilization float64 `json:"utilization,omitempty"`
+	// StealThreshold and DisableStealing tune cross-node work stealing.
+	StealThreshold  int  `json:"steal_threshold,omitempty"`
+	DisableStealing bool `json:"disable_stealing,omitempty"`
+	// Priority is the client-asserted request importance for admission
+	// control; the effective value is the maximum of this and every job's
+	// priority.
+	Priority int `json:"priority,omitempty"`
+	// Jobs is the batch; invalid jobs are reported per-row, never failing
+	// the batch.
+	Jobs []BatchJob `json:"jobs"`
+}
+
+// BatchClusterScheduleResponse answers POST /v1/cluster/schedule/batch:
+// the cluster run summary plus the batch bookkeeping. Per-job placement is
+// a single-node concept; the cluster variant reports rejected rows only.
+type BatchClusterScheduleResponse struct {
+	ClusterScheduleResponse
+
+	Scheduled int `json:"scheduled"`
+	Rejected  int `json:"rejected"`
+
+	Characterization BatchCharacterizationWire `json:"characterization"`
+	// RejectedJobs lists the per-row validation failures (index, kernel,
+	// error), if any.
+	RejectedJobs []BatchJobResult `json:"rejected_jobs,omitempty"`
 }

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hetsched/internal/stats"
+)
+
+// BenchmarkServerScheduleWarm measures the warm batch serving path end to
+// end over HTTP: admission → in-batch dedup → memory-LRU hit → one
+// simulator pass. The first request computes the three kernel variants;
+// every timed iteration is answered entirely from the in-memory tier, so
+// this is the steady-state latency a loaded daemon serves duplicate-heavy
+// traffic at. p50/p99/p99.9 come from the same streaming reservoir the
+// daemon publishes on /metrics.
+func BenchmarkServerScheduleWarm(b *testing.B) {
+	s, err := New(testSystem(b), quietConfig(Config{Workers: 4, QueueDepth: 64}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"jobs": [
+		{"kernel": "tblook"}, {"kernel": "a2time"}, {"kernel": "tblook"},
+		{"kernel": "aifftr", "data_seed": 3}, {"kernel": "tblook"}
+	]}`
+	post := func() int {
+		resp, err := http.Post(ts.URL+"/v1/schedule/batch", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(); code != http.StatusOK {
+		b.Fatalf("warmup: status %d", code)
+	}
+
+	lat, err := stats.NewReservoir(4096, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if code := post(); code != http.StatusOK {
+			b.Fatalf("iteration %d: status %d", i, code)
+		}
+		lat.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+	}
+	b.StopTimer()
+	if qs, err := lat.Quantiles(0.50, 0.99, 0.999); err == nil {
+		b.ReportMetric(qs[0], "p50-ms")
+		b.ReportMetric(qs[1], "p99-ms")
+		b.ReportMetric(qs[2], "p999-ms")
+	}
+	st := s.tier.Stats()
+	if st.Computed > 3 {
+		b.Fatalf("warm path recomputed characterizations: %+v", st)
+	}
+}

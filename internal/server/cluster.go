@@ -72,6 +72,10 @@ func (s *Server) handleClusterSchedule(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.Priority < 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "negative priority")
+		return
+	}
 	traced := false
 	switch v := r.URL.Query().Get("trace"); v {
 	case "", "0", "false":
@@ -80,6 +84,9 @@ func (s *Server) handleClusterSchedule(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusBadRequest, codeBadRequest,
 			"trace=%q not in {0, 1, true, false}", v)
+		return
+	}
+	if !s.admit(w, req.Priority, req.Arrivals) {
 		return
 	}
 	s.serveJob(w, r, "cluster", func(ctx context.Context) (any, error) {

@@ -53,6 +53,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 const (
 	codeBadRequest       = "bad_request"
 	codeQueueFull        = "queue_full"
+	codeShed             = "shed_low_priority"
 	codeDraining         = "draining"
 	codeTimeout          = "timeout"
 	codeClientClosed     = "client_closed"
@@ -202,6 +203,10 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.Priority < 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "negative priority")
+		return
+	}
 	traced := false
 	switch v := r.URL.Query().Get("trace"); v {
 	case "", "0", "false":
@@ -210,6 +215,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusBadRequest, codeBadRequest,
 			"trace=%q not in {0, 1, true, false}", v)
+		return
+	}
+	if !s.admit(w, req.Priority, req.Arrivals) {
 		return
 	}
 	s.serveJob(w, r, "schedule", func(ctx context.Context) (any, error) {
@@ -450,12 +458,17 @@ func (s *Server) handleDesignSpace(w http.ResponseWriter, _ *http.Request) {
 
 // handleHealthz serves GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	busy := s.pool.Busy()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:        "ok",
-		Predictor:     s.sys.PredictorName(),
-		Workers:       s.pool.Workers(),
-		QueueCapacity: s.pool.QueueCapacity(),
-		WarmStart:     s.sys.Setup.EvalFromCache && s.sys.Setup.TrainFromCache,
+		Status:           "ok",
+		Predictor:        s.sys.PredictorName(),
+		Workers:          s.pool.Workers(),
+		QueueCapacity:    s.pool.QueueCapacity(),
+		QueueDepth:       s.pool.QueueDepth(),
+		WorkersBusy:      busy,
+		Saturation:       float64(busy) / float64(s.pool.Workers()),
+		WarmStart:        s.sys.Setup.EvalFromCache && s.sys.Setup.TrainFromCache,
+		Characterization: s.tier.Stats(),
 	})
 }
 

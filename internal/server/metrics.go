@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hetsched"
+	"hetsched/internal/characterize"
 	"hetsched/internal/stats"
 )
 
@@ -21,10 +22,12 @@ const latencyReservoirCap = 2048
 // streaming service-latency percentiles per compute endpoint.
 type Metrics struct {
 	start time.Time
-	pool  *Pool // gauge source (queue depth, busy workers); nil in tests
+	pool  *Pool              // gauge source (queue depth, busy workers); nil in tests
+	tier  *characterize.Tier // batch characterization tier; nil in tests
 
 	requests  atomic.Int64    // every HTTP request through the logging middleware
 	responses [6]atomic.Int64 // indexed by status class (1xx..5xx)
+	shed      atomic.Int64    // requests rejected by priority-aware admission control
 
 	// Fault-injection counters, cumulative across faulted schedule runs.
 	faultedRuns      atomic.Int64
@@ -88,6 +91,10 @@ func (m *Metrics) ObserveRequest(status int) {
 		m.responses[c].Add(1)
 	}
 }
+
+// ObserveShed counts one request rejected by priority-aware admission
+// control (shed_low_priority, as opposed to the literal queue-full 429).
+func (m *Metrics) ObserveShed() { m.shed.Add(1) }
 
 // ObserveFaults accumulates one fault-injected schedule run's degradation
 // counters into the daemon-wide totals.
@@ -188,8 +195,13 @@ type Snapshot struct {
 	QueueCap     int   `json:"queue_capacity"`
 	JobsAccepted int64 `json:"jobs_accepted"`
 	JobsRejected int64 `json:"jobs_rejected"` // queue-full backpressure
+	JobsShed     int64 `json:"jobs_shed"`     // admission control (shed_low_priority)
 	JobsCanceled int64 `json:"jobs_canceled"` // context died while queued
 	JobPanics    int64 `json:"job_panics"`
+
+	// Characterization serving-tier counters (memory LRU, coalescing, disk
+	// cache, computes) for the batch endpoints; absent until a tier exists.
+	Characterization *characterize.TierStats `json:"characterization,omitempty"`
 
 	// Fault-injection totals across all faulted schedule runs.
 	FaultedRuns      int64 `json:"faulted_runs"`
@@ -225,7 +237,13 @@ func (m *Metrics) Snapshot() Snapshot {
 
 		TracedRuns: m.tracedRuns.Load(),
 
+		JobsShed: m.shed.Load(),
+
 		Endpoints: map[string]EndpointSnapshot{},
+	}
+	if m.tier != nil {
+		ts := m.tier.Stats()
+		snap.Characterization = &ts
 	}
 	m.traceMu.Lock()
 	if len(m.traceCounts) > 0 {

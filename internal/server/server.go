@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hetsched"
+	"hetsched/internal/characterize"
 	"hetsched/internal/trace"
 )
 
@@ -44,6 +45,27 @@ type Config struct {
 	// ClusterScorer is the default dispatcher scoring strategy for
 	// /v1/cluster requests (default hybrid).
 	ClusterScorer hetsched.ScorerKind
+	// CacheDir is the persistent characterization disk cache the batch
+	// serving tier reads through (empty disables the disk tier; the
+	// in-memory tier still applies).
+	CacheDir string
+	// Engine selects the cache-simulation engine for on-demand batch
+	// characterizations (default stream; never changes results).
+	Engine hetsched.Engine
+	// CharCacheEntries bounds the warm in-memory characterization LRU
+	// (default 256; negative disables the memory tier, leaving disk-only).
+	CharCacheEntries int
+	// CharCacheTTL expires memory-tier entries (default 15m; negative
+	// means entries never expire).
+	CharCacheTTL time.Duration
+	// AdmissionHighWater is the queue-depth fraction past which
+	// priority-aware load shedding starts (default 0.75). Values outside
+	// (0, 1) disable shedding — only the literal queue-full 429 remains.
+	AdmissionHighWater float64
+	// ShedLevels scales the admission bar: at a completely full queue, a
+	// maximum-cost request needs priority >= ShedLevels to be admitted
+	// (default 8).
+	ShedLevels int
 	// Logger receives one structured line per request (default stderr).
 	Logger *log.Logger
 }
@@ -68,6 +90,21 @@ func (c *Config) fillDefaults() {
 	if len(c.ClusterNodes) == 0 {
 		c.ClusterNodes, _ = hetsched.ParseClusterSpec("4*quad")
 	}
+	if c.CharCacheEntries == 0 {
+		c.CharCacheEntries = 256
+	}
+	if c.CharCacheTTL == 0 {
+		c.CharCacheTTL = 15 * time.Minute
+	}
+	if c.CharCacheTTL < 0 {
+		c.CharCacheTTL = 0 // characterize.NewMemCache: 0 = never expire
+	}
+	if c.AdmissionHighWater == 0 {
+		c.AdmissionHighWater = 0.75
+	}
+	if c.ShedLevels == 0 {
+		c.ShedLevels = 8
+	}
 	if c.Logger == nil {
 		c.Logger = log.New(os.Stderr, "hetschedd ", log.LstdFlags|log.Lmsgprefix)
 	}
@@ -80,7 +117,8 @@ type Server struct {
 	sys  *hetsched.System
 	pool *Pool
 	met  *Metrics
-	ring *trace.SharedRing // merged events of ?trace=1 runs (/debug/trace)
+	tier *characterize.Tier // batch path: memory LRU → disk cache → compute
+	ring *trace.SharedRing  // merged events of ?trace=1 runs (/debug/trace)
 
 	handler http.Handler
 	api     *http.Server
@@ -105,15 +143,20 @@ func New(sys *hetsched.System, cfg Config) (*Server, error) {
 		cfg:  cfg,
 		sys:  sys,
 		pool: pool,
+		tier: characterize.NewTier(cfg.CharCacheEntries, cfg.CharCacheTTL, cfg.CacheDir,
+			sys.Energy, characterize.Options{Engine: cfg.Engine}),
 		ring: trace.NewSharedRing(debugTraceRingCap),
 	}
 	s.met = NewMetrics(pool)
+	s.met.tier = s.tier
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("POST /v1/schedule/batch", s.handleScheduleBatch)
 	mux.HandleFunc("POST /v1/tune", s.handleTune)
 	mux.HandleFunc("POST /v1/cluster/schedule", s.handleClusterSchedule)
+	mux.HandleFunc("POST /v1/cluster/schedule/batch", s.handleClusterScheduleBatch)
 	mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
 	mux.HandleFunc("GET /v1/designspace", s.handleDesignSpace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -27,7 +27,7 @@ var (
 	sysErr  error
 )
 
-func testSystem(t *testing.T) *hetsched.System {
+func testSystem(t testing.TB) *hetsched.System {
 	t.Helper()
 	sysOnce.Do(func() {
 		sysVal, sysErr = hetsched.New(hetsched.Options{Predictor: hetsched.PredictOracle})
@@ -219,7 +219,10 @@ func TestScheduleBackpressure(t *testing.T) {
 	go s.pool.Submit(context.Background(), queuedFn)
 	waitFor(t, func() bool { return s.pool.QueueDepth() == 1 })
 
-	resp, body := postJSON(t, ts.URL+"/v1/schedule", `{"arrivals": 20}`)
+	// High priority clears admission control, so this exercises the literal
+	// queue-full contract (low-priority traffic is shed earlier — see
+	// TestAdmissionShedding).
+	resp, body := postJSON(t, ts.URL+"/v1/schedule", `{"arrivals": 20, "priority": 99}`)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("full queue: status %d, body %s, want 429", resp.StatusCode, body)
 	}
