@@ -31,12 +31,14 @@ test:
 # Every package with a worker pool or parallel fan-out runs under the race
 # detector: the daemon's queue/shutdown paths, the stats sketch behind its
 # metrics, the parallel characterization engine and its disk cache, the
-# sweep grid, the ensemble trainer/vote, and the cluster's per-node
-# simulation pool.
+# sweep grid, the ensemble trainer/vote, the online predictor ensemble,
+# and the cluster's per-node simulation pool. The root-package run pins the
+# ensemble's worker-count-invariant determinism under the detector.
 test-race:
 	$(GO) test -race ./internal/server/... ./internal/stats/... \
 		./internal/characterize/... ./internal/sweep/... ./internal/ann/... \
-		./internal/cluster/...
+		./internal/cluster/... ./internal/predict/...
+	$(GO) test -race -run 'TestEnsembleDeterminism' .
 
 test-short:
 	$(GO) test -short ./...
@@ -52,8 +54,8 @@ bench:
 # the daemon's warm batch serving path) as committed JSON, for before/after
 # comparison across PRs.
 bench-baseline:
-	$(GO) test -run=NONE -bench='BenchmarkL1Access|BenchmarkHierarchyAccess|BenchmarkMultiSim|BenchmarkReplayAllConfigs|BenchmarkCharacterizeWorkers|BenchmarkCharacterizeOneKernel|BenchmarkRecordTrace|BenchmarkKernelExecution|BenchmarkProposedSimulation|BenchmarkForward|BenchmarkClusterDispatch|BenchmarkServerScheduleWarm' \
-		-benchmem ./internal/cache/ ./internal/characterize/ ./internal/eembc/ ./internal/core/ ./internal/ann/ ./internal/cluster/ ./internal/server/ \
+	$(GO) test -run=NONE -bench='BenchmarkL1Access|BenchmarkHierarchyAccess|BenchmarkMultiSim|BenchmarkReplayAllConfigs|BenchmarkCharacterizeWorkers|BenchmarkCharacterizeOneKernel|BenchmarkRecordTrace|BenchmarkKernelExecution|BenchmarkProposedSimulation|BenchmarkForward|BenchmarkClusterDispatch|BenchmarkServerScheduleWarm|BenchmarkEnsemblePredict' \
+		-benchmem ./internal/cache/ ./internal/characterize/ ./internal/eembc/ ./internal/core/ ./internal/ann/ ./internal/cluster/ ./internal/server/ ./internal/predict/ \
 		| $(GO) run ./cmd/benchjson > BENCH_core.json
 	@echo wrote BENCH_core.json
 
@@ -65,8 +67,8 @@ bench-baseline:
 BENCH_TOLERANCE ?= 0.40
 
 bench-gate:
-	$(GO) test -run=NONE -bench='BenchmarkL1Access|BenchmarkHierarchyAccess|BenchmarkMultiSim|BenchmarkReplayAllConfigs|BenchmarkCharacterizeWorkers|BenchmarkCharacterizeOneKernel|BenchmarkRecordTrace|BenchmarkKernelExecution|BenchmarkProposedSimulation|BenchmarkForward|BenchmarkClusterDispatch|BenchmarkServerScheduleWarm' \
-		-benchmem ./internal/cache/ ./internal/characterize/ ./internal/eembc/ ./internal/core/ ./internal/ann/ ./internal/cluster/ ./internal/server/ \
+	$(GO) test -run=NONE -bench='BenchmarkL1Access|BenchmarkHierarchyAccess|BenchmarkMultiSim|BenchmarkReplayAllConfigs|BenchmarkCharacterizeWorkers|BenchmarkCharacterizeOneKernel|BenchmarkRecordTrace|BenchmarkKernelExecution|BenchmarkProposedSimulation|BenchmarkForward|BenchmarkClusterDispatch|BenchmarkServerScheduleWarm|BenchmarkEnsemblePredict' \
+		-benchmem ./internal/cache/ ./internal/characterize/ ./internal/eembc/ ./internal/core/ ./internal/ann/ ./internal/cluster/ ./internal/server/ ./internal/predict/ \
 		| $(GO) run ./cmd/benchjson > bench-fresh.json
 	$(GO) run ./cmd/benchjson -compare BENCH_core.json bench-fresh.json -tolerance $(BENCH_TOLERANCE)
 
@@ -95,13 +97,15 @@ cover-check: cover
 		{ echo "FAIL: coverage $${total}% fell below the $${floor}% floor"; exit 1; }
 
 # Short fuzz pass over the untrusted-input parsers: cache-config specs, the
-# text assembler, binary memory traces, -faults plan specs, and CSV traces.
+# text assembler, binary memory traces, -faults plan specs, CSV traces, and
+# -predictor ensemble specs.
 fuzz:
 	$(GO) test ./internal/cache -fuzz FuzzParseConfig -fuzztime 20s
 	$(GO) test ./internal/isa -fuzz FuzzAssemble -fuzztime 20s
 	$(GO) test ./internal/vm -fuzz FuzzLoadTrace -fuzztime 20s
 	$(GO) test ./internal/fault -fuzz FuzzParseSpec -fuzztime 20s
 	$(GO) test ./internal/trace -fuzz FuzzTraceFile -fuzztime 20s
+	$(GO) test . -run=NONE -fuzz FuzzParsePredictorSpec -fuzztime 20s
 
 # The paper's full evaluation (Figures 6 & 7 at 5000 arrivals).
 reproduce:

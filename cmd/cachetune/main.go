@@ -10,13 +10,18 @@
 // Usage:
 //
 //	cachetune [-kernel tblook] [-scale 1] [-seed 1] [-engine stream|onepass|replay] [-space]
-//	          [-trace walk.json]
+//	          [-trace walk.json] [-predictor ensemble:table,markov,ann]
 //	cachetune -list
 //
 // -trace records the heuristic's walk as decision-audit tune events — one
 // per configuration tried, cycle-stamped with the step index, marked
 // accepted when it improved on the best seen for its core size — and writes
 // them to the named file (.json = Chrome/Perfetto, else CSV).
+//
+// -predictor additionally characterizes the suite, builds the named
+// predictor (any -predictor spec the other commands accept) and prints its
+// best-size call for the kernel next to the oracle: predicted size, energy
+// regret, and — for ensembles — the per-member ballots.
 package main
 
 import (
@@ -108,6 +113,7 @@ func run() error {
 	var engine characterize.Engine
 	flag.TextVar(&engine, "engine", characterize.EngineStream, "cache simulation engine: stream (fused execution+scoring, no trace), onepass (record then score in one traversal) or replay (reference per-config path)")
 	traceFile := flag.String("trace", "", "write the tuning walk as decision-audit tune events to this file (.json = Chrome/Perfetto, else CSV)")
+	predictorFlag := flag.String("predictor", "", "also report this predictor's best-size call for the kernel (any kind or ensemble:kind[=weight],...; empty skips)")
 	flag.Parse()
 
 	if *space {
@@ -178,7 +184,47 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d tuning-walk trace events to %s\n", audit.Len(), *traceFile)
 	}
+	if *predictorFlag != "" {
+		if err := reportPrediction(*predictorFlag, *kernel); err != nil {
+			return err
+		}
+	}
 	return firstErr
+}
+
+// reportPrediction builds the named predictor over the canonical suite
+// characterization and prints its best-size call for the kernel: the
+// prediction, the oracle, the energy regret of running at the predicted
+// size, and the per-member ballots when the predictor exposes them.
+func reportPrediction(specStr, kernel string) error {
+	spec, err := hetsched.ParsePredictorSpec(specStr)
+	if err != nil {
+		return err
+	}
+	dir, err := hetsched.ResolveCacheDir("auto")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "characterizing suite and building %s predictor...\n", spec)
+	sys, err := hetsched.New(hetsched.Options{Spec: spec, CacheDir: dir})
+	if err != nil {
+		return err
+	}
+	d, err := sys.PredictBestSizeDetail(kernel)
+	if err != nil {
+		return err
+	}
+	verdict := "miss"
+	if d.PredictedKB == d.OracleKB {
+		verdict = "match"
+	}
+	fmt.Printf("\npredictor %s: %dKB (oracle %dKB, %s, regret %.0f nJ)\n",
+		spec, d.PredictedKB, d.OracleKB, verdict, d.RegretNJ)
+	for _, v := range d.Votes {
+		fmt.Printf("  member %-8s -> %3dKB  weight %.3f  confidence %.2f\n",
+			v.Name, v.SizeKB, v.Weight, v.Confidence)
+	}
+	return nil
 }
 
 // tuneSize walks the heuristic for one core size and prints its row. With a

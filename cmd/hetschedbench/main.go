@@ -69,8 +69,9 @@ func run() error {
 	arrivals := flag.Int("arrivals", 200, "workload length per request")
 	util := flag.Float64("util", 0.9, "offered load per request")
 	system := flag.String("system", "proposed", "system to schedule with")
-	kind := hetsched.PredictOracle
-	flag.TextVar(&kind, "predictor", hetsched.PredictOracle, "in-process predictor (oracle avoids ANN training)")
+	spec := hetsched.MustParsePredictorSpec("oracle")
+	flag.TextVar(&spec, "predictor", hetsched.MustParsePredictorSpec("oracle"),
+		"in-process predictor (oracle avoids ANN training); any kind or ensemble:kind[=weight],...")
 	workers := flag.Int("workers", 4, "in-process worker pool size")
 	queue := flag.Int("queue", 32, "in-process queue depth (small enough to exercise 429s)")
 	cluster := flag.String("cluster", "", "benchmark /v1/cluster/schedule over this topology instead of /v1/schedule (e.g. 8*quad;8*16x2)")
@@ -95,8 +96,8 @@ func run() error {
 	base := *addr
 	if base == "" {
 		fmt.Fprintf(os.Stderr, "starting in-process daemon (%s predictor, %d workers, queue %d)...\n",
-			kind, *workers, *queue)
-		sys, err := hetsched.New(hetsched.Options{Predictor: kind})
+			spec, *workers, *queue)
+		sys, err := hetsched.New(hetsched.Options{Spec: spec})
 		if err != nil {
 			return err
 		}

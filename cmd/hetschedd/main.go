@@ -6,6 +6,8 @@
 // Endpoints (JSON; see DESIGN.md for schemas):
 //
 //	POST /v1/predict                 {"kernel": "tblook"}
+//	GET  /v1/predictor
+//	POST /v1/predictor               {"spec": "ensemble:table,markov,ann"}
 //	POST /v1/schedule                {"system": "proposed", "arrivals": 500, ...}
 //	POST /v1/schedule/batch          {"jobs": [{"kernel": "tblook"}, ...], ...}
 //	POST /v1/tune                    {"kernel": "tblook", "size_kb": 8}
@@ -33,6 +35,11 @@
 //
 // -cluster and -scorer set the default topology and dispatcher scoring
 // strategy for /v1/cluster requests that omit their own.
+//
+// -predictor takes a single kind or an ensemble spec
+// ("ensemble:table,markov,ann"); POST /v1/predictor hot-swaps the active
+// predictor without a restart (in-flight runs finish on the predictor they
+// started with; a rejected spec leaves the old one live).
 //
 // The batch endpoints characterize kernel variants on demand through a
 // serving tier — a bounded in-memory LRU (-char-cache-entries,
@@ -81,8 +88,9 @@ func run() error {
 	queue := flag.Int("queue", 64, "bounded job-queue depth (full queue answers 429)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request service timeout, queue wait included")
 	maxArrivals := flag.Int("max-arrivals", 20000, "largest workload one schedule request may ask for")
-	var kind hetsched.PredictorKind
-	flag.TextVar(&kind, "predictor", hetsched.PredictANN, "best-size predictor: ann|oracle|linear|knn|stump|tree")
+	spec := hetsched.DefaultPredictorSpec()
+	flag.TextVar(&spec, "predictor", hetsched.DefaultPredictorSpec(),
+		"best-size predictor: ann|oracle|linear|knn|stump|tree|table|markov|nn, or ensemble:kind[=weight],...")
 	seed := flag.Int64("seed", 42, "predictor training seed")
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel workers for characterization and training")
 	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")
@@ -111,9 +119,9 @@ func run() error {
 		return fmt.Errorf("-cluster: %w", err)
 	}
 
-	fmt.Fprintf(os.Stderr, "hetschedd: characterizing suite (%s engine) and training %s predictor...\n", engine, kind)
+	fmt.Fprintf(os.Stderr, "hetschedd: characterizing suite (%s engine) and training %s predictor...\n", engine, spec)
 	start := time.Now()
-	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Seed: *seed, Workers: *jobs, CacheDir: dir, Engine: engine, Faults: faults})
+	sys, err := hetsched.New(hetsched.Options{Spec: spec, Seed: *seed, Workers: *jobs, CacheDir: dir, Engine: engine, Faults: faults})
 	if err != nil {
 		return err
 	}

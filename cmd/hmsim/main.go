@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hmsim [-arrivals 5000] [-util 0.9] [-seed 1] [-predictor ann|oracle|linear|knn|stump]
+//	hmsim [-arrivals 5000] [-util 0.9] [-seed 1] [-predictor ann|ensemble:table,markov,ann|...]
 //	      [-j N] [-cache-dir auto] [-engine stream|onepass|replay]
 //	      [-faults mttf=5e6,recover=1e5,noise=0.05,seed=1]
 //	      [-trace file.json]
@@ -53,8 +53,9 @@ func run() error {
 	arrivals := flag.Int("arrivals", 5000, "number of benchmark arrivals (paper: 5000)")
 	util := flag.Float64("util", 0.90, "offered load on the quad-core machine")
 	seed := flag.Int64("seed", 1, "workload seed")
-	var kind hetsched.PredictorKind
-	flag.TextVar(&kind, "predictor", hetsched.PredictANN, "best-core predictor: ann|oracle|linear|knn|stump|tree")
+	spec := hetsched.DefaultPredictorSpec()
+	flag.TextVar(&spec, "predictor", hetsched.DefaultPredictorSpec(),
+		"best-core predictor: ann|oracle|linear|knn|stump|tree|table|markov|nn, or ensemble:kind[=weight],...")
 	perApp := flag.Bool("perapp", false, "also print the proposed system's per-benchmark energy table")
 	timeline := flag.Int("timeline", 0, "also print the first N proposed-system schedule events")
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel workers for characterization and training")
@@ -78,8 +79,8 @@ func run() error {
 		return err
 	}
 
-	fmt.Fprintf(os.Stderr, "characterizing suite and training %s predictor...\n", kind)
-	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Workers: *jobs, CacheDir: dir, Engine: engine, Faults: faults})
+	fmt.Fprintf(os.Stderr, "characterizing suite and training %s predictor...\n", spec)
+	sys, err := hetsched.New(hetsched.Options{Spec: spec, Workers: *jobs, CacheDir: dir, Engine: engine, Faults: faults})
 	if err != nil {
 		return err
 	}

@@ -56,8 +56,9 @@ func run() error {
 	utilsFlag := flag.String("utils", "0.5,0.75,0.9", "comma-separated utilizations")
 	modelsFlag := flag.String("models", "uniform", "comma-separated arrival models (uniform|poisson|bursty)")
 	systemsFlag := flag.String("systems", "base,optimal,energy-centric,proposed", "comma-separated systems")
-	var kind hetsched.PredictorKind
-	flag.TextVar(&kind, "predictor", hetsched.PredictANN, "predictor: ann|oracle|linear|knn|stump|tree")
+	spec := hetsched.DefaultPredictorSpec()
+	flag.TextVar(&spec, "predictor", hetsched.DefaultPredictorSpec(),
+		"predictor: ann|oracle|linear|knn|stump|tree|table|markov|nn, or ensemble:kind[=weight],...")
 	var engine hetsched.Engine
 	flag.TextVar(&engine, "engine", hetsched.EngineStream, "cache simulation engine: stream|onepass|replay")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -84,9 +85,9 @@ func run() error {
 		return err
 	}
 
-	fmt.Fprintf(os.Stderr, "setting up (%s predictor, %s engine, %d workers)...\n", kind, engine, *jobs)
+	fmt.Fprintf(os.Stderr, "setting up (%s predictor, %s engine, %d workers)...\n", spec, engine, *jobs)
 	before := hetsched.ReplayCount()
-	sys, err := hetsched.New(hetsched.Options{Predictor: kind, Workers: *jobs, CacheDir: dir, Engine: engine})
+	sys, err := hetsched.New(hetsched.Options{Spec: spec, Workers: *jobs, CacheDir: dir, Engine: engine})
 	if err != nil {
 		return err
 	}

@@ -40,7 +40,6 @@ import (
 	"hetsched/internal/eembc"
 	"hetsched/internal/energy"
 	"hetsched/internal/fault"
-	"hetsched/internal/mlbase"
 	"hetsched/internal/trace"
 	"hetsched/internal/tuner"
 )
@@ -287,7 +286,14 @@ func (k *PredictorKind) UnmarshalText(text []byte) error {
 
 // Options configures New.
 type Options struct {
-	// Predictor selects the best-core predictor (default PredictANN).
+	// Spec selects the best-core predictor: a single kind or a weighted
+	// online-learning ensemble (see ParsePredictorSpec). When zero, the
+	// legacy Predictor field applies.
+	Spec PredictorSpec
+	// Predictor selects the best-core predictor by legacy kind (default
+	// PredictANN). Superseded by Spec, which covers every kind name plus
+	// the ensemble grammar; kept for compatibility and ignored when Spec
+	// is set.
 	Predictor PredictorKind
 	// Seed drives ANN training and splits (default 42).
 	Seed int64
@@ -372,9 +378,11 @@ type System struct {
 	// Setup reports whether the DBs came from the persistent cache.
 	Setup SetupInfo
 
-	kind   PredictorKind
-	faults FaultPlan
-	tracer *TraceRecorder
+	spec      PredictorSpec
+	buildSeed int64
+	buildOpts Options // resolved build inputs, reused by WithPredictorSpec
+	faults    FaultPlan
+	tracer    *TraceRecorder
 }
 
 // New characterizes the benchmark suite (cached per process) and trains the
@@ -439,13 +447,27 @@ func New(opts Options) (*System, error) {
 		return nil, err
 	}
 
-	sys := &System{Eval: eval, Train: train, Energy: em, Setup: setup, kind: opts.Predictor, faults: opts.Faults, tracer: opts.Trace}
+	sys := &System{Eval: eval, Train: train, Energy: em, Setup: setup, faults: opts.Faults, tracer: opts.Trace}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 42
 	}
+	spec := opts.Spec
+	if spec.IsZero() {
+		// Legacy selection path: lift the deprecated kind to its spec.
+		spec, err = opts.Predictor.Spec()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sys.spec = spec
+	sys.buildSeed = seed
+	sys.buildOpts = opts
 	if opts.MultiDomainANN {
-		if !opts.IncludeTelecom || opts.Predictor != PredictANN {
+		if !opts.IncludeTelecom || !spec.IsSingle("ann") {
 			return nil, fmt.Errorf("hetsched: MultiDomainANN requires IncludeTelecom and PredictANN")
 		}
 		md, err := trainMultiDomain(em, copts, opts, seed)
@@ -455,56 +477,17 @@ func New(opts Options) (*System, error) {
 		sys.Pred = md
 		return sys, nil
 	}
-	switch opts.Predictor {
-	case PredictANN:
-		if opts.EnergyParams == nil && !opts.WithL2 && !opts.IncludeTelecom && seed == 42 {
-			// Canonical setup: share the process-wide trained predictor.
-			p, _, err := ann.DefaultPredictor()
-			if err != nil {
-				return nil, err
-			}
-			sys.Pred = p
-		} else {
-			p, _, err := ann.TrainSizePredictor(train, ann.PredictorConfig{Seed: seed, Workers: opts.Workers})
-			if err != nil {
-				return nil, err
-			}
-			sys.Pred = p
-		}
-	case PredictOracle:
-		sys.Pred = core.OraclePredictor{DB: eval}
-	case PredictLinear:
-		p, err := mlbase.TrainLinear(train, 0)
-		if err != nil {
-			return nil, err
-		}
-		sys.Pred = p
-	case PredictKNN:
-		p, err := mlbase.TrainKNN(train, 3)
-		if err != nil {
-			return nil, err
-		}
-		sys.Pred = p
-	case PredictStump:
-		p, err := mlbase.TrainStump(train)
-		if err != nil {
-			return nil, err
-		}
-		sys.Pred = p
-	case PredictTree:
-		p, err := mlbase.TrainTree(train, 4)
-		if err != nil {
-			return nil, err
-		}
-		sys.Pred = p
-	default:
-		return nil, fmt.Errorf("hetsched: unknown predictor kind %d", opts.Predictor)
+	pred, err := buildPredictor(spec, eval, train, seed, opts)
+	if err != nil {
+		return nil, err
 	}
+	sys.Pred = pred
 	return sys, nil
 }
 
-// PredictorName reports which predictor the system schedules with.
-func (s *System) PredictorName() string { return s.kind.String() }
+// PredictorName reports which predictor the system schedules with — the
+// spec string ("ann", "ensemble:table,markov,ann", ...).
+func (s *System) PredictorName() string { return s.spec.String() }
 
 // ResolveCacheDir maps the CLIs' shared -cache-dir flag vocabulary to an
 // Options.CacheDir value: "auto" resolves to the per-user cache directory
@@ -604,7 +587,7 @@ func (s *System) RunOnDBContext(ctx context.Context, db *DB, name string, jobs [
 // the oracle, which must read ground truth from the DB actually being
 // scheduled. For db == s.Eval this is exactly s.Pred.
 func (s *System) predictorFor(db *DB) Predictor {
-	if s.kind == PredictOracle && db != s.Eval {
+	if s.spec.IsSingle("oracle") && db != s.Eval {
 		return core.OraclePredictor{DB: db}
 	}
 	return s.Pred

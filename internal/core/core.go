@@ -222,6 +222,12 @@ type Metrics struct {
 	FallbackPlacements int           // predictions re-mapped by the fallback chain
 	FaultTimeline      []fault.Event // the applied events, in order
 
+	// Predictor is the run's predictor scorecard — prequential hit/regret
+	// accounting against the oracle best size, with per-member detail for
+	// ensemble predictors. Nil when the system schedules without a
+	// predictor or nothing was scored.
+	Predictor *PredictorStats
+
 	// ExploredPerApp counts distinct configurations executed per app.
 	ExploredPerApp map[int]int
 	// PerAppEnergy accumulates each application's execution energy
@@ -298,6 +304,11 @@ type Simulator struct {
 	inj           *fault.Injector
 	recoveredDown uint64 // downtime of completed outages, for MTTR
 
+	// Outcome-feedback accounting (see feedback.go): the run's prequential
+	// predictor scorecard and the per-app regret memo behind it.
+	predStats   PredictorStats
+	regretCache map[int]map[int]float64
+
 	// Decision-audit recorder (nil unless Cfg.Trace is set; see trace.go).
 	tr *trace.Recorder
 }
@@ -312,6 +323,12 @@ func NewSimulator(db *characterize.DB, em *energy.Model, pol Policy, pred Predic
 	}
 	if pol == nil {
 		return nil, fmt.Errorf("core: nil policy")
+	}
+	// Online-learning predictors carry mutable state; fork a private copy
+	// so this run's learning trajectory is deterministic and independent of
+	// any concurrent run sharing the original (see ForkingPredictor).
+	if fp, ok := pred.(ForkingPredictor); ok {
+		pred = fp.Fork()
 	}
 	if len(cfg.CoreSizesKB) == 0 {
 		return nil, fmt.Errorf("core: no cores")
@@ -808,6 +825,7 @@ func (s *Simulator) RunContext(ctx context.Context, jobs []Job) (Metrics, error)
 
 	s.metrics.Makespan = s.now
 	s.finishFaultAccounting()
+	s.snapshotPredictorStats()
 	for _, c := range s.cores {
 		// A permanently dead core is powered off from deadAt on: it stops
 		// leaking idle energy (transient outages still leak — the core is

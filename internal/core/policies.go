@@ -92,7 +92,9 @@ func recordCompletion(s *Simulator, job *Job, cfg cache.Config, profiled bool) e
 			s.tracePredict(job, f, size)
 		}
 	}
-	return nil
+	// Outcome feedback: the completed execution's ground truth scores the
+	// standing prediction and, for online predictors, drives learning.
+	return s.observeOutcome(job, rec, cfg, cr.Energy.Total)
 }
 
 // profilingDecision finds an idle profiling core and schedules the base-

@@ -95,7 +95,22 @@ func (s *Simulator) tracePredict(job *Job, f stats.Features, sizeKB int) {
 		fmt.Fprintf(&b, "%g", v)
 	}
 	b.WriteString("]")
-	if vp, ok := s.Pred.(VotePredictor); ok {
+	if vp, ok := s.Pred.(VotingPredictor); ok {
+		// Vote/confidence predictors (ensembles) audit named, weighted
+		// member ballots plus the running per-member scorecard.
+		if votes, err := vp.Votes(f); err == nil {
+			b.WriteString(" votes=")
+			for i, v := range votes {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%s:%dKB:w%.3f:c%.2f", v.Name, v.SizeKB, v.Weight, v.Confidence)
+			}
+		}
+		if rep, ok := s.Pred.(PredictorReporter); ok {
+			writeMemberStats(&b, rep.PredictorSnapshot())
+		}
+	} else if vp, ok := s.Pred.(VotePredictor); ok {
 		if votes, err := vp.MemberVotes(f); err == nil {
 			b.WriteString(" votes=")
 			first := true
@@ -116,6 +131,41 @@ func (s *Simulator) tracePredict(job *Job, f stats.Features, sizeKB int) {
 		Cycle: s.now, Kind: trace.KindPredict,
 		Job: job.Index, App: job.AppID, Core: -1,
 		SizeKB: sizeKB, Detail: b.String(),
+	})
+}
+
+// writeMemberStats appends the per-member running scorecard (weight,
+// hits/predictions, cumulative regret) to a prediction event's detail.
+func writeMemberStats(b *strings.Builder, snap PredictorStats) {
+	if len(snap.Members) == 0 {
+		return
+	}
+	b.WriteString(" stats=")
+	for i, m := range snap.Members {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%s:w%.3f:h%d/%d:r%.1f", m.Name, m.Weight, m.Hits, m.Predictions, m.RegretNJ)
+	}
+}
+
+// traceObserve records one outcome-feedback step of an online predictor:
+// the size the execution actually ran at, the oracle best, the energy
+// regret of the standing prediction, and the post-update per-member
+// scorecard.
+func (s *Simulator) traceObserve(job *Job, chosenKB, bestKB int, regretNJ float64) {
+	if s.tr == nil {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "observe chosen=%dKB best=%dKB regret=%.1f", chosenKB, bestKB, regretNJ)
+	if rep, ok := s.Pred.(PredictorReporter); ok {
+		writeMemberStats(&b, rep.PredictorSnapshot())
+	}
+	s.tr.Record(trace.Event{
+		Cycle: s.now, Kind: trace.KindPredict,
+		Job: job.Index, App: job.AppID, Core: -1,
+		SizeKB: bestKB, EnergyNJ: regretNJ, Detail: b.String(),
 	})
 }
 

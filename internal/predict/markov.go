@@ -1,0 +1,55 @@
+package predict
+
+import "hetsched/internal/stats"
+
+// Markov is the job-sequence-context member: a first-order markov chain
+// over the stream of observed best sizes. It ignores the features entirely
+// and predicts the most likely next best size given the previous one —
+// cheap temporal-locality exploitation (bursts of the same application
+// class arrive together under many real workloads).
+type Markov struct {
+	prev   int                 // last observed best size (0 = none yet)
+	trans  map[int]map[int]int // prev best size → next best size counts
+	counts map[int]int         // marginal best-size counts
+}
+
+// NewMarkov returns an empty markov-chain member.
+func NewMarkov() *Markov {
+	return &Markov{trans: map[int]map[int]int{}, counts: map[int]int{}}
+}
+
+// Name implements Member.
+func (m *Markov) Name() string { return "markov" }
+
+// Predict implements Member: the plurality transition out of the last
+// observed best size, falling back to the marginal distribution at
+// discounted confidence, then to the cold base-size ballot.
+func (m *Markov) Predict(stats.Features) (int, float64, error) {
+	if m.prev != 0 {
+		if row := m.trans[m.prev]; len(row) > 0 {
+			size, votes, total := majority(row)
+			return size, float64(votes) / float64(total), nil
+		}
+	}
+	if len(m.counts) > 0 {
+		size, votes, total := majority(m.counts)
+		return size, 0.5 * float64(votes) / float64(total), nil
+	}
+	return coldSizeKB(), coldConfidence, nil
+}
+
+// Learn implements Learner: one step of the observed best-size chain.
+func (m *Markov) Learn(_ stats.Features, bestKB int) {
+	if m.prev != 0 {
+		row := m.trans[m.prev]
+		if row == nil {
+			row = map[int]int{}
+			m.trans[m.prev] = row
+		}
+		row[bestKB]++
+	}
+	m.counts[bestKB]++
+	m.prev = bestKB
+}
+
+func (m *Markov) fork() Member { return NewMarkov() }

@@ -1,0 +1,289 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"hetsched/internal/cache"
+	"hetsched/internal/core"
+	"hetsched/internal/stats"
+)
+
+// feat builds a feature vector whose selected dimensions vary with id, so
+// distinct ids land in distinct table fingerprints and nn samples.
+func feat(id int) stats.Features {
+	var f stats.Features
+	for i := range f {
+		f[i] = float64(1+id) * float64(100+i*17)
+	}
+	return f
+}
+
+func TestTableLearnsFingerprint(t *testing.T) {
+	tb := NewTable()
+	size, conf, err := tb.Predict(feat(1))
+	if err != nil || size != cache.BaseConfig.SizeKB || conf != coldConfidence {
+		t.Fatalf("cold table -> %d@%v err %v, want base-size fallback", size, conf, err)
+	}
+	tb.Learn(feat(1), 2)
+	if size, conf, _ := tb.Predict(feat(1)); size != 2 || conf != 1 {
+		t.Errorf("seen fingerprint -> %d@%v, want 2@1", size, conf)
+	}
+	// An unseen fingerprint answers from the global distribution at
+	// discounted confidence.
+	if size, conf, _ := tb.Predict(feat(7)); size != 2 || conf != 0.5 {
+		t.Errorf("unseen fingerprint -> %d@%v, want global 2@0.5", size, conf)
+	}
+	// The fingerprint is robust to small counter noise: a 2% perturbation
+	// stays in the same half-log2 bucket for these magnitudes.
+	noisy := feat(1)
+	for i := range noisy {
+		noisy[i] *= 1.02
+	}
+	if size, _, _ := tb.Predict(noisy); size != 2 {
+		t.Errorf("noisy re-profile -> %d, want the learned 2", size)
+	}
+}
+
+func TestMarkovFollowsChain(t *testing.T) {
+	m := NewMarkov()
+	if size, _, _ := m.Predict(feat(0)); size != cache.BaseConfig.SizeKB {
+		t.Fatalf("cold markov -> %d, want base size", size)
+	}
+	// Alternating chain 2 -> 4 -> 2 -> 4: from prev=4 predict 2.
+	for i := 0; i < 6; i++ {
+		if i%2 == 0 {
+			m.Learn(feat(0), 2)
+		} else {
+			m.Learn(feat(0), 4)
+		}
+	}
+	if size, conf, _ := m.Predict(feat(0)); size != 2 || conf != 1 {
+		t.Errorf("after ...->4 predicted %d@%v, want 2@1", size, conf)
+	}
+	m.Learn(feat(0), 2)
+	if size, _, _ := m.Predict(feat(0)); size != 4 {
+		t.Errorf("after ...->2 predicted %d, want 4", size)
+	}
+}
+
+func TestNearestNeighborMajority(t *testing.T) {
+	nn := NewNearest(3)
+	if size, _, _ := nn.Predict(feat(1)); size != cache.BaseConfig.SizeKB {
+		t.Fatalf("cold nn -> %d, want base size", size)
+	}
+	nn.Learn(feat(1), 2)
+	nn.Learn(feat(2), 2)
+	nn.Learn(feat(50), 8)
+	if size, conf, _ := nn.Predict(feat(1)); size != 2 {
+		t.Errorf("query near the 2KB cluster -> %d@%v, want 2", size, conf)
+	}
+	// An exact duplicate relabels in place instead of growing the sample.
+	nn.Learn(feat(1), 4)
+	if n := len(nn.samples); n != 3 {
+		t.Errorf("duplicate insert grew samples to %d, want 3", n)
+	}
+}
+
+func TestEnsembleValidation(t *testing.T) {
+	if _, err := New("e", nil, nil, 0); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+	if _, err := New("e", []Member{NewTable(), nil}, nil, 0); err == nil {
+		t.Error("nil member accepted")
+	}
+	if _, err := New("e", []Member{NewTable(), NewTable()}, nil, 0); err == nil {
+		t.Error("duplicate member name accepted")
+	}
+	if _, err := New("e", []Member{NewTable()}, []float64{-1}, 0); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := New("e", []Member{NewTable()}, []float64{1, 2}, 0); err == nil {
+		t.Error("weight/member count mismatch accepted")
+	}
+	if _, err := New("e", []Member{NewTable()}, nil, -0.5); err == nil {
+		t.Error("negative eta accepted")
+	}
+}
+
+func TestEnsembleDeterministicVotes(t *testing.T) {
+	build := func() *Ensemble {
+		e, err := New("e", []Member{NewTable(), NewMarkov(), NewNearest(0)}, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a, b := build(), build()
+	regret := map[int]float64{2: 0, 4: 50, 8: 120}
+	for i := 0; i < 40; i++ {
+		f := feat(i % 5)
+		pa, ea := a.PredictSizeKB(f)
+		pb, eb := b.PredictSizeKB(f)
+		if pa != pb || (ea == nil) != (eb == nil) {
+			t.Fatalf("round %d: divergent predictions %d/%v vs %d/%v", i, pa, ea, pb, eb)
+		}
+		a.ObserveRegret(f, pa, 2, regret, 1000)
+		b.ObserveRegret(f, pb, 2, regret, 1000)
+	}
+	sa, sb := a.PredictorSnapshot(), b.PredictorSnapshot()
+	for i := range sa.Members {
+		if sa.Members[i] != sb.Members[i] {
+			t.Errorf("member %d scorecards diverged: %+v vs %+v", i, sa.Members[i], sb.Members[i])
+		}
+	}
+}
+
+// constantMember always votes one size with full confidence — a synthetic
+// expert for the convergence tests.
+type constantMember struct {
+	name string
+	size int
+}
+
+func (c constantMember) Name() string { return c.name }
+func (c constantMember) Predict(stats.Features) (int, float64, error) {
+	return c.size, 1, nil
+}
+
+// TestEnsembleWeightConvergence is the Hedge property: against a stream
+// where one member is always right and another always wrong, the weights
+// converge onto the good member and the ensemble's cumulative regret stays
+// no worse than the worst member's.
+func TestEnsembleWeightConvergence(t *testing.T) {
+	good := constantMember{name: "good", size: 2}
+	bad := constantMember{name: "bad", size: 8}
+	e, err := New("e", []Member{bad, good}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regret := map[int]float64{2: 0, 4: 60, 8: 150}
+	for i := 0; i < 50; i++ {
+		e.ObserveRegret(feat(i), 8, 2, regret, 1000)
+	}
+	snap := e.PredictorSnapshot()
+	var goodW, badW float64
+	var goodStats, badStats core.MemberStats
+	for _, m := range snap.Members {
+		switch m.Name {
+		case "good":
+			goodW, goodStats = m.Weight, m
+		case "bad":
+			badW, badStats = m.Weight, m
+		}
+	}
+	if goodW < 0.99 || badW > 0.01 {
+		t.Errorf("weights did not converge: good=%v bad=%v", goodW, badW)
+	}
+	if goodStats.HitRate() != 1 || badStats.HitRate() != 0 {
+		t.Errorf("hit rates good=%v bad=%v, want 1 and 0", goodStats.HitRate(), badStats.HitRate())
+	}
+	// Cumulative ensemble regret <= worst member's cumulative regret.
+	worst := math.Max(goodStats.RegretNJ, badStats.RegretNJ)
+	if snap.RegretNJ > worst {
+		t.Errorf("ensemble regret %v exceeds worst member's %v", snap.RegretNJ, worst)
+	}
+	// And after convergence the ensemble follows the good member.
+	if size, err := e.PredictSizeKB(feat(0)); err != nil || size != 2 {
+		t.Errorf("converged ensemble predicts %d (err %v), want 2", size, err)
+	}
+}
+
+func TestEnsembleWeightFloorRevivesMember(t *testing.T) {
+	good := constantMember{name: "good", size: 2}
+	bad := constantMember{name: "bad", size: 8}
+	e, err := New("e", []Member{bad, good}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regret := map[int]float64{2: 0, 4: 60, 8: 150}
+	// A very long losing streak must not zero the bad member's weight.
+	for i := 0; i < 100000; i++ {
+		e.ObserveRegret(feat(0), 8, 2, regret, 1000)
+	}
+	for _, m := range e.PredictorSnapshot().Members {
+		if m.Weight <= 0 || math.IsNaN(m.Weight) {
+			t.Fatalf("member %s weight degenerated to %v", m.Name, m.Weight)
+		}
+	}
+}
+
+func TestEnsembleForkIsolation(t *testing.T) {
+	e, err := New("e", []Member{NewTable(), NewMarkov()}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork, ok := e.Fork().(*Ensemble)
+	if !ok {
+		t.Fatal("Fork did not return an *Ensemble")
+	}
+	regret := map[int]float64{2: 0, 4: 60, 8: 150}
+	for i := 0; i < 20; i++ {
+		fork.ObserveRegret(feat(i), 8, 2, regret, 1000)
+	}
+	snap := e.PredictorSnapshot()
+	if snap.Predictions != 0 {
+		t.Errorf("fork learning leaked into the template: %+v", snap)
+	}
+	for i, w := range e.weights {
+		if w != e.initial[i] {
+			t.Errorf("template weight %d drifted: %v != %v", i, w, e.initial[i])
+		}
+	}
+	// The fork itself learned.
+	if fork.PredictorSnapshot().Predictions == 0 {
+		t.Error("fork did not learn")
+	}
+}
+
+func TestEnsembleObserveUnitLoss(t *testing.T) {
+	good := constantMember{name: "good", size: 4}
+	bad := constantMember{name: "bad", size: 8}
+	e, err := New("e", []Member{bad, good}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		e.Observe(feat(i), 8, 4, 1000)
+	}
+	if size, err := e.PredictSizeKB(feat(0)); err != nil || size != 4 {
+		t.Errorf("unit-loss feedback converged to %d (err %v), want 4", size, err)
+	}
+}
+
+func TestStaticWrapConfidence(t *testing.T) {
+	// A plain predictor gets confidence 1.
+	s := Wrap("const", constPredictor{size: 4})
+	if size, conf, err := s.Predict(feat(0)); err != nil || size != 4 || conf != 1 {
+		t.Errorf("static -> %d@%v err %v, want 4@1", size, conf, err)
+	}
+}
+
+type constPredictor struct{ size int }
+
+func (c constPredictor) PredictSizeKB(stats.Features) (int, error) { return c.size, nil }
+
+func BenchmarkEnsemblePredict(b *testing.B) {
+	e, err := New("bench", []Member{NewTable(), NewMarkov(), NewNearest(0)}, nil, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the members with a realistic spread of observed outcomes.
+	sizes := cache.Sizes()
+	for i := 0; i < 64; i++ {
+		f := feat(i)
+		for _, m := range e.members {
+			if l, ok := m.(Learner); ok {
+				l.Learn(f, sizes[i%len(sizes)])
+			}
+		}
+	}
+	f := feat(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.PredictSizeKB(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

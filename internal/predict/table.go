@@ -1,0 +1,78 @@
+package predict
+
+import (
+	"math"
+
+	"hetsched/internal/stats"
+)
+
+// tableKey is a quantized counter fingerprint: each selected profiling
+// statistic bucketed on a half-log2 scale. Buckets are coarse enough that
+// the small multiplicative perturbations of injected counter noise land in
+// the same cell, so a noisy re-profile still finds its kernel.
+type tableKey [stats.NumSelected]int8
+
+func keyOf(f stats.Features) tableKey {
+	var k tableKey
+	for i, v := range f.Select() {
+		b := math.Log2(1+math.Abs(v)) * 2
+		q := int(b)
+		if v < 0 {
+			q = -q
+		}
+		if q > math.MaxInt8 {
+			q = math.MaxInt8
+		}
+		if q < math.MinInt8 {
+			q = math.MinInt8
+		}
+		k[i] = int8(q)
+	}
+	return k
+}
+
+// Table is the per-kernel lookup-table member: observed best sizes counted
+// per counter fingerprint. After one observation of a kernel it answers
+// near-oracle for that kernel; unseen fingerprints fall back to the global
+// best-size distribution.
+type Table struct {
+	counts map[tableKey]map[int]int
+	global map[int]int
+}
+
+// NewTable returns an empty lookup-table member.
+func NewTable() *Table {
+	return &Table{counts: map[tableKey]map[int]int{}, global: map[int]int{}}
+}
+
+// Name implements Member.
+func (t *Table) Name() string { return "table" }
+
+// Predict implements Member: plurality best size of the fingerprint's
+// cell; an unseen fingerprint answers from the global distribution at
+// discounted confidence; a cold table casts the base-size fallback ballot.
+func (t *Table) Predict(f stats.Features) (int, float64, error) {
+	if cell := t.counts[keyOf(f)]; len(cell) > 0 {
+		size, votes, total := majority(cell)
+		return size, float64(votes) / float64(total), nil
+	}
+	if len(t.global) > 0 {
+		size, votes, total := majority(t.global)
+		return size, 0.5 * float64(votes) / float64(total), nil
+	}
+	return coldSizeKB(), coldConfidence, nil
+}
+
+// Learn implements Learner.
+func (t *Table) Learn(f stats.Features, bestKB int) {
+	k := keyOf(f)
+	cell := t.counts[k]
+	if cell == nil {
+		cell = map[int]int{}
+		t.counts[k] = cell
+	}
+	cell[bestKB]++
+	t.global[bestKB]++
+}
+
+func (t *Table) fork() Member { return NewTable() }

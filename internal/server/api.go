@@ -14,13 +14,80 @@ type PredictRequest struct {
 	Kernel string `json:"kernel"`
 }
 
-// PredictResponse reports the predicted and ground-truth best sizes.
+// PredictResponse reports the predicted and ground-truth best sizes. The
+// flat legacy fields are stable; regret_nj and (for ensemble predictors)
+// the per-member votes block are additive.
 type PredictResponse struct {
 	Kernel      string `json:"kernel"`
 	Predictor   string `json:"predictor"`
 	PredictedKB int    `json:"predicted_kb"`
 	OracleKB    int    `json:"oracle_kb"`
 	Match       bool   `json:"match"`
+	// RegretNJ is the energy cost of the prediction: best energy at the
+	// predicted size minus the global best (0 on a match).
+	RegretNJ float64 `json:"regret_nj"`
+	// Votes lists the per-member ballots behind an ensemble prediction;
+	// absent for single legacy predictors.
+	Votes []VoteWire `json:"votes,omitempty"`
+}
+
+// VoteWire is one ensemble member's ballot on the wire.
+type VoteWire struct {
+	Name       string  `json:"name"`
+	SizeKB     int     `json:"size_kb"`
+	Weight     float64 `json:"weight"`
+	Confidence float64 `json:"confidence"`
+}
+
+// PredictorMemberWire is one ensemble member's scorecard: its current
+// weight plus prequential hit/regret accounting.
+type PredictorMemberWire struct {
+	Name        string  `json:"name"`
+	Weight      float64 `json:"weight"`
+	Predictions int64   `json:"predictions"`
+	Hits        int64   `json:"hits"`
+	HitRate     float64 `json:"hit_rate"`
+	RegretNJ    float64 `json:"regret_nj"`
+}
+
+// PredictorWire is a predictor scorecard: per run when inlined into a
+// ScheduleResponse, cumulative in /metrics and GET /v1/predictor.
+type PredictorWire struct {
+	Name        string                `json:"name"`
+	Predictions int64                 `json:"predictions"`
+	Hits        int64                 `json:"hits"`
+	HitRate     float64               `json:"hit_rate"`
+	RegretNJ    float64               `json:"regret_nj"`
+	Members     []PredictorMemberWire `json:"members,omitempty"`
+}
+
+// PredictorStateResponse answers GET /v1/predictor (and a successful POST):
+// the active spec plus the daemon-lifetime scorecard.
+type PredictorStateResponse struct {
+	// Spec is the active predictor in -predictor grammar.
+	Spec string `json:"spec"`
+	// Online reports whether the active predictor learns from outcome
+	// feedback during schedule runs.
+	Online bool `json:"online"`
+	// Swaps counts successful POST /v1/predictor hot-swaps since start.
+	Swaps int64 `json:"swaps"`
+	// Members is the active predictor's member set with its current
+	// template weights (single-kind predictors report one member).
+	Members []PredictorMemberWire `json:"members"`
+	// Cumulative aggregates per-run predictor scorecards across every
+	// schedule run since start; absent until a predictor-bearing run
+	// completes. Member rows are merged by name across hot-swaps.
+	Cumulative *PredictorWire `json:"cumulative,omitempty"`
+}
+
+// PredictorSwapRequest asks POST /v1/predictor to hot-swap the active
+// predictor. The swap is atomic: in-flight runs finish on the predictor
+// they started with, and a spec that fails to parse or build leaves the
+// old predictor live.
+type PredictorSwapRequest struct {
+	// Spec is the new predictor in -predictor grammar ("ann",
+	// "ensemble:table,markov,ann", ...).
+	Spec string `json:"spec"`
 }
 
 // ScheduleRequest runs one named system over a generated workload.
@@ -112,6 +179,10 @@ type ScheduleResponse struct {
 	FaultEnergyNJ      float64 `json:"fault_energy_nj,omitempty"`
 	StuckReconfigs     int     `json:"stuck_reconfigs,omitempty"`
 	FallbackPlacements int     `json:"fallback_placements,omitempty"`
+
+	// Predictor block; present when the run's predictor scored at least
+	// one prediction against a completed job's ground truth.
+	Predictor *PredictorWire `json:"predictor,omitempty"`
 
 	// Trace block; present only when the request asked for ?trace=1.
 	Trace *TraceBlock `json:"trace,omitempty"`

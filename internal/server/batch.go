@@ -302,9 +302,12 @@ func (s *Server) runScheduleBatch(ctx context.Context, req BatchScheduleRequest,
 			break
 		}
 	}
-	m, err := s.sys.RunOnDBContext(ctx, db, req.System, jobs, sim)
+	m, err := s.system().RunOnDBContext(ctx, db, req.System, jobs, sim)
 	if err != nil {
 		return nil, err
+	}
+	if m.Predictor != nil {
+		s.met.ObservePredictor(m.Predictor)
 	}
 	resp.System = m.System
 	resp.Completed = m.Completed
@@ -423,7 +426,7 @@ func (s *Server) runClusterScheduleBatch(ctx context.Context, req BatchClusterSc
 		StealThreshold:  req.StealThreshold,
 		DisableStealing: req.DisableStealing,
 	}
-	res, err := s.sys.RunClusterOnDBContext(ctx, db, cfg, jobs)
+	res, err := s.system().RunClusterOnDBContext(ctx, db, cfg, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -99,7 +99,8 @@ func (s *Server) handleClusterSchedule(w http.ResponseWriter, r *http.Request) {
 // counters.
 func (s *Server) runClusterSchedule(ctx context.Context, req ClusterScheduleRequest,
 	nodes []hetsched.SystemSpec, scorer hetsched.ScorerKind, traced bool) (any, error) {
-	jobs, err := s.sys.ClusterWorkload(nodes, req.Kernels, req.Arrivals, req.Utilization, req.Seed)
+	sys := s.system() // one snapshot: a concurrent hot-swap never splits this run
+	jobs, err := sys.ClusterWorkload(nodes, req.Kernels, req.Arrivals, req.Utilization, req.Seed)
 	if err != nil {
 		return nil, badRequest(err)
 	}
@@ -121,7 +122,7 @@ func (s *Server) runClusterSchedule(ctx context.Context, req ClusterScheduleRequ
 		rec = hetsched.NewTraceRing(maxInlineTraceEvents)
 		cfg.Trace = rec
 	}
-	res, err := s.sys.RunClusterContext(ctx, cfg, jobs)
+	res, err := sys.RunClusterContext(ctx, cfg, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -147,17 +147,25 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveJob(w, r, "predict", func(context.Context) (any, error) {
-		pred, oracle, err := s.sys.PredictBestSize(req.Kernel)
+		sys := s.system()
+		d, err := sys.PredictBestSizeDetail(req.Kernel)
 		if err != nil {
 			return nil, badRequest(err)
 		}
-		return PredictResponse{
+		resp := PredictResponse{
 			Kernel:      req.Kernel,
-			Predictor:   s.sys.PredictorName(),
-			PredictedKB: pred,
-			OracleKB:    oracle,
-			Match:       pred == oracle,
-		}, nil
+			Predictor:   sys.PredictorName(),
+			PredictedKB: d.PredictedKB,
+			OracleKB:    d.OracleKB,
+			Match:       d.PredictedKB == d.OracleKB,
+			RegretNJ:    d.RegretNJ,
+		}
+		for _, v := range d.Votes {
+			resp.Votes = append(resp.Votes, VoteWire{
+				Name: v.Name, SizeKB: v.SizeKB, Weight: v.Weight, Confidence: v.Confidence,
+			})
+		}
+		return resp, nil
 	})
 }
 
@@ -229,14 +237,15 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // decorate it, simulate, summarize. The context is checked between stages;
 // a single simulation is not interruptible mid-run.
 func (s *Server) runSchedule(ctx context.Context, req ScheduleRequest, traced bool) (any, error) {
+	sys := s.system() // one snapshot: a concurrent hot-swap never splits this run
 	var (
 		jobs []hetsched.Job
 		err  error
 	)
 	if len(req.Kernels) > 0 {
-		jobs, err = s.sys.WeightedWorkload(req.Kernels, req.Arrivals, req.Utilization, req.Seed)
+		jobs, err = sys.WeightedWorkload(req.Kernels, req.Arrivals, req.Utilization, req.Seed)
 	} else {
-		jobs, err = s.sys.Workload(req.Arrivals, req.Utilization, req.Seed)
+		jobs, err = sys.Workload(req.Arrivals, req.Utilization, req.Seed)
 	}
 	if err != nil {
 		return nil, badRequest(err)
@@ -246,12 +255,12 @@ func (s *Server) runSchedule(ctx context.Context, req ScheduleRequest, traced bo
 	}
 	sim := hetsched.SimConfig{}
 	if req.PriorityLevels > 0 {
-		s.sys.AssignPriorities(jobs, req.PriorityLevels, req.Seed+1)
+		sys.AssignPriorities(jobs, req.PriorityLevels, req.Seed+1)
 		sim.PriorityScheduling = true
 		sim.Preemptive = req.Preemptive
 	}
 	if req.DeadlineSlack > 0 {
-		if err := s.sys.AssignDeadlines(jobs, req.DeadlineSlack); err != nil {
+		if err := sys.AssignDeadlines(jobs, req.DeadlineSlack); err != nil {
 			return nil, badRequest(err)
 		}
 	}
@@ -263,12 +272,15 @@ func (s *Server) runSchedule(ctx context.Context, req ScheduleRequest, traced bo
 		rec = hetsched.NewTraceRing(maxInlineTraceEvents)
 		sim.Trace = rec
 	}
-	m, err := s.sys.RunSystemContext(ctx, req.System, jobs, sim)
+	m, err := sys.RunSystemContext(ctx, req.System, jobs, sim)
 	if err != nil {
 		return nil, err
 	}
 	if m.FaultInjected {
 		s.met.ObserveFaults(m.FaultEvents, m.JobsRedispatched)
+	}
+	if m.Predictor != nil {
+		s.met.ObservePredictor(m.Predictor)
 	}
 	resp := summarize(m)
 	if rec != nil {
@@ -401,7 +413,35 @@ func summarize(m hetsched.Metrics) ScheduleResponse {
 		FaultEnergyNJ:      m.FaultEnergyNJ,
 		StuckReconfigs:     m.StuckReconfigs,
 		FallbackPlacements: m.FallbackPlacements,
+
+		Predictor: predictorWire(m.Predictor),
 	}
+}
+
+// predictorWire projects one run's predictor scorecard onto the wire
+// schema; nil in, nil out.
+func predictorWire(ps *hetsched.PredictorStats) *PredictorWire {
+	if ps == nil {
+		return nil
+	}
+	w := &PredictorWire{
+		Name:        ps.Name,
+		Predictions: int64(ps.Predictions),
+		Hits:        int64(ps.Hits),
+		HitRate:     ps.HitRate(),
+		RegretNJ:    ps.RegretNJ,
+	}
+	for _, m := range ps.Members {
+		w.Members = append(w.Members, PredictorMemberWire{
+			Name:        m.Name,
+			Weight:      m.Weight,
+			Predictions: int64(m.Predictions),
+			Hits:        int64(m.Hits),
+			HitRate:     m.HitRate(),
+			RegretNJ:    m.RegretNJ,
+		})
+	}
+	return w
 }
 
 // handleTune serves POST /v1/tune.
@@ -431,7 +471,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveJob(w, r, "tune", func(ctx context.Context) (any, error) {
-		explored, best, err := s.sys.TuneKernelContext(ctx, req.Kernel, req.SizeKB)
+		explored, best, err := s.system().TuneKernelContext(ctx, req.Kernel, req.SizeKB)
 		if err != nil {
 			return nil, badRequest(err)
 		}
@@ -459,15 +499,16 @@ func (s *Server) handleDesignSpace(w http.ResponseWriter, _ *http.Request) {
 // handleHealthz serves GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	busy := s.pool.Busy()
+	sys := s.system()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:           "ok",
-		Predictor:        s.sys.PredictorName(),
+		Predictor:        sys.PredictorName(),
 		Workers:          s.pool.Workers(),
 		QueueCapacity:    s.pool.QueueCapacity(),
 		QueueDepth:       s.pool.QueueDepth(),
 		WorkersBusy:      busy,
 		Saturation:       float64(busy) / float64(s.pool.Workers()),
-		WarmStart:        s.sys.Setup.EvalFromCache && s.sys.Setup.TrainFromCache,
+		WarmStart:        sys.Setup.EvalFromCache && sys.Setup.TrainFromCache,
 		Characterization: s.tier.Stats(),
 	})
 }

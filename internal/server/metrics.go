@@ -48,6 +48,18 @@ type Metrics struct {
 	clusterMu     sync.Mutex
 	clusterNodes  map[int]*ClusterNodeCounters
 
+	// Predictor-quality counters, cumulative across schedule runs whose
+	// predictor scored predictions against completed jobs' ground truth.
+	// Member rows merge by name across hot-swaps; weights are the latest
+	// observed end-of-run values.
+	predictorSwaps atomic.Int64
+	predMu         sync.Mutex
+	predRuns       int64
+	predName       string // latest run's predictor name
+	predTotals     PredictorMemberWire
+	predOrder      []string
+	predMembers    map[string]*PredictorMemberWire
+
 	mu  sync.Mutex
 	lat map[string]*latencySeries
 }
@@ -68,6 +80,7 @@ func NewMetrics(pool *Pool) *Metrics {
 		pool:         pool,
 		traceCounts:  map[string]uint64{},
 		clusterNodes: map[int]*ClusterNodeCounters{},
+		predMembers:  map[string]*PredictorMemberWire{},
 		lat:          map[string]*latencySeries{},
 	}
 }
@@ -137,6 +150,66 @@ func (m *Metrics) ObserveCluster(res *hetsched.ClusterResult) {
 		}
 		c.TotalEnergyNJ += nr.Metrics.TotalEnergy()
 	}
+}
+
+// ObservePredictor accumulates one schedule run's predictor scorecard
+// (Metrics.Predictor) into the daemon-wide totals.
+func (m *Metrics) ObservePredictor(ps *hetsched.PredictorStats) {
+	if ps == nil || ps.Predictions == 0 {
+		return
+	}
+	m.predMu.Lock()
+	defer m.predMu.Unlock()
+	m.predRuns++
+	m.predName = ps.Name
+	m.predTotals.Predictions += int64(ps.Predictions)
+	m.predTotals.Hits += int64(ps.Hits)
+	m.predTotals.RegretNJ += ps.RegretNJ
+	for _, mem := range ps.Members {
+		c, ok := m.predMembers[mem.Name]
+		if !ok {
+			c = &PredictorMemberWire{Name: mem.Name}
+			m.predMembers[mem.Name] = c
+			m.predOrder = append(m.predOrder, mem.Name)
+		}
+		c.Weight = mem.Weight // end-of-run weight; latest run wins
+		c.Predictions += int64(mem.Predictions)
+		c.Hits += int64(mem.Hits)
+		c.RegretNJ += mem.RegretNJ
+	}
+}
+
+// ObservePredictorSwap counts one successful POST /v1/predictor hot-swap.
+func (m *Metrics) ObservePredictorSwap() { m.predictorSwaps.Add(1) }
+
+// PredictorSwaps reports the successful hot-swap count.
+func (m *Metrics) PredictorSwaps() int64 { return m.predictorSwaps.Load() }
+
+// PredictorTotals returns the cumulative predictor scorecard, or nil if no
+// predictor-bearing run has completed yet.
+func (m *Metrics) PredictorTotals() *PredictorWire {
+	m.predMu.Lock()
+	defer m.predMu.Unlock()
+	if m.predRuns == 0 {
+		return nil
+	}
+	w := &PredictorWire{
+		Name:        m.predName,
+		Predictions: m.predTotals.Predictions,
+		Hits:        m.predTotals.Hits,
+		RegretNJ:    m.predTotals.RegretNJ,
+	}
+	if w.Predictions > 0 {
+		w.HitRate = float64(w.Hits) / float64(w.Predictions)
+	}
+	for _, name := range m.predOrder {
+		c := *m.predMembers[name]
+		if c.Predictions > 0 {
+			c.HitRate = float64(c.Hits) / float64(c.Predictions)
+		}
+		w.Members = append(w.Members, c)
+	}
+	return w
 }
 
 // ClusterCounters returns the cumulative cluster run/steal totals and a
@@ -219,6 +292,13 @@ type Snapshot struct {
 	ClusterSteals int64                          `json:"cluster_steals"`
 	ClusterNodes  map[string]ClusterNodeCounters `json:"cluster_nodes,omitempty"`
 
+	// Predictor-quality totals: per-predictor (and per-ensemble-member)
+	// hit rate and cumulative energy regret across all schedule runs,
+	// plus the hot-swap count.
+	PredictorRuns  int64          `json:"predictor_runs"`
+	PredictorSwaps int64          `json:"predictor_swaps"`
+	Predictor      *PredictorWire `json:"predictor,omitempty"`
+
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 }
 
@@ -254,6 +334,11 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	m.traceMu.Unlock()
 	snap.ClusterRuns, snap.ClusterSteals, snap.ClusterNodes = m.ClusterCounters()
+	snap.PredictorSwaps = m.PredictorSwaps()
+	snap.Predictor = m.PredictorTotals()
+	m.predMu.Lock()
+	snap.PredictorRuns = m.predRuns
+	m.predMu.Unlock()
 	if m.pool != nil {
 		snap.Workers = m.pool.Workers()
 		snap.WorkersBusy = m.pool.Busy()

@@ -1,0 +1,306 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"hetsched"
+)
+
+// ensembleTestServer builds a server whose System is hot-swapped to the
+// cheap online ensemble (shares the oracle test system's characterization
+// DBs, so no extra suite replay or ANN training).
+func ensembleTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	sys, err := testSystem(t).WithPredictorSpec(
+		hetsched.MustParsePredictorSpec("ensemble:table,markov,nn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(sys, quietConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getURL(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestPredictResponseGolden pins both /v1/predict wire shapes: the legacy
+// flat form (single predictor, no votes block) and the ensemble form with
+// per-member votes and the prediction's energy regret.
+func TestPredictResponseGolden(t *testing.T) {
+	check := func(name, url string) {
+		t.Helper()
+		resp, body := postJSON(t, url+"/v1/predict", `{"kernel": "matrix"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d, body %s", name, resp.StatusCode, body)
+		}
+		path := filepath.Join("testdata", name)
+		if *updateGolden {
+			if err := os.WriteFile(path, body, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run: go test ./internal/server -run PredictResponseGolden -update)", err)
+		}
+		if string(body) != string(want) {
+			t.Errorf("%s drifted from golden.\ngot:\n%s\nwant:\n%s", name, body, want)
+		}
+	}
+
+	_, flat := newTestServer(t, Config{Workers: 1})
+	check("predict_flat.golden", flat.URL)
+
+	_, ens := ensembleTestServer(t, Config{Workers: 1})
+	check("predict_ensemble.golden", ens.URL)
+}
+
+// TestPredictorGetAndSwap covers the control plane: GET reports the active
+// spec; a valid POST swaps atomically and is visible through every
+// endpoint; an invalid POST answers the error envelope and leaves the old
+// predictor live.
+func TestPredictorGetAndSwap(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	get := func() PredictorStateResponse {
+		t.Helper()
+		resp, body := getURL(t, ts.URL+"/v1/predictor")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/predictor: status %d, body %s", resp.StatusCode, body)
+		}
+		var pr PredictorStateResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+
+	pr := get()
+	if pr.Spec != "oracle" || pr.Online || pr.Swaps != 0 {
+		t.Fatalf("initial state %+v, want oracle/offline/0 swaps", pr)
+	}
+	if len(pr.Members) != 1 || pr.Members[0].Name != "oracle" {
+		t.Errorf("initial members %+v, want one oracle row", pr.Members)
+	}
+
+	// Rejected swaps: bad JSON field, missing spec, unknown kind. Each
+	// answers the envelope and leaves the oracle live.
+	for _, body := range []string{
+		`{"nosuch": 1}`,
+		`{}`,
+		`{"spec": "nosuch"}`,
+		`{"spec": "ensemble:table,table"}`,
+	} {
+		resp, b := postJSON(t, ts.URL+"/v1/predictor", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("swap %s: status %d, body %s, want 400", body, resp.StatusCode, b)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(b, &er); err != nil || er.Code != codeBadRequest {
+			t.Errorf("swap %s: envelope %s, err %v", body, b, err)
+		}
+	}
+	if pr := get(); pr.Spec != "oracle" || pr.Swaps != 0 {
+		t.Fatalf("rejected swaps changed the active predictor: %+v", pr)
+	}
+
+	// A valid swap takes effect everywhere.
+	resp, body := postJSON(t, ts.URL+"/v1/predictor", `{"spec": "ensemble:table,markov,nn"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap: status %d, body %s", resp.StatusCode, body)
+	}
+	var swapped PredictorStateResponse
+	if err := json.Unmarshal(body, &swapped); err != nil {
+		t.Fatal(err)
+	}
+	if swapped.Spec != "ensemble:table,markov,nn" || !swapped.Online || swapped.Swaps != 1 {
+		t.Errorf("post-swap state %+v", swapped)
+	}
+	if len(swapped.Members) != 3 {
+		t.Errorf("post-swap members %+v, want 3 rows", swapped.Members)
+	}
+
+	resp, body = getURL(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Predictor != "ensemble:table,markov,nn" {
+		t.Errorf("healthz predictor %q after swap", h.Predictor)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/predict", `{"kernel": "matrix"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict after swap: %d %s", resp.StatusCode, body)
+	}
+	var p PredictResponse
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Predictor != "ensemble:table,markov,nn" || len(p.Votes) != 3 {
+		t.Errorf("predict after swap: predictor %q, %d votes", p.Predictor, len(p.Votes))
+	}
+
+	// Swapping back restores the flat legacy shape.
+	if resp, body := postJSON(t, ts.URL+"/v1/predictor", `{"spec": "oracle"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap back: %d %s", resp.StatusCode, body)
+	}
+	if pr := get(); pr.Spec != "oracle" || pr.Swaps != 2 {
+		t.Errorf("state after swap back: %+v", pr)
+	}
+	if snap := s.met.Snapshot(); snap.PredictorSwaps != 2 {
+		t.Errorf("metrics predictor_swaps = %d, want 2", snap.PredictorSwaps)
+	}
+}
+
+// TestPredictorScheduleMetrics: an online-ensemble schedule run reports the
+// per-member scorecard inline and feeds the daemon-wide predictor totals.
+func TestPredictorScheduleMetrics(t *testing.T) {
+	s, ts := ensembleTestServer(t, Config{Workers: 1})
+
+	resp, body := postJSON(t, ts.URL+"/v1/schedule", `{"arrivals": 120, "seed": 3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: status %d, body %s", resp.StatusCode, body)
+	}
+	var sr ScheduleResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Predictor == nil || sr.Predictor.Predictions == 0 {
+		t.Fatalf("schedule response missing the predictor block: %s", body)
+	}
+	if len(sr.Predictor.Members) != 3 {
+		t.Errorf("predictor block members = %d, want 3", len(sr.Predictor.Members))
+	}
+	var wsum float64
+	for _, m := range sr.Predictor.Members {
+		wsum += m.Weight
+		if m.Predictions == 0 {
+			t.Errorf("member %s never scored", m.Name)
+		}
+	}
+	if wsum < 0.999 || wsum > 1.001 {
+		t.Errorf("member weights sum to %v, want 1", wsum)
+	}
+
+	snap := s.met.Snapshot()
+	if snap.PredictorRuns != 1 || snap.Predictor == nil {
+		t.Fatalf("metrics predictor totals missing: runs=%d block=%+v", snap.PredictorRuns, snap.Predictor)
+	}
+	if snap.Predictor.Predictions != sr.Predictor.Predictions {
+		t.Errorf("cumulative predictions %d != run's %d", snap.Predictor.Predictions, sr.Predictor.Predictions)
+	}
+
+	// The cumulative scorecard also shows on GET /v1/predictor.
+	resp, body = getURL(t, ts.URL+"/v1/predictor")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/predictor: %d", resp.StatusCode)
+	}
+	var pr PredictorStateResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Cumulative == nil || pr.Cumulative.Predictions != sr.Predictor.Predictions {
+		t.Errorf("GET cumulative %+v, want %d predictions", pr.Cumulative, sr.Predictor.Predictions)
+	}
+}
+
+// TestPredictorSwapUnderLoad is the hot-swap atomicity proof: schedule
+// requests hammer the daemon while the predictor is swapped back and forth;
+// every run completes all of its jobs (none dropped or misrouted) and
+// every swap succeeds.
+func TestPredictorSwapUnderLoad(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+
+	const (
+		loaders  = 4
+		perLoad  = 6
+		swaps    = 12
+		arrivals = 60
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, loaders*perLoad+swaps)
+
+	for l := 0; l < loaders; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			for i := 0; i < perLoad; i++ {
+				payload := fmt.Sprintf(`{"arrivals": %d, "seed": %d}`, arrivals, l*perLoad+i)
+				resp, body := postJSON(t, ts.URL+"/v1/schedule", payload)
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("schedule: status %d, body %s", resp.StatusCode, body)
+					continue
+				}
+				var sr ScheduleResponse
+				if err := json.Unmarshal(body, &sr); err != nil {
+					errc <- err
+					continue
+				}
+				if sr.Jobs != arrivals || sr.Completed != arrivals {
+					errc <- fmt.Errorf("run dropped jobs under swap load: jobs=%d completed=%d", sr.Jobs, sr.Completed)
+				}
+			}
+		}(l)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		specs := []string{"ensemble:table,markov,nn", "oracle"}
+		for i := 0; i < swaps; i++ {
+			resp, body := postJSON(t, ts.URL+"/v1/predictor",
+				fmt.Sprintf(`{"spec": %q}`, specs[i%len(specs)]))
+			if resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("swap %d: status %d, body %s", i, resp.StatusCode, body)
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// The daemon is still coherent after the churn.
+	resp, body := getURL(t, ts.URL+"/v1/predictor")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/predictor after churn: %d %s", resp.StatusCode, body)
+	}
+	var pr PredictorStateResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Swaps != swaps {
+		t.Errorf("swaps = %d, want %d", pr.Swaps, swaps)
+	}
+	if pr.Spec != "oracle" {
+		t.Errorf("final spec %q, want oracle (last swap)", pr.Spec)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hetsched"
@@ -111,19 +113,28 @@ func (c *Config) fillDefaults() {
 }
 
 // Server is the scheduling-as-a-service daemon: HTTP API, worker pool,
-// metrics and debug endpoints over one shared immutable *hetsched.System.
+// metrics and debug endpoints over a shared *hetsched.System. The System
+// itself is immutable; POST /v1/predictor hot-swaps the pointer to a new
+// System sharing the old one's characterization DBs, so every request
+// path reads it once through system() and runs to completion on that
+// consistent snapshot.
 type Server struct {
-	cfg  Config
-	sys  *hetsched.System
-	pool *Pool
-	met  *Metrics
-	tier *characterize.Tier // batch path: memory LRU → disk cache → compute
-	ring *trace.SharedRing  // merged events of ?trace=1 runs (/debug/trace)
+	cfg    Config
+	sys    atomic.Pointer[hetsched.System]
+	swapMu sync.Mutex // serializes predictor hot-swaps (build + store)
+	pool   *Pool
+	met    *Metrics
+	tier   *characterize.Tier // batch path: memory LRU → disk cache → compute
+	ring   *trace.SharedRing  // merged events of ?trace=1 runs (/debug/trace)
 
 	handler http.Handler
 	api     *http.Server
 	debug   *http.Server
 }
+
+// system returns the active System snapshot. Callers hold it for the whole
+// request so a concurrent hot-swap never splits one run across predictors.
+func (s *Server) system() *hetsched.System { return s.sys.Load() }
 
 // New assembles a server over an already-built System. The System must not
 // be mutated afterwards; all request paths use it read-only.
@@ -141,17 +152,19 @@ func New(sys *hetsched.System, cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:  cfg,
-		sys:  sys,
 		pool: pool,
 		tier: characterize.NewTier(cfg.CharCacheEntries, cfg.CharCacheTTL, cfg.CacheDir,
 			sys.Energy, characterize.Options{Engine: cfg.Engine}),
 		ring: trace.NewSharedRing(debugTraceRingCap),
 	}
+	s.sys.Store(sys)
 	s.met = NewMetrics(pool)
 	s.met.tier = s.tier
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /v1/predictor", s.handlePredictorGet)
+	mux.HandleFunc("POST /v1/predictor", s.handlePredictorSwap)
 	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	mux.HandleFunc("POST /v1/schedule/batch", s.handleScheduleBatch)
 	mux.HandleFunc("POST /v1/tune", s.handleTune)
@@ -202,7 +215,7 @@ func (s *Server) ListenAndServe() error {
 		s.cfg.Logger.Printf("msg=debug-listening addr=%s", s.cfg.DebugAddr)
 	}
 	s.cfg.Logger.Printf("msg=listening addr=%s workers=%d queue=%d predictor=%s",
-		s.cfg.Addr, s.cfg.Workers, s.cfg.QueueDepth, s.sys.PredictorName())
+		s.cfg.Addr, s.cfg.Workers, s.cfg.QueueDepth, s.system().PredictorName())
 	go func() {
 		err := s.api.ListenAndServe()
 		if err != nil && err != http.ErrServerClosed {

@@ -9,6 +9,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strconv"
 	"strings"
 	"sync"
@@ -551,7 +552,7 @@ func TestScheduleTrace(t *testing.T) {
 	}
 	tracedCopy := sr
 	tracedCopy.Trace = nil
-	if tracedCopy != plain {
+	if !reflect.DeepEqual(tracedCopy, plain) {
 		t.Errorf("tracing changed the schedule summary:\ntraced   %+v\nuntraced %+v", tracedCopy, plain)
 	}
 
