@@ -32,12 +32,14 @@ test:
 # detector: the daemon's queue/shutdown paths, the stats sketch behind its
 # metrics, the parallel characterization engine and its disk cache, the
 # sweep grid, the ensemble trainer/vote, the online predictor ensemble,
-# and the cluster's per-node simulation pool. The root-package run pins the
-# ensemble's worker-count-invariant determinism under the detector.
+# and the cluster's per-node simulation pool. The scenario package rides
+# along so its generators' determinism contract holds under the detector.
+# The root-package run pins the ensemble's worker-count-invariant
+# determinism under the detector.
 test-race:
 	$(GO) test -race ./internal/server/... ./internal/stats/... \
 		./internal/characterize/... ./internal/sweep/... ./internal/ann/... \
-		./internal/cluster/... ./internal/predict/...
+		./internal/cluster/... ./internal/predict/... ./internal/scenario/...
 	$(GO) test -race -run 'TestEnsembleDeterminism' .
 
 test-short:
@@ -97,8 +99,8 @@ cover-check: cover
 		{ echo "FAIL: coverage $${total}% fell below the $${floor}% floor"; exit 1; }
 
 # Short fuzz pass over the untrusted-input parsers: cache-config specs, the
-# text assembler, binary memory traces, -faults plan specs, CSV traces, and
-# -predictor ensemble specs.
+# text assembler, binary memory traces, -faults plan specs, CSV traces,
+# -predictor ensemble specs, and -scenario workload specs.
 fuzz:
 	$(GO) test ./internal/cache -fuzz FuzzParseConfig -fuzztime 20s
 	$(GO) test ./internal/isa -fuzz FuzzAssemble -fuzztime 20s
@@ -106,6 +108,7 @@ fuzz:
 	$(GO) test ./internal/fault -fuzz FuzzParseSpec -fuzztime 20s
 	$(GO) test ./internal/trace -fuzz FuzzTraceFile -fuzztime 20s
 	$(GO) test . -run=NONE -fuzz FuzzParsePredictorSpec -fuzztime 20s
+	$(GO) test ./internal/scenario -run=NONE -fuzz FuzzParseScenarioSpec -fuzztime 20s
 
 # The paper's full evaluation (Figures 6 & 7 at 5000 arrivals).
 reproduce:

@@ -470,7 +470,7 @@ func BenchmarkExtensionRealtime(b *testing.B) {
 	}
 	for i := range jobs {
 		if jobs[i].Priority == 0 {
-			jobs[i].DeadlineCycle = 0
+			jobs[i].ClearDeadline()
 		}
 	}
 	fifo, err := sys.RunSystem("proposed", jobs, SimConfig{})

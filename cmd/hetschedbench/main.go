@@ -78,6 +78,10 @@ func run() error {
 	batch := flag.Int("batch", 0, "jobs per request; > 0 targets the batch endpoint (/v1/schedule/batch) instead")
 	dupSkew := flag.Float64("dup-skew", 0.8, "fraction of each batch reusing one hot kernel variant (duplicate-key skew; batch mode only)")
 	maxErrors := flag.Float64("max-errors", 0, "tolerated failed-request fraction in [0, 1) before a non-zero exit")
+	var scenarioSpec hetsched.ScenarioSpec
+	flag.TextVar(&scenarioSpec, "scenario", hetsched.ScenarioSpec{},
+		"workload scenario each request schedules (e.g. bursty:rate=1.2;slo=deadline:slack=1.5); /v1/schedule only")
+	spread := flag.Duration("spread", 0, "pace request launches over this wall-clock window using the scenario's arrival shape (0 = fire at full speed)")
 	flag.Parse()
 
 	if *requests < 1 || *concurrency < 1 {
@@ -91,6 +95,29 @@ func run() error {
 	}
 	if *maxErrors < 0 || *maxErrors >= 1 {
 		return fmt.Errorf("-max-errors %v out of range [0, 1)", *maxErrors)
+	}
+	if !scenarioSpec.IsZero() && (*batch > 0 || *cluster != "") {
+		return fmt.Errorf("-scenario applies to /v1/schedule only (not -batch or -cluster)")
+	}
+
+	// The launch schedule: with -spread, request i fires at launchAt[i]
+	// after start — shaped by the scenario's arrival process (uniform when
+	// no scenario is set), so the daemon sees poisson/bursty/diurnal load
+	// rather than a closed firehose.
+	var launchAt []time.Duration
+	if *spread > 0 {
+		shape := scenarioSpec
+		if shape.IsZero() {
+			shape = hetsched.MustParseScenarioSpec("uniform")
+		}
+		fracs, err := hetsched.ScenarioArrivalFractions(shape, *requests, 1)
+		if err != nil {
+			return fmt.Errorf("-spread: %w", err)
+		}
+		launchAt = make([]time.Duration, len(fracs))
+		for i, f := range fracs {
+			launchAt[i] = time.Duration(f * float64(*spread))
+		}
 	}
 
 	base := *addr
@@ -123,6 +150,9 @@ func run() error {
 		"system":      *system,
 		"arrivals":    *arrivals,
 		"utilization": *util,
+	}
+	if !scenarioSpec.IsZero() {
+		fields["scenario"] = scenarioSpec.String()
 	}
 	if *cluster != "" {
 		if _, err := hetsched.ParseClusterSpec(*cluster); err != nil {
@@ -174,6 +204,11 @@ func run() error {
 				i := next.Add(1) - 1
 				if i >= int64(*requests) {
 					return
+				}
+				if launchAt != nil {
+					if d := launchAt[i] - time.Since(start); d > 0 {
+						time.Sleep(d)
+					}
 				}
 				var body []byte
 				if *batch > 0 {
@@ -237,6 +272,13 @@ func run() error {
 			if *cluster != "" {
 				fmt.Printf("cluster view: runs=%d steals=%d across %d nodes\n",
 					snap.ClusterRuns, snap.ClusterSteals, len(snap.ClusterNodes))
+			}
+			// SLO view: the deadline accounting the daemon accumulated from
+			// scenario-bearing runs (present only with a -scenario slo= section).
+			if snap.SLORuns > 0 && snap.SLODeadlines > 0 {
+				fmt.Printf("slo view:    %d runs, %d/%d deadlines missed (%.2f%%), %d slo migrations\n",
+					snap.SLORuns, snap.SLOMisses, snap.SLODeadlines,
+					100*float64(snap.SLOMisses)/float64(snap.SLODeadlines), snap.SLOMigrations)
 			}
 			// Coalescing effectiveness: how many characterization lookups the
 			// serving tier absorbed vs how many actually ran the kernel.

@@ -68,6 +68,9 @@ func run() error {
 	var scorer hetsched.ScorerKind
 	flag.TextVar(&scorer, "scorer", hetsched.ScoreHybrid, "cluster dispatcher scorer: hybrid|balance|energy|roundrobin")
 	noSteal := flag.Bool("no-steal", false, "disable cross-node work stealing in cluster mode")
+	var scenarioSpec hetsched.ScenarioSpec
+	flag.TextVar(&scenarioSpec, "scenario", hetsched.ScenarioSpec{},
+		"workload scenario (e.g. bursty:rate=1.2;slo=deadline:slack=1.5,classes=hi@0.2): runs the four systems over the scenario stream with deadline/SLO reporting")
 	flag.Parse()
 
 	dir, err := hetsched.ResolveCacheDir(*cacheDir)
@@ -99,6 +102,9 @@ func run() error {
 
 	if *clusterFlag != "" {
 		return runCluster(sys, *clusterFlag, scorer, *noSteal, cfg, *timeline, *traceFile)
+	}
+	if !scenarioSpec.IsZero() {
+		return runScenario(sys, scenarioSpec, cfg, *timeline, *traceFile)
 	}
 	fmt.Fprintf(os.Stderr, "simulating 4 systems x %d arrivals at utilization %.2f...\n",
 		cfg.Arrivals, cfg.Utilization)
@@ -136,6 +142,47 @@ func run() error {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", rec.Len(), *traceFile)
+		}
+	}
+	return nil
+}
+
+// runScenario is hmsim's scenario mode: materialize the scenario's job
+// stream once, arm the SLO-aware simulator features the spec asks for, and
+// run the four compared systems over the identical workload, printing each
+// system's metrics block (with deadline/SLO lines when the scenario sets
+// deadlines). -timeline and -trace follow the proposed system's run.
+func runScenario(sys *hetsched.System, sp hetsched.ScenarioSpec,
+	cfg hetsched.ExperimentConfig, timeline int, traceFile string) error {
+	jobs, err := sys.ScenarioWorkload(sp, cfg.Arrivals, cfg.Utilization, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	var simCfg hetsched.SimConfig
+	sp.ApplySim(&simCfg)
+	simCfg.RecordSchedule = timeline > 0
+	fmt.Fprintf(os.Stderr, "scenario %s: simulating 4 systems x %d arrivals...\n", sp, len(jobs))
+	for _, name := range []string{"base", "optimal", "energy-centric", "proposed"} {
+		run := simCfg
+		var rec *hetsched.TraceRecorder
+		if name == "proposed" && traceFile != "" {
+			rec = hetsched.NewTraceRecorder()
+			run.Trace = rec
+		}
+		m, err := sys.RunSystem(name, jobs, run)
+		if err != nil {
+			return err
+		}
+		fmt.Print(hetsched.FormatMetrics(m))
+		if name == "proposed" && timeline > 0 {
+			fmt.Println()
+			fmt.Print(hetsched.FormatSchedule(sys, m, timeline))
+		}
+		if rec != nil {
+			if err := hetsched.WriteTraceFile(traceFile, rec.Events()); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", rec.Len(), traceFile)
 		}
 	}
 	return nil

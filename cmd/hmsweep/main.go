@@ -7,7 +7,14 @@
 //	hmsweep [-arrivals 1500] [-utils 0.5,0.75,0.9] [-models uniform,poisson,bursty]
 //	        [-systems base,optimal,sat,energy-centric,proposed]
 //	        [-predictor ann] [-engine stream] [-seed 1] [-j N] [-cache-dir auto]
-//	        [-faults mttf=5e6,recover=1e5,seed=1] [-trace cell.json] > sweep.csv
+//	        [-faults mttf=5e6,recover=1e5,seed=1] [-trace cell.json]
+//	        [-scenario "poisson:rate=0.9,jobs=5000;slo=deadline:slack=1.5"] > sweep.csv
+//
+// -scenario replaces the arrival-model dimension with a workload scenario:
+// the spec's source generates every cell's jobs, the SLO layer (classes,
+// deadlines) arms the deadline-aware scheduler, and five deadline/SLO
+// columns are appended to the CSV. Without -scenario the CSV is emitted
+// byte-for-byte as before.
 //
 // -faults injects one deterministic fault plan into every grid cell (the
 // data behind degradation-versus-load plots); faulted sweeps append fault
@@ -66,6 +73,9 @@ func run() error {
 	cacheDir := flag.String("cache-dir", "auto", "persistent characterization cache: auto|off|<dir>")
 	faultsFlag := flag.String("faults", "off", "fault-injection plan for every grid cell: off, or mttf=..,recover=..,permanent=..,stuck=..,noise=..,seed=..")
 	traceFile := flag.String("trace", "", "re-run the first grid cell traced and write the events to this file (.json = Chrome/Perfetto, else CSV)")
+	var scenarioSpec hetsched.ScenarioSpec
+	flag.TextVar(&scenarioSpec, "scenario", hetsched.ScenarioSpec{},
+		"workload scenario replacing -models (e.g. poisson:rate=0.9,jobs=5000;slo=deadline:slack=1.5); appends deadline/SLO CSV columns")
 	flag.Parse()
 
 	utils, err := parseFloats(*utilsFlag)
@@ -111,6 +121,10 @@ func run() error {
 		Workers:      *jobs,
 	}
 	swCfg.Sim.Faults = faults
+	if !scenarioSpec.IsZero() {
+		fmt.Fprintf(os.Stderr, "scenario sweep: %s\n", scenarioSpec)
+		swCfg.Scenario = &scenarioSpec
+	}
 	points, err := sweep.Run(sys.Eval, sys.Energy, sys.Pred, swCfg)
 	// A grid-point failure must not discard finished work: flush every
 	// completed row before reporting the error.

@@ -39,7 +39,7 @@ func main() {
 	// jobs (priority 0) run best effort.
 	for i := range jobs {
 		if jobs[i].Priority == 0 {
-			jobs[i].DeadlineCycle = 0
+			jobs[i].ClearDeadline()
 		}
 	}
 

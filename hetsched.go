@@ -99,6 +99,7 @@ const (
 	TraceKindFault    = trace.KindFault
 	TraceKindKill     = trace.KindKill
 	TraceKindComplete = trace.KindComplete
+	TraceKindSLO      = trace.KindSLO
 )
 
 // NewTraceRecorder returns an unbounded decision-audit recorder to attach

@@ -43,6 +43,14 @@ type SimConfig struct {
 	// available (future-work extension). Requires a policy implementing
 	// PreemptionAdvisor; other policies simply never preempt.
 	Preemptive bool
+	// SLOAware arms the deadline-aware variant of the Section IV.E
+	// stall-vs-migrate decision (scenario extension, DESIGN.md §16): a
+	// deadline-carrying job stalls for its best core only when the
+	// projected wait still meets the deadline; otherwise it migrates to
+	// the cheapest idle candidate that does, counted as an SLO-forced
+	// migration with its energy penalty in Metrics. Off (the paper's
+	// energy-only rule) by default; jobs without deadlines are unaffected.
+	SLOAware bool
 	// MemContentionFactor models shared memory-bus pressure (extension):
 	// a job's miss-stall cycles stretch by
 	// 1 + factor·(otherBusyCores/(cores-1)) at the moment it starts.
@@ -101,6 +109,7 @@ type SimCore struct {
 	job        *Job         // job currently executing (nil if idle)
 	jobCfg     cache.Config // configuration the current job runs in
 	profiling  bool         // current execution is a profiling run
+	sloForced  bool         // current execution was an SLO-forced migration
 
 	// Preemption bookkeeping: when the execution started, its total
 	// length, and the energy charged at start (refunded pro rata if the
@@ -148,6 +157,10 @@ type Decision struct {
 	Config cache.Config
 	// Profiling marks the execution as the base-config profiling run.
 	Profiling bool
+	// SLOForced marks a placement forced by the SLO-aware override of the
+	// energy-advantageous rule (the job would otherwise have stalled past
+	// its deadline); surfaces as PlacementEvent.SLOForced.
+	SLOForced bool
 }
 
 // Policy is one of the four systems of Section V.
@@ -207,6 +220,18 @@ type Metrics struct {
 	DeadlinesTotal int // completed jobs that carried a deadline
 	DeadlineMisses int // of those, how many finished late
 
+	// SLO-aware scheduling counters (scenario extension). SLOMigrations
+	// counts stall decisions overridden because stalling was projected to
+	// miss the job's deadline; SLOEnergyPenaltyNJ is the summed extra
+	// energy those forced migrations paid versus stalling — the
+	// degradation metric of the SLO-aware decision rule.
+	SLOMigrations      int
+	SLOEnergyPenaltyNJ float64
+	// ClassDeadlines / ClassDeadlineMisses break deadline accounting down
+	// by scenario SLO class (nil when no completed job carried a class).
+	ClassDeadlines      map[string]int
+	ClassDeadlineMisses map[string]int
+
 	// Resilience metrics, populated only when SimConfig.Faults is enabled
 	// (FaultInjected). FaultEnergyNJ is the wasted energy of executions
 	// killed by a crash — already contained in the Dynamic/Static/Core
@@ -254,6 +279,10 @@ type PlacementEvent struct {
 	// Failed marks intervals cut short by a core crash; the job was
 	// re-queued with its progress lost.
 	Failed bool
+	// SLOForced marks executions placed by the SLO-aware override: the
+	// energy rule said stall, but stalling was projected to miss the
+	// job's deadline.
+	SLOForced bool
 }
 
 // TotalEnergy sums every component.
@@ -518,6 +547,7 @@ func (s *Simulator) start(job *Job, core *SimCore, cfg cache.Config, profiling b
 	core.job = job
 	core.jobCfg = cfg
 	core.profiling = profiling
+	core.sloForced = false
 	core.startedAt = s.now
 	core.execCycles = cycles
 	core.busyUntil = s.now + cycles
@@ -573,9 +603,10 @@ func (s *Simulator) preempt(core *SimCore) (*Job, error) {
 		s.metrics.Schedule = append(s.metrics.Schedule, PlacementEvent{
 			Start: core.startedAt, End: s.now,
 			JobIndex: job.Index, AppID: job.AppID, CoreID: core.ID,
-			Config: core.jobCfg, Preempted: true,
+			Config: core.jobCfg, Preempted: true, SLOForced: core.sloForced,
 		})
 	}
+	core.sloForced = false
 	core.job = nil
 	core.busyUntil = s.now
 	s.metrics.Preemptions++
@@ -587,13 +618,15 @@ func (s *Simulator) completeDue() error {
 	for _, c := range s.cores {
 		if c.job != nil && c.busyUntil <= s.now {
 			job, cfg, profiled := c.job, c.jobCfg, c.profiling
+			sloForced := c.sloForced
 			c.job = nil
 			c.profiling = false
+			c.sloForced = false
 			if s.Cfg.RecordSchedule {
 				s.metrics.Schedule = append(s.metrics.Schedule, PlacementEvent{
 					Start: c.startedAt, End: c.busyUntil,
 					JobIndex: job.Index, AppID: job.AppID, CoreID: c.ID,
-					Config: cfg, Profiling: profiled,
+					Config: cfg, Profiling: profiled, SLOForced: sloForced,
 				})
 			}
 			s.traceComplete(job, c, cfg, profiled)
@@ -601,10 +634,21 @@ func (s *Simulator) completeDue() error {
 			s.metrics.Turnarounds = append(s.metrics.Turnarounds, c.busyUntil-job.ArrivalCycle)
 			s.metrics.Completed++
 			s.metrics.PerAppRuns[job.AppID]++
-			if job.DeadlineCycle > 0 {
+			if job.Deadlined() {
 				s.metrics.DeadlinesTotal++
-				if c.busyUntil > job.DeadlineCycle {
+				missed := c.busyUntil > job.DeadlineCycle
+				if missed {
 					s.metrics.DeadlineMisses++
+				}
+				if job.Class != "" {
+					if s.metrics.ClassDeadlines == nil {
+						s.metrics.ClassDeadlines = map[string]int{}
+						s.metrics.ClassDeadlineMisses = map[string]int{}
+					}
+					s.metrics.ClassDeadlines[job.Class]++
+					if missed {
+						s.metrics.ClassDeadlineMisses[job.Class]++
+					}
 				}
 			}
 			if err := s.Policy.OnComplete(s, job, c, cfg, profiled); err != nil {
@@ -657,6 +701,9 @@ func (s *Simulator) schedulePass() error {
 		}
 		if err := s.start(job, s.cores[d.CoreID], d.Config, d.Profiling); err != nil {
 			return err
+		}
+		if d.SLOForced {
+			s.cores[d.CoreID].sloForced = true
 		}
 	}
 	s.queue = remaining
@@ -942,3 +989,13 @@ func (s *Simulator) NoteTuningRun() { s.metrics.TuningRuns++ }
 
 // NoteNonBest lets policies count a placement on a non-best core.
 func (s *Simulator) NoteNonBest() { s.metrics.NonBestPlacements++ }
+
+// NoteSLOForced lets policies count an SLO-forced migration and its energy
+// penalty versus the stall the energy rule preferred (clamped at zero:
+// a forced migration that happens to be cheaper carries no penalty).
+func (s *Simulator) NoteSLOForced(penaltyNJ float64) {
+	s.metrics.SLOMigrations++
+	if penaltyNJ > 0 {
+		s.metrics.SLOEnergyPenaltyNJ += penaltyNJ
+	}
+}

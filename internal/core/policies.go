@@ -434,6 +434,38 @@ func (p ProposedPolicy) Decide(s *Simulator, job *Job) (Decision, error) {
 		}
 	}
 	if pick == nil {
+		// SLO-aware override (DESIGN.md §16): the energy rule says stall,
+		// but for a deadline-carrying job the stall is acceptable only if
+		// the projected completion — wait window plus the best-core
+		// execution time — still meets the deadline. If it does not, the
+		// job migrates to the cheapest idle candidate whose own projected
+		// completion meets the deadline; when no candidate meets it either,
+		// the energy rule stands (every option is late, so the cheapest one
+		// — stalling — wins).
+		if s.Cfg.SLOAware && job.Deadlined() {
+			stallFinish := s.Now() + window + bestInfo.Cycles
+			if stallFinish > job.DeadlineCycle {
+				var forced *SimCore
+				var forcedCfg cache.Config
+				forcedE := 0.0
+				for _, c := range idle {
+					ci, ok := entry.BestForSize(c.SizeKB)
+					if !ok || s.Now()+ci.Cycles > job.DeadlineCycle {
+						continue
+					}
+					if forced == nil || ci.Energy < forcedE {
+						forced, forcedCfg, forcedE = c, ci.Config, ci.Energy
+					}
+				}
+				if forced != nil {
+					stallE := bestInfo.Energy + s.EM.IdleEnergy(forced.SizeKB, window)
+					s.NoteSLOForced(forcedE - stallE)
+					s.traceSLO(job, forced, forcedCfg, stallE, forcedE, stallFinish)
+					s.NoteNonBest()
+					return Decision{Place: true, CoreID: forced.ID, Config: forcedCfg, SLOForced: true}, nil
+				}
+			}
+		}
 		if cmp != nil {
 			s.traceStall(job, cmp, cmpCfg, cmpStallE, cmpRunE, true)
 		}

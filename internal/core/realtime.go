@@ -42,8 +42,8 @@ func AssignDeadlines(jobs []Job, db *characterize.DB, slack float64) error {
 		if err != nil {
 			return err
 		}
-		jobs[i].DeadlineCycle = jobs[i].ArrivalCycle +
-			uint64(slack*float64(rec.BestConfig().Cycles))
+		jobs[i].SetDeadline(jobs[i].ArrivalCycle +
+			uint64(slack*float64(rec.BestConfig().Cycles)))
 	}
 	return nil
 }

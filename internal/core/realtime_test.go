@@ -235,3 +235,33 @@ func TestPreemptValidation(t *testing.T) {
 		t.Error("preempting an idle core succeeded")
 	}
 }
+
+// TestZeroCycleDeadlineCounted is the regression test for the legacy
+// ambiguity where DeadlineCycle == 0 doubled as "no deadline": a computed
+// deadline landing exactly on cycle 0 was silently dropped from the miss
+// accounting. SetDeadline(0) must now count (and miss), while ClearDeadline
+// must remove the job from deadline accounting entirely.
+func TestZeroCycleDeadlineCounted(t *testing.T) {
+	db := testDB(t)
+	jobs := testJobs(t, db, 2, 0.5, 9)
+	jobs[0].SetDeadline(0) // impossible deadline: always a miss, never dropped
+	jobs[1].ClearDeadline()
+	if !jobs[0].Deadlined() {
+		t.Fatal("SetDeadline(0) job not Deadlined")
+	}
+	if jobs[1].Deadlined() {
+		t.Fatal("ClearDeadline job still Deadlined")
+	}
+	m := runRT(t, BasePolicy{}, nil, jobs, SimConfig{CoreSizesKB: BaseCoreSizes(4)})
+	if m.DeadlinesTotal != 1 {
+		t.Errorf("deadlines total %d, want 1 (zero-cycle deadline dropped?)", m.DeadlinesTotal)
+	}
+	if m.DeadlineMisses != 1 {
+		t.Errorf("deadline misses %d, want 1", m.DeadlineMisses)
+	}
+	// Legacy callers writing DeadlineCycle directly keep working.
+	legacy := Job{DeadlineCycle: 500}
+	if !legacy.Deadlined() {
+		t.Error("non-zero DeadlineCycle without the explicit bit not Deadlined")
+	}
+}

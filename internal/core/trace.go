@@ -198,6 +198,23 @@ func (s *Simulator) traceStall(job *Job, c *SimCore, cfg cache.Config, stallE, r
 	})
 }
 
+// traceSLO records an SLO-forced migration: the stall the energy rule
+// preferred was projected to complete at stallFinish, past the job's
+// deadline, so the job migrated to candidate c instead. EnergyNJ/AltEnergyNJ
+// mirror the stall-event convention (stall side vs migration side).
+func (s *Simulator) traceSLO(job *Job, c *SimCore, cfg cache.Config, stallE, runE float64, stallFinish uint64) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Record(trace.Event{
+		Cycle: s.now, Kind: trace.KindSLO,
+		Job: job.Index, App: job.AppID, Core: c.ID,
+		Config: cfg.String(), Start: stallFinish,
+		EnergyNJ: stallE, AltEnergyNJ: runE, Accepted: true,
+		Detail: fmt.Sprintf("deadline=%d", job.DeadlineCycle),
+	})
+}
+
 // traceFault records one applied fault-injection event.
 func (s *Simulator) traceFault(ev fault.Event) {
 	if s.tr == nil {

@@ -26,14 +26,41 @@ type Job struct {
 	// Priority orders the ready queue when priority scheduling is enabled
 	// (higher runs first; 0 is the default for the paper's FIFO setup).
 	Priority int
-	// DeadlineCycle is the absolute completion deadline (0 = none). Missed
+	// DeadlineCycle is the absolute completion deadline. A job carries a
+	// deadline when HasDeadline is set or, for legacy callers that assign
+	// DeadlineCycle directly, when it is non-zero (see Deadlined). Missed
 	// deadlines are counted in Metrics.DeadlineMisses.
 	DeadlineCycle uint64
+	// HasDeadline marks the job as deadline-carrying explicitly, so a
+	// computed deadline that lands exactly on cycle 0 is not silently
+	// dropped. SetDeadline/ClearDeadline keep it consistent.
+	HasDeadline bool
+	// Class is the job's scenario SLO class name ("" outside scenario
+	// runs); per-class deadline accounting keys Metrics.ClassDeadlines.
+	Class string
 
 	// remainingFrac is the unexecuted share of the job (1 until first
 	// started; reduced when preempted mid-execution).
 	remainingFrac float64
 }
+
+// SetDeadline installs an absolute deadline, marking the job
+// deadline-carrying even when cycle is 0.
+func (j *Job) SetDeadline(cycle uint64) {
+	j.DeadlineCycle = cycle
+	j.HasDeadline = true
+}
+
+// ClearDeadline removes the job's deadline entirely.
+func (j *Job) ClearDeadline() {
+	j.DeadlineCycle = 0
+	j.HasDeadline = false
+}
+
+// Deadlined reports whether the job carries a deadline: the explicit bit,
+// or — for legacy callers assigning DeadlineCycle directly — a non-zero
+// deadline cycle.
+func (j *Job) Deadlined() bool { return j.HasDeadline || j.DeadlineCycle > 0 }
 
 // remaining returns the unexecuted share, defaulting to the whole job.
 func (j *Job) remaining() float64 {

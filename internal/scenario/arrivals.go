@@ -1,0 +1,168 @@
+package scenario
+
+// Deterministic arrival-process generators. Each open-system source
+// (poisson, bursty, diurnal) produces a monotone stream of arrival cycles
+// from a SplitMix64 stream; the closed-loop source simulates a fixed
+// client population with think times. The uniform source is NOT here — it
+// delegates to core.GenerateWorkload so the legacy stream stays
+// bit-identical (see Generate).
+
+import (
+	"fmt"
+	"math"
+)
+
+// rng is a SplitMix64 stream — the same mixer the sweep grid uses for
+// worker-count-invariant cell seeds. It is deliberately not math/rand:
+// scenario draws must never share (or perturb) the legacy generator's
+// stream.
+type rng struct{ state uint64 }
+
+func newRNG(seed int64) *rng { return &rng{state: uint64(seed)} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// exp returns a unit-mean exponential draw.
+func (r *rng) exp() float64 { return -math.Log1p(-r.float64()) }
+
+// intn returns a uniform draw in [0, n) without modulo bias.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("scenario: intn on non-positive n")
+	}
+	limit := ^uint64(0) - ^uint64(0)%uint64(n)
+	for {
+		v := r.next()
+		if v < limit {
+			return int(v % uint64(n))
+		}
+	}
+}
+
+// arrivalStream draws n monotone arrival cycles over roughly [0, horizon)
+// for the open-system sources. The caller owns the rng so app draws can
+// continue on the same stream.
+func (sp Spec) arrivalStream(n int, horizon uint64, r *rng) ([]uint64, error) {
+	baseMean := float64(horizon) / float64(n)
+	out := make([]uint64, 0, n)
+	switch sp.Source {
+	case "poisson":
+		at := 0.0
+		for len(out) < n {
+			at += r.exp() * baseMean
+			out = append(out, uint64(at))
+		}
+	case "bursty":
+		// Two-state MMPP: exponential sojourns of mean horizon/phases
+		// alternate a burst state (rate × burst) with a quiet state
+		// (rate × quiet). Starting in the burst state front-loads
+		// contention — the stress case for stall decisions.
+		burst := orDefault(sp.Burst, DefaultBurst)
+		quiet := orDefault(sp.Quiet, DefaultQuiet)
+		phases := orDefaultInt(sp.Phases, DefaultPhases)
+		sojournMean := float64(horizon) / float64(phases)
+		inBurst := true
+		stateEnd := r.exp() * sojournMean
+		at := 0.0
+		for len(out) < n {
+			for at > stateEnd {
+				inBurst = !inBurst
+				stateEnd += r.exp() * sojournMean
+			}
+			mean := baseMean / burst
+			if !inBurst {
+				mean = baseMean / quiet
+			}
+			at += r.exp() * mean
+			out = append(out, uint64(at))
+		}
+	case "diurnal":
+		// Sinusoidal-rate Poisson process by thinning: candidate events at
+		// the peak rate λmax are kept with probability λ(t)/λmax, where
+		// λ(t) = base·(1 + amp·sin(2π·periods·t/horizon)).
+		amp := sp.Amp
+		if amp == 0 {
+			amp = DefaultAmp
+		}
+		periods := orDefaultInt(sp.Periods, DefaultPeriods)
+		base := 1 / baseMean
+		lamMax := base * (1 + amp)
+		at := 0.0
+		for len(out) < n {
+			at += r.exp() / lamMax
+			phase := 2 * math.Pi * float64(periods) * at / float64(horizon)
+			lam := base * (1 + amp*math.Sin(phase))
+			if r.float64()*lamMax <= lam {
+				out = append(out, uint64(at))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("scenario: %s is not an open-system source", sp.Source)
+	}
+	return out, nil
+}
+
+// closedStream simulates a closed loop of `clients` clients: each client
+// submits a job, waits for its (best-config) service time, thinks for an
+// exponential time of mean think × service, and submits again. svc maps an
+// app ID to its service-time estimate in cycles. Returns the arrival
+// cycles paired with the app drawn for each arrival (the app choice
+// determines the client's next free time, so it cannot be re-drawn later).
+func (sp Spec) closedStream(n int, appIDs []int, svc func(int) uint64, r *rng) ([]uint64, []int) {
+	clients := orDefaultInt(sp.Clients, DefaultClients)
+	think := orDefault(sp.Think, DefaultThink)
+
+	// Mean service over the population staggers the initial think so the
+	// run does not open with a synchronized thundering herd.
+	var meanSvc float64
+	for _, id := range appIDs {
+		meanSvc += float64(svc(id))
+	}
+	meanSvc /= float64(len(appIDs))
+
+	nextFree := make([]float64, clients)
+	for c := range nextFree {
+		nextFree[c] = r.exp() * think * meanSvc
+	}
+
+	arrivals := make([]uint64, 0, n)
+	apps := make([]int, 0, n)
+	for len(arrivals) < n {
+		c := 0
+		for i := 1; i < clients; i++ {
+			if nextFree[i] < nextFree[c] {
+				c = i
+			}
+		}
+		at := nextFree[c]
+		app := appIDs[r.intn(len(appIDs))]
+		s := float64(svc(app))
+		nextFree[c] = at + s + r.exp()*think*s
+		arrivals = append(arrivals, uint64(at))
+		apps = append(apps, app)
+	}
+	return arrivals, apps
+}
+
+func orDefault(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func orDefaultInt(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}

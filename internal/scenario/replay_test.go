@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hetsched/internal/core"
+	"hetsched/internal/energy"
+	"hetsched/internal/trace"
+)
+
+// TestReplayRoundTrip pins the lossless-replay property: record a run's
+// decision-audit trace, write it through the CSV codec, replay it, and the
+// reconstructed workload carries the original (app, arrival) stream exactly.
+func TestReplayRoundTrip(t *testing.T) {
+	db := testDB(t)
+	orig, err := MustParse("bursty").Generate(testParams(db, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	cfg := core.DefaultSimConfig()
+	cfg.Trace = rec
+	sim, err := core.NewSimulator(db, energy.NewDefault(), core.ProposedPolicy{},
+		core.OraclePredictor{DB: db}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(orig); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(f, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, err := ReadTraceWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(orig) {
+		t.Fatalf("replayed %d jobs, want %d", len(replayed), len(orig))
+	}
+	for i := range orig {
+		if replayed[i].AppID != orig[i].AppID || replayed[i].ArrivalCycle != orig[i].ArrivalCycle {
+			t.Fatalf("job %d: replayed (app %d, cycle %d), want (app %d, cycle %d)",
+				i, replayed[i].AppID, replayed[i].ArrivalCycle, orig[i].AppID, orig[i].ArrivalCycle)
+		}
+		if replayed[i].Index != i {
+			t.Fatalf("job %d: index %d", i, replayed[i].Index)
+		}
+	}
+
+	// The replay source consumes the same file through Generate, with
+	// jobs= truncating and the SLO layer re-applying deadlines.
+	sp := Spec{Source: "replay", Path: path, Jobs: 100, SLO: SLO{Enabled: true}}
+	jobs, err := sp.Generate(Params{DB: db, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 100 {
+		t.Fatalf("truncated replay has %d jobs, want 100", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.AppID != orig[i].AppID || j.ArrivalCycle != orig[i].ArrivalCycle {
+			t.Fatalf("truncated job %d diverges from the original stream", i)
+		}
+		if !j.Deadlined() {
+			t.Fatalf("truncated job %d missing SLO deadline", i)
+		}
+	}
+}
+
+// TestFromTraceIgnoresRequeues checks that only the first enqueue of a job
+// index is replayed (fault kills re-enqueue the same index) and that
+// dispatcher events with no job are skipped.
+func TestFromTraceIgnoresRequeues(t *testing.T) {
+	events := []trace.Event{
+		{Cycle: 10, Kind: trace.KindEnqueue, Job: 0, App: 3},
+		{Cycle: 20, Kind: trace.KindEnqueue, Job: 1, App: 5},
+		{Cycle: 25, Kind: trace.KindDispatch, Job: 0, App: 3},
+		{Cycle: 90, Kind: trace.KindEnqueue, Job: 0, App: 3}, // re-queue after a kill
+		{Cycle: 95, Kind: trace.KindEnqueue, Job: -1, App: 7},
+	}
+	jobs, err := FromTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].ArrivalCycle != 10 || jobs[0].AppID != 3 || jobs[1].ArrivalCycle != 20 || jobs[1].AppID != 5 {
+		t.Fatalf("replayed %+v", jobs)
+	}
+	if _, err := FromTrace([]trace.Event{{Kind: trace.KindDispatch, Job: 0}}); err == nil {
+		t.Error("trace without enqueues replayed")
+	}
+}

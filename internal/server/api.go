@@ -114,6 +114,15 @@ type ScheduleRequest struct {
 	// DeadlineSlack > 0 assigns each job a deadline of arrival +
 	// slack × best-config execution time; misses are reported.
 	DeadlineSlack float64 `json:"deadline_slack,omitempty"`
+	// Scenario, when non-empty, generates the workload from a scenario
+	// spec ("bursty:rate=1.2;slo=deadline:slack=1.5,classes=hi@0.2")
+	// instead of the uniform generator: the spec's source shapes arrivals,
+	// its SLO layer assigns classes and deadlines and arms the SLO-aware
+	// scheduler, and the response gains the deadline/SLO block. The spec's
+	// jobs= overrides Arrivals (still capped by the server's MaxArrivals)
+	// and rate= overrides Utilization. Mutually exclusive with Kernels,
+	// PriorityLevels and DeadlineSlack.
+	Scenario string `json:"scenario,omitempty"`
 	// Faults injects a deterministic fault plan into this run. When absent
 	// or not enabled (all rates zero), the run inherits the daemon's
 	// -faults default plan, if one was configured.
@@ -169,6 +178,18 @@ type ScheduleResponse struct {
 	DeadlinesTotal int `json:"deadlines_total,omitempty"`
 	DeadlineMisses int `json:"deadline_misses,omitempty"`
 
+	// Scenario/SLO block; present only on scenario runs.
+	Scenario string `json:"scenario,omitempty"`
+	// DeadlineMissRate is misses over deadline-carrying completions.
+	DeadlineMissRate float64 `json:"deadline_miss_rate,omitempty"`
+	// SLOMigrations counts stall decisions overridden to meet deadlines;
+	// SLOEnergyPenaltyNJ is the energy those overrides cost vs stalling.
+	SLOMigrations      int     `json:"slo_migrations,omitempty"`
+	SLOEnergyPenaltyNJ float64 `json:"slo_energy_penalty_nj,omitempty"`
+	// Classes is the per-SLO-class deadline accounting, keyed by class
+	// name ("default" is the unclassified remainder).
+	Classes map[string]ClassSLOWire `json:"classes,omitempty"`
+
 	// Resilience block; present only when the run injected faults.
 	FaultInjected      bool    `json:"fault_injected,omitempty"`
 	FaultEvents        int     `json:"fault_events,omitempty"`
@@ -186,6 +207,13 @@ type ScheduleResponse struct {
 
 	// Trace block; present only when the request asked for ?trace=1.
 	Trace *TraceBlock `json:"trace,omitempty"`
+}
+
+// ClassSLOWire is one SLO class's deadline accounting on the wire.
+type ClassSLOWire struct {
+	Deadlines int     `json:"deadlines"`
+	Misses    int     `json:"misses"`
+	MissRate  float64 `json:"miss_rate"`
 }
 
 // TraceBlock is the inline decision-audit trace of one ?trace=1 schedule

@@ -199,6 +199,34 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "negative priority_levels or deadline_slack")
 		return
 	}
+	scenarioSpec, err := hetsched.ParseScenarioSpec(req.Scenario)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "scenario: %s", err)
+		return
+	}
+	effArrivals := req.Arrivals
+	if !scenarioSpec.IsZero() {
+		if len(req.Kernels) > 0 || req.PriorityLevels > 0 || req.DeadlineSlack > 0 {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				"scenario is mutually exclusive with kernels, priority_levels and deadline_slack")
+			return
+		}
+		if scenarioSpec.Source == "replay" {
+			// Replay reads a server-local file path; that stays a CLI/library
+			// feature rather than a remote-request capability.
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				"scenario source replay is not available over the API")
+			return
+		}
+		if scenarioSpec.Jobs > 0 {
+			effArrivals = scenarioSpec.Jobs
+		}
+		if effArrivals > s.cfg.MaxArrivals {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				"scenario jobs %d exceed the server cap %d", effArrivals, s.cfg.MaxArrivals)
+			return
+		}
+	}
 	if req.Faults != nil {
 		if err := req.Faults.plan().Validate(); err != nil {
 			writeError(w, http.StatusBadRequest, codeBadRequest, "faults: %s", err)
@@ -225,26 +253,29 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			"trace=%q not in {0, 1, true, false}", v)
 		return
 	}
-	if !s.admit(w, req.Priority, req.Arrivals) {
+	if !s.admit(w, req.Priority, effArrivals) {
 		return
 	}
 	s.serveJob(w, r, "schedule", func(ctx context.Context) (any, error) {
-		return s.runSchedule(ctx, req, traced)
+		return s.runSchedule(ctx, req, scenarioSpec, traced)
 	})
 }
 
 // runSchedule executes one schedule job on a worker: generate the workload,
 // decorate it, simulate, summarize. The context is checked between stages;
 // a single simulation is not interruptible mid-run.
-func (s *Server) runSchedule(ctx context.Context, req ScheduleRequest, traced bool) (any, error) {
+func (s *Server) runSchedule(ctx context.Context, req ScheduleRequest, scenarioSpec hetsched.ScenarioSpec, traced bool) (any, error) {
 	sys := s.system() // one snapshot: a concurrent hot-swap never splits this run
 	var (
 		jobs []hetsched.Job
 		err  error
 	)
-	if len(req.Kernels) > 0 {
+	switch {
+	case !scenarioSpec.IsZero():
+		jobs, err = sys.ScenarioWorkload(scenarioSpec, req.Arrivals, req.Utilization, req.Seed)
+	case len(req.Kernels) > 0:
 		jobs, err = sys.WeightedWorkload(req.Kernels, req.Arrivals, req.Utilization, req.Seed)
-	} else {
+	default:
 		jobs, err = sys.Workload(req.Arrivals, req.Utilization, req.Seed)
 	}
 	if err != nil {
@@ -254,6 +285,7 @@ func (s *Server) runSchedule(ctx context.Context, req ScheduleRequest, traced bo
 		return nil, err
 	}
 	sim := hetsched.SimConfig{}
+	scenarioSpec.ApplySim(&sim)
 	if req.PriorityLevels > 0 {
 		sys.AssignPriorities(jobs, req.PriorityLevels, req.Seed+1)
 		sim.PriorityScheduling = true
@@ -282,7 +314,14 @@ func (s *Server) runSchedule(ctx context.Context, req ScheduleRequest, traced bo
 	if m.Predictor != nil {
 		s.met.ObservePredictor(m.Predictor)
 	}
+	if m.DeadlinesTotal > 0 {
+		s.met.ObserveSLO(m.DeadlinesTotal, m.DeadlineMisses, m.SLOMigrations,
+			m.ClassDeadlines, m.ClassDeadlineMisses)
+	}
 	resp := summarize(m)
+	if !scenarioSpec.IsZero() {
+		resp.Scenario = scenarioSpec.String()
+	}
 	if rec != nil {
 		evs := rec.Events()
 		s.ring.Append(evs)
@@ -375,6 +414,18 @@ func (f *FaultSpec) plan() hetsched.FaultPlan {
 
 // summarize projects a Metrics onto the wire schema.
 func summarize(m hetsched.Metrics) ScheduleResponse {
+	var classes map[string]ClassSLOWire
+	if len(m.ClassDeadlines) > 0 {
+		classes = make(map[string]ClassSLOWire, len(m.ClassDeadlines))
+		for name, n := range m.ClassDeadlines {
+			miss := m.ClassDeadlineMisses[name]
+			rate := 0.0
+			if n > 0 {
+				rate = float64(miss) / float64(n)
+			}
+			classes[name] = ClassSLOWire{Deadlines: n, Misses: miss, MissRate: rate}
+		}
+	}
 	return ScheduleResponse{
 		System:    m.System,
 		Jobs:      m.Jobs,
@@ -403,6 +454,11 @@ func summarize(m hetsched.Metrics) ScheduleResponse {
 		Preemptions:    m.Preemptions,
 		DeadlinesTotal: m.DeadlinesTotal,
 		DeadlineMisses: m.DeadlineMisses,
+
+		DeadlineMissRate:   m.MissRate(),
+		SLOMigrations:      m.SLOMigrations,
+		SLOEnergyPenaltyNJ: m.SLOEnergyPenaltyNJ,
+		Classes:            classes,
 
 		FaultInjected:      m.FaultInjected,
 		FaultEvents:        m.FaultEvents,

@@ -48,6 +48,17 @@ type Metrics struct {
 	clusterMu     sync.Mutex
 	clusterNodes  map[int]*ClusterNodeCounters
 
+	// SLO counters, cumulative across scenario schedule runs that set
+	// deadlines: deadline totals/misses, SLO-forced migrations, and
+	// per-class deadline accounting merged by class name.
+	sloMu          sync.Mutex
+	sloRuns        int64
+	sloDeadlines   int64
+	sloMisses      int64
+	sloMigrations  int64
+	sloClassTotals map[string]int64
+	sloClassMisses map[string]int64
+
 	// Predictor-quality counters, cumulative across schedule runs whose
 	// predictor scored predictions against completed jobs' ground truth.
 	// Member rows merge by name across hot-swaps; weights are the latest
@@ -76,12 +87,14 @@ type latencySeries struct {
 // be nil for tests.
 func NewMetrics(pool *Pool) *Metrics {
 	return &Metrics{
-		start:        time.Now(),
-		pool:         pool,
-		traceCounts:  map[string]uint64{},
-		clusterNodes: map[int]*ClusterNodeCounters{},
-		predMembers:  map[string]*PredictorMemberWire{},
-		lat:          map[string]*latencySeries{},
+		start:          time.Now(),
+		pool:           pool,
+		traceCounts:    map[string]uint64{},
+		sloClassTotals: map[string]int64{},
+		sloClassMisses: map[string]int64{},
+		clusterNodes:   map[int]*ClusterNodeCounters{},
+		predMembers:    map[string]*PredictorMemberWire{},
+		lat:            map[string]*latencySeries{},
 	}
 }
 
@@ -150,6 +163,43 @@ func (m *Metrics) ObserveCluster(res *hetsched.ClusterResult) {
 		}
 		c.TotalEnergyNJ += nr.Metrics.TotalEnergy()
 	}
+}
+
+// ObserveSLO accumulates one deadline-bearing schedule run's SLO outcome
+// into the daemon-wide totals, merging per-class counters by class name.
+func (m *Metrics) ObserveSLO(deadlines, misses, migrations int, classTotals, classMisses map[string]int) {
+	m.sloMu.Lock()
+	defer m.sloMu.Unlock()
+	m.sloRuns++
+	m.sloDeadlines += int64(deadlines)
+	m.sloMisses += int64(misses)
+	m.sloMigrations += int64(migrations)
+	for name, n := range classTotals {
+		m.sloClassTotals[name] += int64(n)
+	}
+	for name, n := range classMisses {
+		m.sloClassMisses[name] += int64(n)
+	}
+}
+
+// SLOCounters returns the cumulative SLO totals and a per-class counter map
+// (nil until a deadline-bearing run has completed).
+func (m *Metrics) SLOCounters() (runs, deadlines, misses, migrations int64, classes map[string]ClassSLOWire) {
+	m.sloMu.Lock()
+	defer m.sloMu.Unlock()
+	runs, deadlines, misses, migrations = m.sloRuns, m.sloDeadlines, m.sloMisses, m.sloMigrations
+	if len(m.sloClassTotals) == 0 {
+		return runs, deadlines, misses, migrations, nil
+	}
+	classes = make(map[string]ClassSLOWire, len(m.sloClassTotals))
+	for name, n := range m.sloClassTotals {
+		w := ClassSLOWire{Deadlines: int(n), Misses: int(m.sloClassMisses[name])}
+		if w.Deadlines > 0 {
+			w.MissRate = float64(w.Misses) / float64(w.Deadlines)
+		}
+		classes[name] = w
+	}
+	return runs, deadlines, misses, migrations, classes
 }
 
 // ObservePredictor accumulates one schedule run's predictor scorecard
@@ -292,6 +342,14 @@ type Snapshot struct {
 	ClusterSteals int64                          `json:"cluster_steals"`
 	ClusterNodes  map[string]ClusterNodeCounters `json:"cluster_nodes,omitempty"`
 
+	// SLO totals across all deadline-bearing scenario runs; the per-class
+	// map merges class counters by name.
+	SLORuns       int64                   `json:"slo_runs"`
+	SLODeadlines  int64                   `json:"slo_deadlines,omitempty"`
+	SLOMisses     int64                   `json:"slo_deadline_misses,omitempty"`
+	SLOMigrations int64                   `json:"slo_migrations,omitempty"`
+	SLOClasses    map[string]ClassSLOWire `json:"slo_classes,omitempty"`
+
 	// Predictor-quality totals: per-predictor (and per-ensemble-member)
 	// hit rate and cumulative energy regret across all schedule runs,
 	// plus the hot-swap count.
@@ -334,6 +392,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	m.traceMu.Unlock()
 	snap.ClusterRuns, snap.ClusterSteals, snap.ClusterNodes = m.ClusterCounters()
+	snap.SLORuns, snap.SLODeadlines, snap.SLOMisses, snap.SLOMigrations, snap.SLOClasses = m.SLOCounters()
 	snap.PredictorSwaps = m.PredictorSwaps()
 	snap.Predictor = m.PredictorTotals()
 	m.predMu.Lock()

@@ -19,6 +19,7 @@ import (
 	"hetsched/internal/characterize"
 	"hetsched/internal/core"
 	"hetsched/internal/energy"
+	"hetsched/internal/scenario"
 )
 
 // Config is the sweep grid.
@@ -42,6 +43,13 @@ type Config struct {
 	// runtime.GOMAXPROCS(0); 1 runs the grid serially. The worker count
 	// never changes the output.
 	Workers int
+	// Scenario, when non-nil, replaces the arrival-model dimension: every
+	// cell generates its workload from the scenario's source (with the
+	// cell's utilization as offered load unless rate= pins it), the SLO
+	// layer arms the deadline-aware simulator features, and WriteCSV
+	// appends deadline/SLO columns. The scenario's jobs= overrides
+	// Arrivals; rate= collapses Utilizations to a single value.
+	Scenario *scenario.Spec
 }
 
 func (c *Config) fillDefaults() {
@@ -73,6 +81,17 @@ func (c *Config) fillDefaults() {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.Scenario != nil {
+		if c.Scenario.Jobs > 0 {
+			c.Arrivals = c.Scenario.Jobs
+		}
+		if c.Scenario.Rate > 0 {
+			c.Utilizations = []float64{c.Scenario.Rate}
+		}
+		// The scenario source replaces the model dimension entirely.
+		c.Models = []core.ArrivalModel{core.ArrivalUniform}
+		c.Scenario.ApplySim(&c.Sim)
+	}
 }
 
 // Point is one grid cell's outcome.
@@ -80,7 +99,11 @@ type Point struct {
 	Utilization float64
 	Model       core.ArrivalModel
 	System      string
-	Metrics     core.Metrics
+	// Scenario names the scenario source when the sweep ran one ("" for
+	// legacy arrival-model sweeps); it replaces the arrival_model CSV
+	// column value.
+	Scenario string
+	Metrics  core.Metrics
 	// SavingVsBasePct is the total-energy saving against the base system
 	// at the same grid point (0 for the base row itself).
 	SavingVsBasePct float64
@@ -122,20 +145,39 @@ func Run(db *characterize.DB, em *energy.Model, pred core.Predictor, cfg Config)
 		err   error
 	}
 	cells := make([]cell, 0, len(cfg.Utilizations)*len(cfg.Models))
-	for ui, util := range cfg.Utilizations {
-		horizon, herr := core.HorizonForUtilization(db, appIDs, cfg.Arrivals, len(cfg.Sim.CoreSizesKB), util)
-		for mi, model := range cfg.Models {
-			c := cell{util: util, model: model, err: herr}
-			if herr == nil {
-				c.jobs, c.err = core.GenerateWorkload(core.WorkloadConfig{
-					Arrivals:      cfg.Arrivals,
-					AppIDs:        appIDs,
-					HorizonCycles: horizon,
-					Model:         model,
-					Seed:          cellSeed(cfg.Seed, ui, mi),
-				})
-			}
+	if cfg.Scenario != nil {
+		// Scenario sweep: the arrival process comes from the spec, the
+		// grid's utilization axis is the offered load, and the same
+		// per-cell SplitMix64 seed keeps parallel output byte-identical
+		// to serial.
+		for ui, util := range cfg.Utilizations {
+			c := cell{util: util, model: cfg.Models[0]}
+			c.jobs, c.err = cfg.Scenario.Generate(scenario.Params{
+				DB:          db,
+				AppIDs:      appIDs,
+				Arrivals:    cfg.Arrivals,
+				Cores:       len(cfg.Sim.CoreSizesKB),
+				Utilization: util,
+				Seed:        cellSeed(cfg.Seed, ui, 0),
+			})
 			cells = append(cells, c)
+		}
+	} else {
+		for ui, util := range cfg.Utilizations {
+			horizon, herr := core.HorizonForUtilization(db, appIDs, cfg.Arrivals, len(cfg.Sim.CoreSizesKB), util)
+			for mi, model := range cfg.Models {
+				c := cell{util: util, model: model, err: herr}
+				if herr == nil {
+					c.jobs, c.err = core.GenerateWorkload(core.WorkloadConfig{
+						Arrivals:      cfg.Arrivals,
+						AppIDs:        appIDs,
+						HorizonCycles: horizon,
+						Model:         model,
+						Seed:          cellSeed(cfg.Seed, ui, mi),
+					})
+				}
+				cells = append(cells, c)
+			}
 		}
 	}
 
@@ -192,6 +234,9 @@ func Run(db *characterize.DB, em *energy.Model, pred core.Predictor, cfg Config)
 				System:      name,
 				Metrics:     m,
 			}
+			if cfg.Scenario != nil {
+				pt.Scenario = cfg.Scenario.Source
+			}
 			if name == "base" {
 				baseTotal = m.TotalEnergy()
 			}
@@ -226,15 +271,19 @@ func runCell(db *characterize.DB, em *energy.Model, pred core.Predictor, cfg Con
 	return sim.Run(jobs)
 }
 
-// WriteCSV renders the points with a header row. A fault-free sweep emits
-// the legacy columns byte-for-byte; if any point ran under an enabled fault
-// plan, five degradation columns are appended to every row.
+// WriteCSV renders the points with a header row. A fault-free,
+// scenario-free sweep emits the legacy columns byte-for-byte; if any point
+// ran under an enabled fault plan, five degradation columns are appended,
+// and if any point ran a scenario, five deadline/SLO columns follow (the
+// arrival_model column then carries the scenario source name).
 func WriteCSV(w io.Writer, points []Point) error {
-	faulted := false
+	faulted, scenarioed := false, false
 	for _, p := range points {
 		if p.Metrics.FaultInjected {
 			faulted = true
-			break
+		}
+		if p.Scenario != "" {
+			scenarioed = true
 		}
 	}
 	header := "utilization,arrival_model,system,total_nj,idle_nj,dynamic_nj," +
@@ -242,13 +291,20 @@ func WriteCSV(w io.Writer, points []Point) error {
 	if faulted {
 		header += ",fault_events,redispatched,downtime_cycles,mttr_cycles,fault_nj"
 	}
+	if scenarioed {
+		header += ",deadlines,deadline_misses,miss_rate_pct,slo_migrations,p999_cycles"
+	}
 	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, p := range points {
 		m := p.Metrics
+		model := p.Model.String()
+		if p.Scenario != "" {
+			model = p.Scenario
+		}
 		row := fmt.Sprintf("%.2f,%s,%s,%.0f,%.0f,%.0f,%d,%d,%d,%d,%d,%.2f",
-			p.Utilization, p.Model, p.System,
+			p.Utilization, model, p.System,
 			m.TotalEnergy(), m.IdleEnergy, m.DynamicEnergy,
 			m.TurnaroundCycles,
 			m.TurnaroundPercentile(50), m.TurnaroundPercentile(99),
@@ -256,6 +312,11 @@ func WriteCSV(w io.Writer, points []Point) error {
 		if faulted {
 			row += fmt.Sprintf(",%d,%d,%d,%d,%.0f",
 				m.FaultEvents, m.JobsRedispatched, m.CoreDowntimeCycles, m.MTTRCycles, m.FaultEnergyNJ)
+		}
+		if scenarioed {
+			row += fmt.Sprintf(",%d,%d,%.2f,%d,%d",
+				m.DeadlinesTotal, m.DeadlineMisses, 100*m.MissRate(),
+				m.SLOMigrations, m.TurnaroundPercentile(99.9))
 		}
 		if _, err := fmt.Fprintln(w, row); err != nil {
 			return err

@@ -81,6 +81,8 @@ func chromeName(e Event) string {
 		return fmt.Sprintf("route job%d -> node%d", e.Job, e.Core)
 	case KindSteal:
 		return fmt.Sprintf("steal job%d node%d -> node%d", e.Job, int(e.Start), e.Core)
+	case KindSLO:
+		return fmt.Sprintf("slo-migrate app%d -> core%d", e.App, e.Core)
 	default: // enqueue and future kinds
 		if e.App >= 0 {
 			return fmt.Sprintf("%s app%d", e.Kind, e.App)
@@ -102,6 +104,8 @@ func chromeOutcome(e Event) string {
 			return "stall"
 		}
 		return "migrate"
+	case KindSLO:
+		return "slo-migrate"
 	}
 	return ""
 }

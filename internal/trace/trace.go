@@ -70,13 +70,19 @@ const (
 	// KindSteal is one cross-node work-steal: job Job moved from the
 	// victim node (Start holds its index) to the thief node Core.
 	KindSteal
+	// KindSLO is an SLO-forced migration: the energy-advantageous rule
+	// said stall, but stalling was projected to miss the job's deadline.
+	// EnergyNJ is the stall-side energy, AltEnergyNJ the forced
+	// candidate's migration energy, Start the projected stall-side
+	// completion cycle, and Detail carries the deadline.
+	KindSLO
 
 	kindCount // sentinel
 )
 
 var kindNames = [kindCount]string{
 	"enqueue", "dispatch", "profile", "predict", "tune",
-	"stall", "fault", "kill", "complete", "route", "steal",
+	"stall", "fault", "kill", "complete", "route", "steal", "slo",
 }
 
 // String names the kind as used in CSV files and metric keys.

@@ -23,6 +23,7 @@ func sampleEvents() []Event {
 		{Cycle: 9000, Kind: KindComplete, System: "proposed", Job: 2, App: 5, Core: 0, Config: "2KB_1W_16B", Start: 7500},
 		{Cycle: 9500, Kind: KindRoute, System: "cluster", Job: 3, App: 4, Core: 2, SizeKB: 8, EnergyNJ: 321.5, Detail: "scorer=hybrid cand=3/4"},
 		{Cycle: 9800, Kind: KindSteal, System: "cluster", Job: 4, App: 1, Core: 1, Start: 3, Detail: "victim=3 depth=2"},
+		{Cycle: 9900, Kind: KindSLO, System: "proposed", Job: 5, App: 2, Core: 0, Config: "8KB_2W_32B", Start: 12000, EnergyNJ: 60, AltEnergyNJ: 80, Accepted: true, Detail: "deadline=11000"},
 	}
 }
 
@@ -200,10 +201,11 @@ func TestWriteChromeStructure(t *testing.T) {
 		}
 	}
 	// The sample stream has 3 interval events (profile, kill, complete),
-	// 8 instants (incl. the cluster route/steal pair), and metadata for the
-	// proposed + cluster processes and their threads.
-	if phases["X"] != 3 || phases["i"] != 8 || phases["M"] == 0 {
-		t.Errorf("phase census %v, want 3 X / 8 i / >0 M", phases)
+	// 9 instants (incl. the cluster route/steal pair and the SLO-forced
+	// migration), and metadata for the proposed + cluster processes and
+	// their threads.
+	if phases["X"] != 3 || phases["i"] != 9 || phases["M"] == 0 {
+		t.Errorf("phase census %v, want 3 X / 9 i / >0 M", phases)
 	}
 }
 

@@ -30,6 +30,25 @@ func FormatMetrics(m Metrics) string {
 		fmt.Fprintf(&b, "  fault energy    %15.0f nJ lost to killed executions; %d stuck reconfigs, %d fallback placements\n",
 			m.FaultEnergyNJ, m.StuckReconfigs, m.FallbackPlacements)
 	}
+	if m.DeadlinesTotal > 0 {
+		fmt.Fprintf(&b, "  deadlines: %d/%d missed (%.2f%%), %d slo-forced migrations (+%.0f nJ)\n",
+			m.DeadlineMisses, m.DeadlinesTotal, 100*m.MissRate(), m.SLOMigrations, m.SLOEnergyPenaltyNJ)
+		if len(m.ClassDeadlines) > 0 {
+			var names []string
+			for name := range m.ClassDeadlines {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				n, miss := m.ClassDeadlines[name], m.ClassDeadlineMisses[name]
+				rate := 0.0
+				if n > 0 {
+					rate = 100 * float64(miss) / float64(n)
+				}
+				fmt.Fprintf(&b, "    class %-10s %d/%d missed (%.2f%%)\n", name, miss, n, rate)
+			}
+		}
+	}
 	return b.String()
 }
 
@@ -155,6 +174,9 @@ func FormatSchedule(s *System, m Metrics, maxEvents int) string {
 		if e.Profiling {
 			tag = " [profiling]"
 		}
+		if e.SLOForced {
+			tag = " [slo-migrated]"
+		}
 		if e.Preempted {
 			tag = " [preempted]"
 		}
@@ -237,6 +259,9 @@ func FormatClusterSchedule(s *System, res *ClusterResult, maxEvents int) string 
 		tag := ""
 		if r.e.Profiling {
 			tag = " [profiling]"
+		}
+		if r.e.SLOForced {
+			tag = " [slo-migrated]"
 		}
 		if r.e.Preempted {
 			tag = " [preempted]"

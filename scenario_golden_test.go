@@ -1,0 +1,66 @@
+package hetsched
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scenarioGoldenSpec is the golden scenario: a bursty stream with a
+// tight-slack high-priority class, chosen (with its seed) so the proposed
+// system's run contains at least one SLO-forced migration — the timeline
+// marker this golden exists to pin.
+const scenarioGoldenSpec = "bursty:rate=0.4,burst=2,quiet=0.5,jobs=200;slo=deadline:slack=6,classes=hi@0.3@1.15"
+
+// TestScenarioTimelineGolden pins the scenario path end to end, byte for
+// byte: spec parse -> workload generation -> SLO-aware simulation ->
+// FormatSchedule with [slo-migrated] markers -> FormatMetrics with the
+// deadline/per-class block. Regenerate with
+// `go test -run ScenarioTimelineGolden -update .` after an intentional
+// format change.
+func TestScenarioTimelineGolden(t *testing.T) {
+	sys := oracleSystem(t)
+	sp := MustParseScenarioSpec(scenarioGoldenSpec)
+	jobs, err := sys.ScenarioWorkload(sp, 0, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sim SimConfig
+	sp.ApplySim(&sim)
+	sim.RecordSchedule = true
+	m, err := sys.RunSystem("proposed", jobs, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FormatSchedule(sys, m, 0) + "\n" + FormatMetrics(m)
+
+	path := filepath.Join("testdata", "scenario_timeline.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("scenario timeline drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The golden content must carry the scenario markers it exists to pin,
+	// so a regeneration cannot silently pin a run where the SLO rule never
+	// fired or the deadline accounting vanished.
+	for _, marker := range []string{"[slo-migrated]", "deadlines:", "slo-forced migrations", "class hi", "class default"} {
+		if !strings.Contains(got, marker) {
+			t.Errorf("scenario timeline missing %q", marker)
+		}
+	}
+	if m.SLOMigrations == 0 {
+		t.Error("golden scenario run has no SLO migrations; pick a new (spec, seed)")
+	}
+}
